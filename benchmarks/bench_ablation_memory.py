@@ -1,0 +1,72 @@
+"""Ablation: device-memory capacity vs feasibility.
+
+Sweeps the simulated device capacity and records which methods can still
+factorize the largest matrices — generalising the paper's nlpkkt120
+observation (RL needs panel + full update matrix resident; RLB v2 needs
+only the panel plus two small block buffers, so it keeps working far below
+RL's requirement).
+"""
+
+from __future__ import annotations
+
+from conftest import suite_names, write_result
+from repro.analysis import format_table
+from repro.gpu import DeviceOutOfMemory
+from repro.numeric import factorize_rl_gpu, factorize_rlb_gpu
+from repro.sparse import get_entry
+from repro.symbolic import analyze
+
+MIB = 1024 * 1024
+CAPACITIES = [64 * MIB, 128 * MIB, 256 * MIB, 400 * MIB, 512 * MIB,
+              1024 * MIB]
+
+
+def sweep(name):
+    from conftest import get_system
+
+    system = get_system(name)
+    rows = []
+    feasibility = {}
+    for cap in CAPACITIES:
+        status = {}
+        for label, fn in [("RL", lambda **kw: factorize_rl_gpu(
+                               system.symb, system.matrix, **kw)),
+                          ("RLBv2", lambda **kw: factorize_rlb_gpu(
+                               system.symb, system.matrix, version=2, **kw))]:
+            try:
+                res = fn(device_memory=cap)
+                status[label] = f"ok ({res.gpu_stats.peak_memory / MIB:.0f} MiB)"
+            except DeviceOutOfMemory:
+                status[label] = "OOM"
+        feasibility[cap] = status
+        rows.append((f"{cap // MIB} MiB", status["RL"], status["RLBv2"]))
+    text = format_table(["device memory", "RL", "RLB v2"], rows,
+                        title=f"Ablation: device capacity sweep on {name}")
+    return text, feasibility
+
+
+def test_memory_sweep_nlpkkt120(benchmark):
+    name = ("nlpkkt120" if "nlpkkt120" in suite_names()
+            else max(suite_names(),
+                     key=lambda n: len(n)))
+    text, feas = benchmark.pedantic(lambda: sweep(name), rounds=1,
+                                    iterations=1)
+    write_result("ablation_memory.txt", text)
+    # the RLB-v2 feasibility frontier sits strictly below RL's: there is a
+    # capacity where RLB works and RL does not
+    exists_gap = any(
+        feas[cap]["RL"] == "OOM" and feas[cap]["RLBv2"].startswith("ok")
+        for cap in CAPACITIES)
+    assert exists_gap, "RLB v2 must survive capacities where RL fails"
+    # at the largest capacity both succeed
+    top = CAPACITIES[-1]
+    assert feas[top]["RL"].startswith("ok")
+    assert feas[top]["RLBv2"].startswith("ok")
+    # monotonicity: once a method works, more memory never breaks it
+    for label in ("RL", "RLBv2"):
+        seen_ok = False
+        for cap in CAPACITIES:
+            ok = feas[cap][label].startswith("ok")
+            if seen_ok:
+                assert ok, f"{label} regressed with more memory"
+            seen_ok = seen_ok or ok

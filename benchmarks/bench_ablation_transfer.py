@@ -1,0 +1,79 @@
+"""Ablation: transfer bandwidth / latency sensitivity.
+
+Supports the paper's §IV-B conclusion — "for data transfer between CPU and
+GPU the latency is negligible but the bandwidth is important": scaling the
+PCIe bandwidth changes GPU runtimes substantially, scaling the latency
+barely moves them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import suite_names, write_result
+from repro.analysis import format_table
+from repro.gpu import CpuModel, GpuModel, MachineModel, TransferModel
+from repro.numeric import factorize_rl_gpu, factorize_rlb_gpu
+from repro.sparse import get_entry
+from repro.symbolic import analyze
+
+BIG_MEM = 10 ** 15
+
+
+def machine_with(bw_scale=1.0, lat_scale=1.0):
+    base = TransferModel()
+    return MachineModel(transfer=TransferModel(
+        latency_s=base.latency_s * lat_scale,
+        bandwidth_gbs=base.bandwidth_gbs * bw_scale,
+    ))
+
+
+def sweep(names):
+    from conftest import get_system
+
+    systems = {n: get_system(n) for n in names}
+
+    # Default thresholds — the shipping configuration.  Only large
+    # supernodes are offloaded, so the transfers in play are the big
+    # panel/update-matrix moves about which §IV-B draws its conclusion
+    # (small latency-bound supernodes stay on the CPU by construction).
+    def total(machine):
+        t = 0.0
+        for n in names:
+            sy = systems[n]
+            t += factorize_rl_gpu(sy.symb, sy.matrix, machine=machine,
+                                  device_memory=BIG_MEM).modeled_seconds
+            t += factorize_rlb_gpu(sy.symb, sy.matrix, version=2,
+                                   machine=machine,
+                                   device_memory=BIG_MEM).modeled_seconds
+        return t
+
+    base = total(machine_with())
+    rows = [("baseline", "1x bw, 1x lat", f"{base:.4f}", "+0.0%")]
+    effects = {}
+    for label, kw in [("bandwidth / 4", dict(bw_scale=0.25)),
+                      ("bandwidth x 4", dict(bw_scale=4.0)),
+                      ("latency x 10", dict(lat_scale=10.0)),
+                      ("latency / 10", dict(lat_scale=0.1))]:
+        t = total(machine_with(**kw))
+        effects[label] = t / base - 1
+        rows.append((label, str(kw), f"{t:.4f}",
+                     f"{100 * (t / base - 1):+.1f}%"))
+    text = format_table(["variant", "change", "suite GPU time (s)",
+                         "vs baseline"], rows,
+                        title="Ablation: transfer bandwidth vs latency")
+    return text, effects
+
+
+def test_transfer_sensitivity(benchmark):
+    names = [n for n in suite_names() if n != "nlpkkt120"][:5]
+    text, effects = benchmark.pedantic(lambda: sweep(names), rounds=1,
+                                       iterations=1)
+    write_result("ablation_transfer.txt", text)
+    # bandwidth matters: quartering it visibly slows the suite
+    assert effects["bandwidth / 4"] > 0.02
+    # latency is negligible: 10x latency moves the total by only a little
+    assert abs(effects["latency x 10"]) < 0.10
+    assert abs(effects["latency / 10"]) < 0.05
+    # and the bandwidth effect dwarfs the latency effect — the paper's claim
+    assert effects["bandwidth / 4"] > 2 * abs(effects["latency x 10"])

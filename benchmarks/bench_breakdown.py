@@ -1,0 +1,48 @@
+"""Analysis: per-kernel-class modeled time — the paper's design premises.
+
+Regenerates the "where does the time go" table for a representative subset:
+SYRK carries the flop bulk of RL (why offloading the update computation is
+the win), GEMM carries RLB's (why its call count matters), and the
+update-matrix D2H is the dominant transfer (why bandwidth, not latency,
+is what the paper finds important).
+"""
+
+from __future__ import annotations
+
+from conftest import suite_names, write_result
+from repro.analysis import breakdown, render_breakdowns
+
+METHODS = ("rl", "rlb", "rl_gpu", "rlb_gpu")
+
+
+def build(names):
+    from conftest import get_system
+
+    sections = []
+    checks = []
+    for name in names:
+        symb = get_system(name).symb
+        bs = [breakdown(symb, method=m) for m in METHODS]
+        sections.append(render_breakdowns(
+            bs, title=f"{name} — modeled seconds by cost class"))
+        by = {b.method: b for b in bs}
+        checks.append((name, by))
+    return "\n\n".join(sections), checks
+
+
+def test_breakdown(benchmark):
+    names = [n for n in suite_names()
+             if n in ("Serena", "Bump_2911", "Queen_4147")] or \
+        suite_names()[:3]
+    text, checks = benchmark.pedantic(lambda: build(names), rounds=1,
+                                      iterations=1)
+    write_result("breakdown.txt", text)
+    for name, by in checks:
+        # SYRK is RL's flop bulk; RLB replaces much of it with GEMM
+        assert by["rl"].seconds["syrk"] > by["rl"].seconds["potrf"]
+        assert by["rlb"].seconds["gemm"] > 0
+        assert by["rl"].seconds.get("gemm", 0.0) == 0.0
+        # the update-matrix D2H dominates the H2D panel upload in RL-GPU
+        assert by["rl_gpu"].seconds["d2h"] > by["rl_gpu"].seconds["h2d"]
+        # offload shrinks the total modeled resource time
+        assert by["rl_gpu"].total < by["rl"].total

@@ -1,0 +1,44 @@
+"""Figure 3 reproduction: Dolan–Moré performance profile of the four
+factorization methods (RL_C, RLB_C, RL_G, RLB_G).
+
+Paper reference: "the GPU version of RL is unequivocally the best, except
+for one matrix for which RL cannot compute the factorization.  RLB closely
+follows RL.  Both RL and RLB using GPU ... are much better than their
+CPU-only versions."
+"""
+
+from __future__ import annotations
+
+from conftest import suite_names, write_result
+from repro.analysis import performance_profile, render_ascii
+
+
+def build_profile(runs):
+    times = {"RL_C": [], "RLB_C": [], "RL_G": [], "RLB_G": []}
+    for name in suite_names():
+        t = runs[name].times_for_profile()
+        for k in times:
+            times[k].append(t[k])
+    return performance_profile(times)
+
+
+def test_fig3_performance_profile(suite_runs, benchmark):
+    profile = benchmark.pedantic(lambda: build_profile(suite_runs),
+                                 rounds=1, iterations=1)
+    art = render_ascii(profile)
+    areas = "\n".join(
+        f"area({m}) = {profile.area(m):.3f}" for m in profile.curves)
+    write_result("fig3_performance_profile.txt", art + "\n\n" + areas)
+
+    # paper shape assertions
+    # 1. a GPU method wins the profile
+    assert profile.winner() in ("RL_G", "RLB_G")
+    # 2. both GPU methods dominate both CPU methods in area
+    gpu_min = min(profile.area("RL_G"), profile.area("RLB_G"))
+    cpu_max = max(profile.area("RL_C"), profile.area("RLB_C"))
+    assert gpu_min > cpu_max, "GPU methods must dominate CPU-only methods"
+    # 3. RL_G's curve is capped below 1.0 iff nlpkkt120 is in the subset
+    if "nlpkkt120" in suite_names():
+        n = len(suite_names())
+        assert profile.curves["RL_G"][-1] <= (n - 1) / n + 1e-9
+        assert profile.curves["RLB_G"][-1] == 1.0

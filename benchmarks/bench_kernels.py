@@ -1,0 +1,75 @@
+"""Wall-clock micro-benchmarks (pytest-benchmark) of the library's hot
+paths: real Python/NumPy execution time, independent of the modeled clock.
+
+These guard against performance regressions in the reproduction code
+itself: symbolic analysis, the four factorization engines, and the
+triangular solves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.numeric import (
+    factorize_left_looking,
+    factorize_rl_cpu,
+    factorize_rl_gpu,
+    factorize_rlb_cpu,
+    factorize_rlb_gpu,
+)
+from repro.solve import solve_factored
+from repro.sparse import build_matrix, grid_laplacian
+from repro.symbolic import analyze
+
+BIG_MEM = 10 ** 15
+
+
+@pytest.fixture(scope="module")
+def bench_system():
+    return analyze(build_matrix("bone010"))
+
+
+def test_wall_symbolic_analysis(benchmark):
+    A = grid_laplacian((10, 10, 6))
+    benchmark.pedantic(lambda: analyze(A), rounds=2, iterations=1)
+
+
+def test_wall_rl_cpu(bench_system, benchmark):
+    benchmark.pedantic(
+        lambda: factorize_rl_cpu(bench_system.symb, bench_system.matrix),
+        rounds=3, iterations=1)
+
+
+def test_wall_rlb_cpu(bench_system, benchmark):
+    benchmark.pedantic(
+        lambda: factorize_rlb_cpu(bench_system.symb, bench_system.matrix),
+        rounds=3, iterations=1)
+
+
+def test_wall_left_looking(bench_system, benchmark):
+    benchmark.pedantic(
+        lambda: factorize_left_looking(bench_system.symb,
+                                       bench_system.matrix),
+        rounds=3, iterations=1)
+
+
+def test_wall_rl_gpu(bench_system, benchmark):
+    benchmark.pedantic(
+        lambda: factorize_rl_gpu(bench_system.symb, bench_system.matrix,
+                                 device_memory=BIG_MEM),
+        rounds=3, iterations=1)
+
+
+def test_wall_rlb_gpu_v2(bench_system, benchmark):
+    benchmark.pedantic(
+        lambda: factorize_rlb_gpu(bench_system.symb, bench_system.matrix,
+                                  version=2, device_memory=BIG_MEM),
+        rounds=3, iterations=1)
+
+
+def test_wall_triangular_solve(bench_system, benchmark):
+    res = factorize_rl_cpu(bench_system.symb, bench_system.matrix)
+    b = np.ones(bench_system.matrix.n)
+    benchmark.pedantic(lambda: solve_factored(res.storage, b),
+                       rounds=5, iterations=1)

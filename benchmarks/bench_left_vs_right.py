@@ -1,0 +1,61 @@
+"""Extension: the paper's right-looking offload vs a CHOLMOD-style
+left-looking offload, on identical substrates.
+
+CHOLMOD's production GPU path is left-looking; the paper never compares
+against it directly.  This bench runs both (plus RLB-v2) with the same
+machine model and thresholds and reports times and the left-looking
+method's descendant re-transfer volume — its structural cost, which grows
+with the ancestor fan-out while RL pays the one-shot update-matrix
+transfer instead.
+"""
+
+from __future__ import annotations
+
+from conftest import suite_names, write_result
+from repro.analysis import format_table
+from repro.numeric import (
+    factorize_left_looking_gpu,
+    factorize_rl_gpu,
+    factorize_rlb_gpu,
+)
+
+BIG_MEM = 10 ** 15
+
+
+def sweep(names):
+    from conftest import get_system
+
+    rows = []
+    ratios = []
+    for name in names:
+        sy = get_system(name)
+        rl = factorize_rl_gpu(sy.symb, sy.matrix, device_memory=BIG_MEM)
+        rlb = factorize_rlb_gpu(sy.symb, sy.matrix, version=2,
+                                device_memory=BIG_MEM)
+        ll = factorize_left_looking_gpu(sy.symb, sy.matrix,
+                                        device_memory=BIG_MEM)
+        ratios.append(ll.modeled_seconds / rl.modeled_seconds)
+        rows.append((
+            name,
+            f"{rl.modeled_seconds:.4f}",
+            f"{rlb.modeled_seconds:.4f}",
+            f"{ll.modeled_seconds:.4f}",
+            f"{ll.extra['h2d_retransfer_bytes'] / 2 ** 20:.1f}",
+            f"{ll.gpu_stats.h2d_bytes / max(rl.gpu_stats.h2d_bytes, 1):.2f}",
+        ))
+    text = format_table(
+        ["Matrix", "RL-GPU (s)", "RLB-GPU (s)", "LL-GPU (s)",
+         "LL re-transfers (MiB)", "LL/RL H2D ratio"],
+        rows,
+        title="Extension: right-looking (paper) vs left-looking (CHOLMOD "
+              "shape) offload")
+    return text, ratios
+
+
+def test_left_vs_right(benchmark):
+    names = [n for n in suite_names() if n != "nlpkkt120"][-6:]
+    text, ratios = benchmark.pedantic(lambda: sweep(names), rounds=1,
+                                      iterations=1)
+    write_result("left_vs_right.txt", text)
+    # both organisations land in the same ballpark on the simulated machine
+    assert all(0.2 < r < 5.0 for r in ratios)

@@ -1,0 +1,61 @@
+"""Extension: multi-GPU RL scaling (the paper's node has four A100s).
+
+Two regimes, both honest consequences of the paper's design:
+
+* at the **default threshold** only the top-of-tree separators offload, and
+  they form a dependency chain — extra devices buy ~nothing;
+* at **threshold = 0** the elimination tree's independent branches all
+  offload, so 2-4 devices show real (sublinear, assembly-serialized) gains.
+
+The bench reports both sweeps; the takeaway (multi-GPU requires re-tuning
+the offload threshold downward, and host assembly becomes the bottleneck)
+is the kind of result the paper's future-work section would target.
+"""
+
+from __future__ import annotations
+
+from conftest import suite_names, write_result
+from repro.analysis import format_table
+from repro.numeric import DEFAULT_RL_THRESHOLD, factorize_rl_multigpu
+
+BIG_MEM = 10 ** 15
+DEVICES = (1, 2, 4)
+
+
+def sweep(names):
+    from conftest import get_system
+
+    rows = []
+    gains = {0: [], DEFAULT_RL_THRESHOLD: []}
+    for name in names:
+        sy = get_system(name)
+        cells = [name]
+        for thr in (DEFAULT_RL_THRESHOLD, 0):
+            times = [
+                factorize_rl_multigpu(
+                    sy.symb, sy.matrix, num_devices=k, threshold=thr,
+                    device_memory=BIG_MEM).modeled_seconds
+                for k in DEVICES
+            ]
+            gains[thr].append(times[0] / times[-1])
+            cells.append(f"{times[0]:.4f}")
+            cells.extend(f"{times[0] / t:.2f}" for t in times[1:])
+        rows.append(tuple(cells))
+    text = format_table(
+        ["Matrix",
+         "t@1 (default thr)", "x2 dev", "x4 dev",
+         "t@1 (thr=0)", "x2 dev", "x4 dev"],
+        rows, title="Extension: multi-GPU RL scaling")
+    return text, gains
+
+
+def test_multigpu_scaling(benchmark):
+    names = [n for n in suite_names() if n != "nlpkkt120"][-5:]
+    text, gains = benchmark.pedantic(lambda: sweep(names), rounds=1,
+                                     iterations=1)
+    write_result("multigpu_scaling.txt", text)
+    # default threshold: the offloaded separators are a chain — no gain
+    assert all(g <= 1.05 for g in gains[DEFAULT_RL_THRESHOLD])
+    # threshold 0: tree parallelism is real but sublinear
+    assert all(1.0 - 1e-9 <= g <= 4.0 for g in gains[0])
+    assert max(gains[0]) > 1.2

@@ -1,0 +1,60 @@
+"""§IV-A preprocessing reproduction: supernode merging and partition
+refinement statistics.
+
+Paper reference: supernodes are merged greedily by minimum new fill until
+factor storage grows 25 %; partition refinement then reorders columns within
+supernodes to reduce the number of blocks, which is "essential to attain
+high performance using RLB".
+"""
+
+from __future__ import annotations
+
+from conftest import suite_names, write_result
+from repro.analysis import format_table
+from repro.sparse import get_entry
+from repro.symbolic import analyze, count_blocks
+
+
+def preprocessing_stats(names):
+    rows = []
+    checks = []
+    for name in names:
+        A = get_entry(name).builder()
+        plain = analyze(A, merge=False, refine=False)
+        merged = analyze(A, merge=True, refine=False)
+        refined = analyze(A, merge=True, refine=True)
+        growth = (merged.symb.factor_nnz_dense()
+                  / plain.symb.factor_nnz_dense() - 1)
+        rows.append((
+            name,
+            str(plain.nsup),
+            str(merged.nsup),
+            f"{100 * growth:.1f}%",
+            str(count_blocks(merged.symb)),
+            str(count_blocks(refined.symb)),
+        ))
+        checks.append((name, plain.nsup, merged.nsup, growth,
+                       count_blocks(merged.symb),
+                       count_blocks(refined.symb)))
+    text = format_table(
+        ["Matrix", "fund. snodes", "merged", "storage growth",
+         "blocks (merged)", "blocks (+PR)"],
+        rows, title="§IV-A preprocessing: merging (cap 25%) + partition "
+                    "refinement")
+    return text, checks
+
+
+def test_preprocessing(benchmark):
+    # a representative subset keeps this bench quick even in full mode
+    names = [n for n in suite_names()
+             if n in ("CurlCurl_2", "bone010", "Serena", "Queen_4147",
+                      "PFlow_742", "audikw_1")] or suite_names()[:4]
+    text, checks = benchmark.pedantic(
+        lambda: preprocessing_stats(names), rounds=1, iterations=1)
+    write_result("preprocessing_stats.txt", text)
+    for name, n0, n1, growth, b0, b1 in checks:
+        assert n1 < n0, f"{name}: merging must coarsen the partition"
+        assert growth <= 0.25 + 1e-9, f"{name}: 25% cap violated"
+        assert b1 <= b0 * 1.05 + 5, f"{name}: refinement made blocks worse"
+    # refinement strictly helps somewhere
+    assert any(b1 < b0 for _, _, _, _, b0, b1 in checks)

@@ -1,0 +1,71 @@
+"""Ablation: task granularity — the paper's coarse-grain argument, on a DAG.
+
+The paper claims RL "has the advantage of easier parallelization of one
+coarse grain task" while RLB splits work into many small calls.  Building
+both task DAGs (see :mod:`repro.numeric.schedule`) and list-scheduling them
+onto p workers with a realistic per-task dispatch overhead quantifies the
+trade-off: the fine DAG owns more inherent parallelism (work / critical
+path) but loses at practical worker counts once dispatch costs land.
+"""
+
+from __future__ import annotations
+
+from conftest import suite_names, write_result
+from repro.analysis import format_table
+from repro.numeric import (
+    build_coarse_graph,
+    build_fine_graph,
+    critical_path,
+    list_schedule,
+)
+
+WORKERS = (1, 4, 16, 64)
+DISPATCH_S = 5e-6  # per-task scheduler dispatch (MA87-style runtimes)
+
+
+def sweep(names):
+    from conftest import get_system
+
+    rows = []
+    stats = []
+    for name in names:
+        symb = get_system(name).symb
+        gc = build_coarse_graph(symb)
+        gf = build_fine_graph(symb)
+        pc = gc.total_work() / critical_path(gc)[0]
+        pf = gf.total_work() / critical_path(gf)[0]
+        mk = {}
+        for p in WORKERS:
+            mk[("c", p)] = list_schedule(
+                gc, p, dispatch_overhead=DISPATCH_S).makespan
+            mk[("f", p)] = list_schedule(
+                gf, p, dispatch_overhead=DISPATCH_S).makespan
+        rows.append((
+            name, str(gc.ntasks), str(gf.ntasks),
+            f"{pc:.1f}", f"{pf:.1f}",
+            *(f"{mk[('f', p)] / mk[('c', p)]:.2f}" for p in WORKERS),
+        ))
+        stats.append((pc, pf, mk))
+    text = format_table(
+        ["Matrix", "coarse tasks", "fine tasks", "par(C)", "par(F)",
+         *(f"fine/coarse @p={p}" for p in WORKERS)],
+        rows,
+        title="Ablation: task granularity (makespan ratio fine vs coarse, "
+              f"dispatch {DISPATCH_S * 1e6:.0f} us)")
+    return text, stats
+
+
+def test_granularity(benchmark):
+    names = [n for n in suite_names() if n != "nlpkkt120"][:6]
+    text, stats = benchmark.pedantic(lambda: sweep(names), rounds=1,
+                                     iterations=1)
+    write_result("ablation_granularity.txt", text)
+    for pc, pf, mk in stats:
+        # the fine DAG always exposes more inherent parallelism ...
+        assert pf > pc
+        # ... but with dispatch overhead it never beats coarse serially
+        assert mk[("f", 1)] >= mk[("c", 1)]
+    # and at a practical worker count coarse wins on a majority of matrices
+    coarse_wins = sum(1 for _, _, mk in stats
+                      if mk[("c", 16)] <= mk[("f", 16)])
+    assert coarse_wins >= len(stats) // 2 + 1

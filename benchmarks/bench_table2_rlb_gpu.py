@@ -1,0 +1,66 @@
+"""Table II reproduction: GPU-accelerated RLB (version 2) runtimes and
+speedups.
+
+Paper reference (Table II): speedups from 1.09x (dielFilterV2real) to 3.15x
+(Queen_4147); RLB successfully factorizes nlpkkt120 (unlike RL) thanks to
+its much smaller device-memory footprint; RLB-GPU is generally slower than
+RL-GPU.
+"""
+
+from __future__ import annotations
+
+from conftest import suite_names, write_result
+from repro.analysis import format_table
+from repro.sparse import get_entry
+
+
+def build_table(runs):
+    headers = ["Matrix", "runtime(s)", "speedup", "snodes on GPU", "total",
+               "paper speedup"]
+    rows = []
+    for name in suite_names():
+        r = runs[name]
+        paper = get_entry(name).rlb.speedup
+        assert r.rlb_gpu is not None
+        rows.append((
+            name,
+            f"{r.rlb_gpu.modeled_seconds:.4f}",
+            f"{r.speedup(r.rlb_gpu):.2f}",
+            str(r.rlb_gpu.snodes_on_gpu),
+            str(r.nsup),
+            f"{paper:.2f}" if paper else "--",
+        ))
+    return format_table(headers, rows,
+                        title="Table II — GPU accelerated RLB v2 (modeled)")
+
+
+def test_table2(suite_runs, benchmark):
+    text = benchmark.pedantic(lambda: build_table(suite_runs),
+                              rounds=1, iterations=1)
+    write_result("table2_rlb_gpu.txt", text)
+    rl_wins = 0
+    total = 0
+    for name in suite_names():
+        r = suite_runs[name]
+        assert r.rlb_gpu is not None, \
+            f"{name}: RLB v2 must factorize every matrix, incl. nlpkkt120"
+        assert r.speedup(r.rlb_gpu) >= 0.95, \
+            f"{name}: RLB-GPU must not lose to the CPU baseline"
+        if r.rl_gpu is not None:
+            total += 1
+            rl_wins += (r.rl_gpu.modeled_seconds
+                        <= r.rlb_gpu.modeled_seconds)
+    # the paper finds RL-GPU faster than RLB-GPU across the board; allow a
+    # small number of inversions at surrogate scale
+    assert rl_wins >= max(1, int(0.6 * total)), \
+        f"RL-GPU should usually beat RLB-GPU (won {rl_wins}/{total})"
+
+
+def test_nlpkkt120_memory_contrast(suite_runs):
+    """The paper's headline memory result in one assertion pair."""
+    r = suite_runs["nlpkkt120"]
+    assert r.rl_gpu is None and r.rlb_gpu is not None
+    # and the successful RLB run stayed within the device
+    from repro.numeric import DEFAULT_DEVICE_MEMORY
+
+    assert r.rlb_gpu.gpu_stats.peak_memory <= DEFAULT_DEVICE_MEMORY

@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark suite.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and figure.
+By default a representative 9-matrix subset of the paper's 21-matrix suite
+is used so the whole run stays in the minutes range; set ``REPRO_SUITE=full``
+to run all 21 matrices (what EXPERIMENTS.md reports).
+
+Generated tables are printed and also written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from harness import SUITE_NAMES, run_suite  # noqa: E402
+
+#: Representative subset: two small, two 2-D/EM, two mid FEM, the three
+#: largest (including the out-of-memory case).
+MINI_SUITE = [
+    "CurlCurl_2", "dielFilterV2real", "PFlow_742", "bone010", "audikw_1",
+    "Serena", "Bump_2911", "nlpkkt120", "Queen_4147",
+]
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def suite_names():
+    if os.environ.get("REPRO_SUITE", "").lower() == "full":
+        return list(SUITE_NAMES)
+    return list(MINI_SUITE)
+
+
+@pytest.fixture(scope="session")
+def suite_runs():
+    """All suite matrices factorized by the four methods (cached)."""
+    from harness import run_matrix
+
+    return {n: run_matrix(n, system=get_system(n)) for n in suite_names()}
+
+
+_system_cache: dict = {}
+
+
+def get_system(name):
+    """Analyzed system for a suite matrix, cached across bench modules."""
+    if name not in _system_cache:
+        from repro.sparse import get_entry
+        from repro.symbolic import analyze
+
+        _system_cache[name] = analyze(get_entry(name).builder())
+    return _system_cache[name]
+
+
+def write_result(name, text):
+    """Persist a generated table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}")
+    return path

@@ -1,0 +1,77 @@
+"""Incremental factorization maintenance: rank-1 updates + sparse solves.
+
+A common production pattern around a sparse Cholesky solver: the matrix
+changes by low-rank corrections (re-weighted least squares, power-grid
+branch switching, sliding observation windows) and most right-hand sides
+are sparse (point loads, single-column inverse probes).  Instead of
+refactorizing, this example
+
+1. factorizes a 3-D Poisson problem once,
+2. applies a stream of structurally valid rank-1 updates and downdates via
+   hyperbolic rotations (:func:`repro.numeric.rank1_update`), checking each
+   against a dense refactorization,
+3. serves sparse right-hand sides with the reach-limited forward sweep
+   (:func:`repro.solve.forward_solve_sparse`), reporting how few supernodes
+   each solve touches.
+
+Run:  python examples/incremental_updates.py
+"""
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.numeric import column_structure, factorize_rl_cpu, rank1_update
+from repro.solve import backward_solve, forward_solve_sparse
+from repro.sparse import grid_laplacian
+from repro.symbolic import analyze
+
+
+def main():
+    A = grid_laplacian((10, 10, 6))
+    system = analyze(A)
+    symb = system.symb
+    storage = factorize_rl_cpu(symb, system.matrix).storage
+    print(f"Problem: n = {symb.n}, {symb.nsup} supernodes, "
+          f"factor entries = {symb.factor_nnz_dense()}\n")
+
+    # -- a stream of rank-1 modifications --------------------------------
+    rng = np.random.default_rng(7)
+    dense = system.matrix.to_dense()
+    print("rank-1 stream (update, update, downdate, ...):")
+    for step in range(6):
+        j0 = int(rng.integers(0, symb.n))
+        rows = column_structure(symb, j0)
+        w = np.zeros(symb.n)
+        w[j0] = 0.3 + 0.2 * rng.random()
+        take = rows[: min(5, rows.size)]
+        w[take] = 0.1 * rng.standard_normal(take.size)
+        downdate = step % 3 == 2
+        path = rank1_update(storage, w, downdate=downdate)
+        dense += (-1 if downdate else +1) * np.outer(w, w)
+        ref = np.tril(sla.cholesky(dense, lower=True))
+        err = np.abs(storage.to_dense_lower() - ref).max()
+        kind = "downdate" if downdate else "update  "
+        print(f"  step {step}: {kind} at column {j0:4d}, "
+              f"path length {len(path):3d} of {symb.n} columns, "
+              f"max error vs refactorization {err:.2e}")
+        assert err < 1e-8
+
+    # -- sparse right-hand sides ------------------------------------------
+    print("\nsparse right-hand sides (reach-limited forward sweep):")
+    for trial in range(4):
+        idx = np.unique(rng.integers(0, symb.n, size=trial + 1))
+        val = rng.standard_normal(idx.size)
+        y, touched = forward_solve_sparse(storage, idx, val)
+        x = backward_solve(storage, y)
+        b = np.zeros(symb.n)
+        b[idx] = val
+        resid = np.abs(dense @ x - b).max()
+        print(f"  nnz(b) = {idx.size}: touched "
+              f"{touched.size:3d}/{symb.nsup} supernodes, "
+              f"residual {resid:.2e}")
+        assert resid < 1e-8
+    print("\nall incremental operations verified against dense references")
+
+
+if __name__ == "__main__":
+    main()

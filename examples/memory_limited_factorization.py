@@ -1,0 +1,82 @@
+"""Memory-limited factorization: why RLB exists (the nlpkkt120 story).
+
+The paper's RL keeps a supernode's *entire* update matrix in device memory;
+for matrices with very long below-diagonal row sets that allocation can
+exceed the GPU (nlpkkt120 on a 40 GB A100).  RLB version 2 streams the
+update back block by block, so its footprint is just the panel plus two
+small buffers — it factorizes matrices RL cannot.
+
+This script reproduces that contrast on the nlpkkt120 surrogate and then
+finds each method's minimum workable device capacity by bisection.
+
+Run:  python examples/memory_limited_factorization.py
+"""
+
+from repro.gpu import DeviceOutOfMemory
+from repro.numeric import (
+    DEFAULT_DEVICE_MEMORY,
+    factorize_rl_gpu,
+    factorize_rlb_gpu,
+)
+from repro.sparse import build_matrix
+from repro.symbolic import analyze
+
+MIB = 1024 * 1024
+
+
+def try_method(fn, system, capacity):
+    try:
+        res = fn(system.symb, system.matrix, device_memory=capacity)
+        return res
+    except DeviceOutOfMemory:
+        return None
+
+
+def min_capacity(fn, system, lo=MIB, hi=8192 * MIB):
+    """Smallest device capacity (to ~4 MiB) at which ``fn`` succeeds."""
+    while hi - lo > 4 * MIB:
+        mid = (lo + hi) // 2
+        if try_method(fn, system, mid) is None:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def main():
+    print("Building the nlpkkt120 surrogate (elongated KKT archetype)...")
+    A = build_matrix("nlpkkt120")
+    system = analyze(A)
+    symb = system.symb
+    print(f"  n = {A.n}, supernodes = {symb.nsup}, "
+          f"largest update matrix = {symb.largest_update_size():,} entries")
+
+    cap = DEFAULT_DEVICE_MEMORY
+    print(f"\nsimulated device capacity: {cap // MIB} MiB (scaled A100)")
+    rl = try_method(factorize_rl_gpu, system, cap)
+    print(f"  RL     : {'ok' if rl else 'OUT OF MEMORY'}"
+          + (f" ({rl.modeled_seconds:.3f} s modeled)" if rl else
+             "  <- the paper's Table I gap"))
+    rlb = try_method(
+        lambda s, m, **kw: factorize_rlb_gpu(s, m, version=2, **kw),
+        system, cap)
+    print(f"  RLB v2 : {'ok' if rlb else 'OUT OF MEMORY'}"
+          + (f" ({rlb.modeled_seconds:.3f} s modeled, peak "
+             f"{rlb.gpu_stats.peak_memory / MIB:.0f} MiB)" if rlb else ""))
+
+    print("\nbisecting each method's minimum device capacity...")
+    need_rl = min_capacity(factorize_rl_gpu, system)
+    need_rlb = min_capacity(
+        lambda s, m, **kw: factorize_rlb_gpu(s, m, version=2, **kw), system)
+    print(f"  RL needs     >= {need_rl / MIB:.0f} MiB "
+          "(panel + full update matrix resident)")
+    print(f"  RLB v2 needs >= {need_rlb / MIB:.0f} MiB "
+          "(panel + two block buffers)")
+    print(f"  -> RLB v2 factorizes with "
+          f"{need_rl / need_rlb:.2f}x less device memory, the paper's "
+          "conclusion: 'RLB is capable of factorizing very large matrices "
+          "with GPU support.'")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Ordering study: why the paper runs METIS nested dissection first.
+
+Compares natural, RCM, minimum-degree and nested-dissection orderings on a
+3-D problem: fill, flops, elimination-tree shape, supernode sizes — and the
+downstream effect on GPU offload (bigger supernodes => more offloadable
+work => better speedup).
+
+Run:  python examples/ordering_study.py
+"""
+
+import numpy as np
+
+from repro.numeric import factorize_rl_cpu, factorize_rl_gpu
+from repro.ordering import evaluate_ordering, order_matrix
+from repro.sparse import grid_laplacian
+from repro.symbolic import analyze
+
+
+def main():
+    A = grid_laplacian((12, 12, 8))
+    print(f"3-D Poisson problem: n = {A.n}, nnz(A) = {A.nnz_lower}\n")
+
+    print(f"{'ordering':<10} {'factor nnz':>11} {'flops':>13} "
+          f"{'tree height':>12} {'fill ratio':>11}")
+    for method in ("natural", "rcm", "mindeg", "nd"):
+        q = evaluate_ordering(A, order_matrix(A, method))
+        print(f"{method:<10} {q.factor_nnz:>11,} {q.factor_flops:>13,} "
+              f"{q.etree_height:>12} {q.fill_ratio:>11.2f}")
+
+    print("\ndownstream effect on the GPU-accelerated factorization:")
+    print(f"{'ordering':<10} {'nsup':>6} {'max panel':>10} "
+          f"{'CPU best (s)':>13} {'GPU (s)':>9} {'speedup':>8}")
+    for method in ("rcm", "mindeg", "nd"):
+        system = analyze(A, ordering=method)
+        symb = system.symb
+        cpu = factorize_rl_cpu(symb, system.matrix)
+        gpu = factorize_rl_gpu(symb, system.matrix)
+        max_panel = max(symb.panel_size(s) for s in range(symb.nsup))
+        print(f"{method:<10} {symb.nsup:>6} {max_panel:>10,} "
+              f"{cpu.modeled_seconds:>13.4f} {gpu.modeled_seconds:>9.4f} "
+              f"{cpu.modeled_seconds / gpu.modeled_seconds:>8.2f}")
+
+    print("\nNested dissection gives the balanced tree and fat separators "
+          "that create\nlarge supernodes — the prerequisite for the paper's "
+          "GPU offload to pay off.")
+
+
+if __name__ == "__main__":
+    main()

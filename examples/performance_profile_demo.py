@@ -1,0 +1,61 @@
+"""Performance-profile demo: a miniature Figure 3.
+
+Runs the four factorization methods over a handful of suite surrogates and
+renders the Dolan–Moré performance profile as ASCII art, mirroring the
+paper's Figure 3 ("the GPU version of RL is unequivocally the best ...
+RLB closely follows").
+
+Run:  python examples/performance_profile_demo.py
+(Use benchmarks/bench_fig3_perfprofile.py for the full suite.)
+"""
+
+from repro.analysis import performance_profile, render_ascii
+from repro.gpu import DeviceOutOfMemory
+from repro.numeric import (
+    factorize_rl_cpu,
+    factorize_rl_gpu,
+    factorize_rlb_cpu,
+    factorize_rlb_gpu,
+)
+from repro.sparse import build_matrix
+from repro.symbolic import analyze
+
+MATRICES = ["CurlCurl_2", "bone010", "audikw_1", "Serena", "Queen_4147"]
+
+
+def main():
+    times = {"RL_C": [], "RLB_C": [], "RL_G": [], "RLB_G": []}
+    print(f"{'matrix':<14} {'RL_C':>8} {'RLB_C':>8} {'RL_G':>8} "
+          f"{'RLB_G':>8}")
+    for name in MATRICES:
+        system = analyze(build_matrix(name))
+        row = {}
+        row["RL_C"] = factorize_rl_cpu(
+            system.symb, system.matrix).modeled_seconds
+        row["RLB_C"] = factorize_rlb_cpu(
+            system.symb, system.matrix).modeled_seconds
+        try:
+            row["RL_G"] = factorize_rl_gpu(
+                system.symb, system.matrix).modeled_seconds
+        except DeviceOutOfMemory:
+            row["RL_G"] = None
+        try:
+            row["RLB_G"] = factorize_rlb_gpu(
+                system.symb, system.matrix, version=2).modeled_seconds
+        except DeviceOutOfMemory:
+            row["RLB_G"] = None
+        for k in times:
+            times[k].append(row[k])
+        print(f"{name:<14} " + " ".join(
+            f"{row[k]:>8.4f}" if row[k] else f"{'OOM':>8}" for k in times))
+
+    profile = performance_profile(times)
+    print("\n" + render_ascii(profile))
+    print("\nareas under the curves (higher = better):")
+    for m in sorted(profile.curves, key=profile.area, reverse=True):
+        print(f"  {m:<6} {profile.area(m):.3f}")
+    print(f"\nwinner: {profile.winner()} — as in the paper's Figure 3.")
+
+
+if __name__ == "__main__":
+    main()

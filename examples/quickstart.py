@@ -1,0 +1,47 @@
+"""Quickstart: factor and solve a sparse SPD system four ways.
+
+Builds a 3-D Poisson problem, runs the full pipeline (nested-dissection
+ordering, supernode merging, partition refinement) and factorizes it with
+the paper's four methods — RL and RLB on the CPU, and their GPU-offloaded
+versions on the simulated device — then solves and checks residuals.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CholeskySolver
+from repro.sparse import grid_laplacian
+
+
+def main():
+    A = grid_laplacian((14, 14, 8))
+    rng = np.random.default_rng(0)
+    x_true = rng.standard_normal(A.n)
+    b = A.matvec(x_true)
+    print(f"Problem: 3-D Poisson, n = {A.n}, nnz(A) = {A.nnz_lower}\n")
+
+    print(f"{'method':<12} {'modeled time':>14} {'speedup':>8} "
+          f"{'snodes on GPU':>14} {'residual':>10}")
+    baseline = None
+    for method in ("rl", "rlb", "rl_gpu", "rlb_gpu_v2"):
+        solver = CholeskySolver(A, method=method)
+        x = solver.solve(b)
+        res = solver.result
+        if baseline is None:
+            baseline = res.modeled_seconds
+        speedup = baseline / res.modeled_seconds
+        gpu = (f"{res.snodes_on_gpu}/{res.total_snodes}"
+               if res.snodes_on_gpu else "-")
+        print(f"{method:<12} {res.modeled_seconds:>12.4f} s "
+              f"{speedup:>8.2f} {gpu:>14} "
+              f"{solver.residual_norm(x, b):>10.2e}")
+        assert np.allclose(x, x_true, atol=1e-6)
+
+    print("\nAll methods produced the same solution to machine precision.")
+    print("(GPU times are modeled on the simulated device; numerics are "
+          "exact — see DESIGN.md.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Structural-mechanics scenario: a 3-dof FEM-style stiffness system.
+
+This is the workload class the paper's intro motivates (audikw_1, Serena,
+Queen_4147 are all mechanical FEM matrices): every mesh node carries three
+displacement unknowns, giving dense 3x3 node blocks and therefore large
+supernodes — exactly what makes GPU offload pay.
+
+The script walks through the pipeline explicitly (instead of using the
+high-level solver) to show what each stage contributes, then compares the
+CPU-only and GPU-offloaded factorizations, finishing with an iterative
+refinement step.
+
+Run:  python examples/structural_mechanics.py
+"""
+
+import numpy as np
+
+from repro.numeric import factorize_rl_cpu, factorize_rl_gpu
+from repro.solve import refine
+from repro.sparse import vector_stencil
+from repro.symbolic import analyze, count_blocks
+
+
+def main():
+    # a 10x10x6 mesh with 3 dofs per node ~ 1,800 unknowns
+    A = vector_stencil((10, 10, 6), dof=3, coupling=0.3, seed=42)
+    print(f"FEM-style system: n = {A.n}, nnz(A) = {A.nnz_lower}")
+
+    # --- symbolic stages, step by step -------------------------------
+    plain = analyze(A, merge=False, refine=False)
+    merged = analyze(A, merge=True, refine=False)
+    full = analyze(A, merge=True, refine=True)
+    print("\nsymbolic pipeline:")
+    print(f"  fundamental supernodes : {plain.nsup}")
+    print(f"  after merging (25% cap): {merged.nsup} "
+          f"(storage +{100 * (merged.symb.factor_nnz_dense() / plain.symb.factor_nnz_dense() - 1):.1f}%)")
+    print(f"  RLB blocks             : {count_blocks(merged.symb)} -> "
+          f"{count_blocks(full.symb)} after partition refinement")
+    print(f"  factor nnz (panels)    : {full.symb.factor_nnz_dense():,}")
+    print(f"  factor flops           : {full.symb.factor_flops():,}")
+
+    # --- numeric factorization: CPU vs GPU-offloaded ------------------
+    cpu = factorize_rl_cpu(full.symb, full.matrix)
+    gpu = factorize_rl_gpu(full.symb, full.matrix)
+    print("\nnumeric factorization (RL):")
+    print(f"  CPU best ({cpu.best_threads:>3} MKL threads): "
+          f"{cpu.modeled_seconds:.4f} s (modeled)")
+    print(f"  GPU offloaded ({gpu.snodes_on_gpu}/{gpu.total_snodes} "
+          f"supernodes): {gpu.modeled_seconds:.4f} s (modeled)")
+    print(f"  speedup: {cpu.modeled_seconds / gpu.modeled_seconds:.2f}x")
+    print(f"  device traffic: {gpu.gpu_stats.h2d_bytes / 2**20:.0f} MiB in, "
+          f"{gpu.gpu_stats.d2h_bytes / 2**20:.0f} MiB out, "
+          f"peak {gpu.gpu_stats.peak_memory / 2**20:.0f} MiB")
+
+    # factors are identical
+    err = np.abs(cpu.storage.to_dense_lower()
+                 - gpu.storage.to_dense_lower()).max()
+    print(f"  max |L_cpu - L_gpu| = {err:.2e}")
+
+    # --- solve with iterative refinement ------------------------------
+    rng = np.random.default_rng(1)
+    x_true = rng.standard_normal(A.n)
+    b = A.matvec(x_true)
+    out = refine(A, gpu.storage, full.perm, b, tol=1e-13)
+    print("\nsolve + iterative refinement:")
+    for it, r in enumerate(out.residual_norms):
+        print(f"  iteration {it}: relative residual {r:.2e}")
+    print(f"  converged: {out.converged}, "
+          f"error vs known solution: "
+          f"{np.abs(out.x - x_true).max():.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro — reproduction of *GPU Accelerated Sparse Cholesky Factorization*
+(Karsavuran, Ng, Peyton; SC 2024, arXiv:2409.14009).
+
+Right-looking supernodal sparse Cholesky in two variants — **RL** (full
+update matrix + relative-index assembly) and **RLB** (blocked, in-place
+updates) — with GPU offload of the large dense BLAS calls on a *simulated*
+device (memory-capacity accounting, async transfers, calibrated cost model;
+see DESIGN.md).
+
+Quickstart::
+
+    import numpy as np
+    from repro import CholeskySolver
+    from repro.sparse import grid_laplacian
+
+    A = grid_laplacian((20, 20, 10))
+    solver = CholeskySolver(A, method="rl_gpu")
+    x = solver.solve(np.ones(A.n))
+
+Subpackages
+-----------
+``repro.sparse``
+    Symmetric CSC storage, generators, Matrix Market I/O, benchmark suite.
+``repro.ordering``
+    Nested dissection (METIS stand-in), minimum degree, RCM.
+``repro.symbolic``
+    Elimination trees, column counts, supernodes, amalgamation, partition
+    refinement, relative indices, blocks.
+``repro.dense``
+    DPOTRF/DTRSM/DSYRK/DGEMM wrappers + flop counts.
+``repro.gpu``
+    Simulated device, timeline, transfer engine, cost models.
+``repro.numeric``
+    The factorization engines (RL, RLB, GPU variants, baselines).
+``repro.solve``
+    Triangular solves, solver driver, iterative refinement.
+``repro.analysis``
+    Performance profiles (Dolan–Moré) and report tables.
+"""
+
+from .sparse import SymmetricCSC
+from .symbolic import analyze
+from .solve import CholeskySolver
+from .numeric import (
+    factorize_rl_cpu,
+    factorize_rlb_cpu,
+    factorize_rl_gpu,
+    factorize_rlb_gpu,
+    factorize_rl_multigpu,
+    factorize_multifrontal,
+    rank1_update,
+    plan,
+)
+from .gpu import SimulatedGpu, MachineModel, DeviceOutOfMemory, Tracer
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "SymmetricCSC",
+    "analyze",
+    "CholeskySolver",
+    "factorize_rl_cpu",
+    "factorize_rlb_cpu",
+    "factorize_rl_gpu",
+    "factorize_rlb_gpu",
+    "factorize_rl_multigpu",
+    "factorize_multifrontal",
+    "rank1_update",
+    "plan",
+    "SimulatedGpu",
+    "MachineModel",
+    "DeviceOutOfMemory",
+    "Tracer",
+    "__version__",
+]

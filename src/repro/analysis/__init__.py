@@ -1,0 +1,17 @@
+"""Analysis utilities: Dolan–Moré performance profiles and report tables."""
+
+from .perfprofile import PerformanceProfile, performance_profile, render_ascii
+from .report import format_table, format_speedup_row
+from .breakdown import Breakdown, breakdown, render_breakdowns, COST_CLASSES
+
+__all__ = [
+    "PerformanceProfile",
+    "performance_profile",
+    "render_ascii",
+    "format_table",
+    "format_speedup_row",
+    "Breakdown",
+    "breakdown",
+    "render_breakdowns",
+    "COST_CLASSES",
+]

@@ -1,0 +1,114 @@
+"""Dolan–Moré performance profiles (paper's Figure 3; their ref [14]).
+
+A performance profile plots, for each solver ``s``, the fraction of test
+problems on which ``s``'s time is within a factor ``tau`` of the best time
+for that problem.  The paper plots ``P(log2(r_{p,s}) <= tau)`` — the x-axis
+is ``log2`` of the performance ratio — for the four methods RL_C, RLB_C,
+RL_G, RLB_G.  A method that failed on a problem (nlpkkt120 under RL_G) never
+counts for that problem, capping its profile below 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PerformanceProfile", "performance_profile", "render_ascii"]
+
+
+@dataclass
+class PerformanceProfile:
+    """Computed profile curves.
+
+    Attributes
+    ----------
+    taus:
+        Grid of ``log2`` performance-ratio values (x-axis).
+    curves:
+        ``{method: fractions}`` — fraction of problems solved within
+        ``2**tau`` of the best (y-axis, same length as ``taus``).
+    ratios:
+        ``{method: per-problem ratio}`` (``inf`` for failures).
+    """
+
+    taus: np.ndarray
+    curves: dict
+    ratios: dict
+
+    def area(self, method):
+        """Area under a curve — a scalar summary (higher = better)."""
+        return float(np.trapezoid(self.curves[method], self.taus))
+
+    def winner(self):
+        """Method with the greatest area under its curve."""
+        return max(self.curves, key=self.area)
+
+
+def performance_profile(times, *, tau_max=None, num=256):
+    """Build a performance profile.
+
+    Parameters
+    ----------
+    times:
+        ``{method: [seconds or None per problem]}``; all lists must have the
+        same length, ``None``/``inf``/``nan`` mark failures.
+    tau_max:
+        Upper end of the ``log2`` ratio axis (auto: largest finite ratio).
+    num:
+        Number of grid points.
+    """
+    methods = list(times)
+    if not methods:
+        raise ValueError("no methods given")
+    nprob = len(times[methods[0]])
+    if nprob == 0:
+        raise ValueError("no problems given")
+    mat = np.full((len(methods), nprob), np.inf)
+    for i, m in enumerate(methods):
+        if len(times[m]) != nprob:
+            raise ValueError("methods report different problem counts")
+        for p, t in enumerate(times[m]):
+            if t is not None and np.isfinite(t) and t > 0:
+                mat[i, p] = t
+    best = mat.min(axis=0)
+    if not np.isfinite(best).all():
+        raise ValueError("some problem was solved by no method")
+    ratios = mat / best[None, :]
+    log_ratios = np.log2(ratios)
+    finite = log_ratios[np.isfinite(log_ratios)]
+    if tau_max is None:
+        tau_max = float(finite.max()) * 1.05 if finite.size else 1.0
+        tau_max = max(tau_max, 0.5)
+    taus = np.linspace(0.0, tau_max, num)
+    curves = {}
+    for i, m in enumerate(methods):
+        lr = log_ratios[i]
+        curves[m] = np.array([(lr <= t).sum() / nprob for t in taus])
+    return PerformanceProfile(
+        taus=taus,
+        curves=curves,
+        ratios={m: ratios[i] for i, m in enumerate(methods)},
+    )
+
+
+def render_ascii(profile, *, width=64, height=16):
+    """Plain-text rendering of the profile (for benchmark logs)."""
+    rows = [[" "] * width for _ in range(height)]
+    symbols = {}
+    for idx, (m, ys) in enumerate(profile.curves.items()):
+        sym = "CBGg*#+x"[idx % 8]
+        symbols[m] = sym
+        xs = np.linspace(0, len(profile.taus) - 1, width).astype(int)
+        for cx, xi in enumerate(xs):
+            y = ys[xi]
+            cy = height - 1 - int(round(y * (height - 1)))
+            if rows[cy][cx] == " ":
+                rows[cy][cx] = sym
+    lines = ["1.0 |" + "".join(rows[0])]
+    lines += ["    |" + "".join(r) for r in rows[1:-1]]
+    lines.append("0.0 +" + "-" * width)
+    lines.append("     log2(ratio): 0 .. %.2f" % profile.taus[-1])
+    legend = "  ".join(f"{sym}={m}" for m, sym in symbols.items())
+    lines.append("     " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Tabular reporting helpers for the benchmark harness.
+
+Formats paper-vs-measured comparison tables (Tables I and II) and generic
+aligned-column tables for the benchmark logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_speedup_row"]
+
+
+def format_table(headers, rows, *, title=None):
+    """Render an aligned plain-text table.
+
+    ``rows`` is a list of tuples; ``None`` cells render as ``--``.
+    """
+    cells = [[("--" if c is None else str(c)) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        out.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def format_speedup_row(name, measured_runtime, measured_speedup,
+                       snodes_on_gpu, total_snodes,
+                       paper_speedup=None, failed=False):
+    """One row of a Table I / Table II reproduction."""
+    if failed:
+        return (name, None, None, None, str(total_snodes),
+                f"{paper_speedup:.2f}" if paper_speedup else None)
+    return (
+        name,
+        f"{measured_runtime:.4f}",
+        f"{measured_speedup:.2f}",
+        str(snodes_on_gpu),
+        str(total_snodes),
+        f"{paper_speedup:.2f}" if paper_speedup else None,
+    )

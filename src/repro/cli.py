@@ -1,0 +1,306 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``list``
+    The 21-matrix benchmark suite with paper statistics.
+``analyze MATRIX``
+    Symbolic pipeline statistics (ordering, merging, refinement, structure).
+``factorize MATRIX``
+    Run one factorization engine; print the modeled-time report, optionally
+    an event-trace Gantt chart (``--gantt``) or Chrome trace (``--trace``).
+``solve MATRIX``
+    Factorize, solve against a random right-hand side, report the residual.
+``suite [MATRIX ...]``
+    The paper's Tables I/II protocol over (a subset of) the suite.
+``breakdown MATRIX``
+    Per-kernel-class modeled time for all four methods.
+
+``MATRIX`` is a suite name (see ``list``) or a path to a Matrix Market
+file.  All runtimes are modeled seconds on the simulated machine — see
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_matrix(spec):
+    from .sparse import get_entry, suite_names
+    from .sparse.io import read_matrix_market
+
+    if spec in suite_names():
+        return get_entry(spec).builder()
+    return read_matrix_market(spec)
+
+
+def _analyzed(spec, ordering):
+    from .symbolic import analyze
+
+    return analyze(_load_matrix(spec), ordering=ordering)
+
+
+def cmd_list(args):
+    from .analysis import format_table
+    from .sparse import SUITE
+
+    rows = []
+    for e in SUITE:
+        A = e.builder()
+        rows.append((e.name, str(e.paper_n), str(A.n), str(A.nnz_lower),
+                     f"{e.rl.speedup or float('nan'):.2f}" if e.rl.speedup
+                     else "OOM",
+                     f"{e.rlb.speedup:.2f}"))
+    print(format_table(
+        ["name", "paper n", "surrogate n", "nnz(lower)",
+         "paper RL-GPU speedup", "paper RLB-GPU speedup"],
+        rows, title="Benchmark suite (surrogates for the paper's 21 "
+                    "SuiteSparse matrices)"))
+    return 0
+
+
+def cmd_analyze(args):
+    from .analysis import format_table
+    from .symbolic import count_blocks
+
+    system = _analyzed(args.matrix, args.ordering)
+    symb = system.symb
+    m = np.diff(symb.rowptr)
+    w = np.diff(symb.snptr)
+    rows = [
+        ("n", str(symb.n)),
+        ("supernodes", str(symb.nsup)),
+        ("factor entries (dense panels)", str(symb.factor_nnz_dense())),
+        ("factor flops", f"{symb.factor_flops():.3e}"),
+        ("largest panel (rows x cols)",
+         f"{int(m.max())} x {int(w[np.argmax(m)])}"),
+        ("largest update matrix entries", str(symb.largest_update_size())),
+        ("RLB blocks", str(count_blocks(symb))),
+        ("ordering", args.ordering),
+    ]
+    print(format_table(["statistic", "value"], rows,
+                       title=f"Symbolic analysis: {args.matrix}"))
+    if args.tree:
+        from .symbolic import render_tree, tree_stats
+
+        print()
+        print(render_tree(symb, max_nodes=40))
+        print()
+        for label, value in tree_stats(symb).summary_lines():
+            print(f"{label:>24}: {value}")
+    return 0
+
+
+def cmd_factorize(args):
+    from .analysis import format_table
+    from .gpu import MachineModel, SimulatedGpu, Tracer
+    from .gpu.device import Timeline
+    from .numeric import DEFAULT_DEVICE_MEMORY
+    from .solve import METHODS
+
+    if args.method not in METHODS:
+        print(f"unknown method {args.method!r}; choose from "
+              f"{sorted(METHODS)}", file=sys.stderr)
+        return 2
+    system = _analyzed(args.matrix, args.ordering)
+    fn, fixed = METHODS[args.method]
+    kwargs = dict(fixed)
+    tracer = None
+    if "_gpu" in args.method or "gpu" in args.method.split("_"):
+        if args.threshold is not None:
+            kwargs["threshold"] = args.threshold
+        machine = MachineModel()
+        tracer = Tracer()
+        kwargs["machine"] = machine
+        kwargs["device"] = SimulatedGpu(
+            args.device_memory or DEFAULT_DEVICE_MEMORY, machine=machine,
+            timeline=Timeline(tracer=tracer))
+    res = fn(system.symb, system.matrix, **kwargs)
+    rows = [
+        ("method", res.method),
+        ("modeled seconds", f"{res.modeled_seconds:.4f}"),
+        ("supernodes on GPU", f"{res.snodes_on_gpu} / {res.total_snodes}"),
+        ("BLAS calls", str(res.kernel_count)),
+        ("modeled flops", f"{res.flops:.3e}"),
+    ]
+    if res.best_threads:
+        rows.append(("best MKL threads", str(res.best_threads)))
+    if res.gpu_stats is not None:
+        rows.append(("peak device memory (MiB)",
+                     f"{res.gpu_stats.peak_memory / 2 ** 20:.1f}"))
+        rows.append(("transfers", str(res.gpu_stats.transfers)))
+    print(format_table(["field", "value"], rows,
+                       title=f"Factorization: {args.matrix}"))
+    if tracer is not None and args.gantt:
+        print()
+        print(tracer.ascii_gantt())
+    if tracer is not None and args.trace:
+        tracer.save_chrome_trace(args.trace)
+        print(f"\nwrote Chrome trace to {args.trace} "
+              f"(open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def cmd_solve(args):
+    from .solve import CholeskySolver
+
+    A = _load_matrix(args.matrix)
+    rng = np.random.default_rng(args.seed)
+    b = rng.standard_normal(A.n)
+    solver = CholeskySolver(A, method=args.method,
+                            analyze_kwargs={"ordering": args.ordering})
+    x = solver.solve(b)
+    rel = solver.residual_norm(x, b)
+    print(f"n = {A.n}, method = {args.method}, "
+          f"modeled factor time = {solver.result.modeled_seconds:.4f}s")
+    print(f"relative residual = {rel:.3e}")
+    return 0 if rel < 1e-8 else 1
+
+
+def cmd_suite(args):
+    from .analysis import format_table
+    from .gpu import DeviceOutOfMemory
+    from .numeric import (
+        factorize_rl_cpu,
+        factorize_rl_gpu,
+        factorize_rlb_cpu,
+        factorize_rlb_gpu,
+    )
+    from .sparse import suite_names
+
+    names = args.names or suite_names()
+    rows = []
+    for name in names:
+        system = _analyzed(name, args.ordering)
+        symb, B = system.symb, system.matrix
+        cpu = min(factorize_rl_cpu(symb, B).modeled_seconds,
+                  factorize_rlb_cpu(symb, B).modeled_seconds)
+        try:
+            rlg = factorize_rl_gpu(symb, B).modeled_seconds
+            rl_cell, rl_spd = f"{rlg:.4f}", f"{cpu / rlg:.2f}"
+        except DeviceOutOfMemory:
+            rl_cell, rl_spd = "OOM", "--"
+        rlbg = factorize_rlb_gpu(symb, B, version=2).modeled_seconds
+        rows.append((name, str(symb.n), f"{cpu:.4f}", rl_cell, rl_spd,
+                     f"{rlbg:.4f}", f"{cpu / rlbg:.2f}"))
+        print(f"  {name} done", file=sys.stderr)
+    print(format_table(
+        ["matrix", "n", "best CPU (s)", "RL-GPU (s)", "speedup",
+         "RLB-GPU (s)", "speedup"],
+        rows, title="Suite (paper Tables I & II protocol, modeled seconds)"))
+    return 0
+
+
+def cmd_plan(args):
+    from .analysis import format_table
+    from .numeric import DEFAULT_DEVICE_MEMORY, plan
+
+    system = _analyzed(args.matrix, args.ordering)
+    capacity = args.device_memory or DEFAULT_DEVICE_MEMORY
+    mp = plan(system.symb, device_memory=capacity)
+    rows = [(m, f"{need / 2 ** 20:.1f}",
+             "yes" if m in mp.feasible else "NO",
+             f"{100 * mp.headroom(m):.0f}%" if m in mp.feasible else "--")
+            for m, need in mp.predictions.items()]
+    print(format_table(
+        ["engine", "predicted peak (MiB)", "fits", "headroom"], rows,
+        title=f"Memory plan: {args.matrix} on a "
+              f"{capacity / 2 ** 20:.0f} MiB device"))
+    print(f"\nrecommended engine: {mp.recommended or 'none — refactor'}")
+    return 0 if mp.recommended else 1
+
+
+def cmd_breakdown(args):
+    from .analysis import breakdown, render_breakdowns
+
+    system = _analyzed(args.matrix, args.ordering)
+    bs = [breakdown(system.symb, method=m)
+          for m in ("rl", "rlb", "rl_gpu", "rlb_gpu")]
+    print(render_breakdowns(
+        bs, title=f"{args.matrix} — modeled seconds by cost class "
+                  "(resource time, overlap ignored)"))
+    return 0
+
+
+def build_parser():
+    """The argparse command tree (exposed for tests and docs)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU-accelerated sparse Cholesky (SC'24) reproduction",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument("--ordering", default="nd",
+                        choices=["nd", "mindeg", "amd", "rcm", "natural"],
+                        help="fill-reducing ordering (default: nd)")
+
+    sub.add_parser("list", help="show the benchmark suite")
+
+    sp = sub.add_parser("analyze", help="symbolic statistics")
+    sp.add_argument("matrix")
+    sp.add_argument("--tree", action="store_true",
+                    help="draw the supernodal elimination tree")
+    common(sp)
+
+    sp = sub.add_parser("factorize", help="run one engine")
+    sp.add_argument("matrix")
+    sp.add_argument("--method", default="rl_gpu")
+    sp.add_argument("--threshold", type=int, default=None,
+                    help="CPU/GPU supernode-size threshold (dilated entries)")
+    sp.add_argument("--device-memory", type=int, default=None,
+                    help="simulated device capacity in bytes")
+    sp.add_argument("--gantt", action="store_true",
+                    help="print an ASCII Gantt chart of the timeline")
+    sp.add_argument("--trace", metavar="FILE",
+                    help="write a Chrome/Perfetto trace JSON")
+    common(sp)
+
+    sp = sub.add_parser("solve", help="factorize + solve a random system")
+    sp.add_argument("matrix")
+    sp.add_argument("--method", default="rl")
+    sp.add_argument("--seed", type=int, default=0)
+    common(sp)
+
+    sp = sub.add_parser("suite", help="Tables I/II over the suite")
+    sp.add_argument("names", nargs="*")
+    common(sp)
+
+    sp = sub.add_parser("breakdown", help="per-kernel-class time report")
+    sp.add_argument("matrix")
+    common(sp)
+
+    sp = sub.add_parser("plan", help="device-memory feasibility per engine")
+    sp.add_argument("matrix")
+    sp.add_argument("--device-memory", type=int, default=None,
+                    help="device capacity in bytes (default: 400 MiB)")
+    common(sp)
+
+    return p
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "analyze": cmd_analyze,
+    "factorize": cmd_factorize,
+    "solve": cmd_solve,
+    "suite": cmd_suite,
+    "breakdown": cmd_breakdown,
+    "plan": cmd_plan,
+}
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

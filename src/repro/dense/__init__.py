@@ -1,0 +1,24 @@
+"""Dense BLAS/LAPACK kernel wrappers and flop counts."""
+
+from .kernels import (
+    NotPositiveDefiniteError,
+    potrf,
+    trsm_right,
+    syrk_lower,
+    gemm_nt,
+    factorize_panel,
+)
+from .flops import potrf_flops, trsm_flops, syrk_flops, gemm_flops
+
+__all__ = [
+    "NotPositiveDefiniteError",
+    "potrf",
+    "trsm_right",
+    "syrk_lower",
+    "gemm_nt",
+    "factorize_panel",
+    "potrf_flops",
+    "trsm_flops",
+    "syrk_flops",
+    "gemm_flops",
+]

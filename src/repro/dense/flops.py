@@ -1,0 +1,34 @@
+"""Flop counts of the dense BLAS/LAPACK kernels used by the factorization.
+
+LAPACK working-note conventions (multiply+add counted as 2 flops for GEMM,
+the usual n^3/3 for POTRF, etc.).  The counts feed both the performance
+models (CPU and simulated GPU) and the reported statistics; they only need
+to be *consistent* across devices for the speedup shapes to be meaningful.
+"""
+
+from __future__ import annotations
+
+__all__ = ["potrf_flops", "trsm_flops", "syrk_flops", "gemm_flops"]
+
+
+def potrf_flops(n):
+    """Dense Cholesky of an ``n x n`` block: ``n^3/3 + n^2/2`` flops."""
+    return n * n * n / 3.0 + n * n / 2.0
+
+
+def trsm_flops(m, n):
+    """Triangular solve with an ``n x n`` triangle applied to ``m`` rows
+    (``X := X * L^{-T}``): ``m * n^2`` flops."""
+    return float(m) * n * n
+
+
+def syrk_flops(n, k):
+    """Symmetric rank-k update ``C (n x n, lower) -= A A^T`` with ``A`` of
+    shape ``(n, k)``: ``k * n * (n + 1)`` flops."""
+    return float(k) * n * (n + 1)
+
+
+def gemm_flops(m, n, k):
+    """General update ``C (m x n) -= A B^T`` with inner dimension ``k``:
+    ``2 m n k`` flops."""
+    return 2.0 * m * n * k

@@ -1,0 +1,98 @@
+"""Dense kernels: thin wrappers over LAPACK/BLAS for supernode panels.
+
+A supernode panel is a Fortran-ordered ``(m, w)`` array whose top ``w x w``
+square holds the (lower-triangular) diagonal block and whose remaining
+``(m - w) x w`` rectangle holds the below-diagonal rows.  The four kernels
+here are exactly the paper's DPOTRF / DTRSM / DSYRK / DGEMM calls; every
+numeric factorization variant is a different schedule of these four.
+
+They always compute with real BLAS through SciPy (so the numerics match a
+Fortran implementation); callers that need *modeled* device timing wrap them
+via :mod:`repro.gpu`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import blas as _blas
+from scipy.linalg import lapack as _lapack
+
+__all__ = [
+    "NotPositiveDefiniteError",
+    "potrf",
+    "trsm_right",
+    "syrk_lower",
+    "gemm_nt",
+    "factorize_panel",
+]
+
+
+class NotPositiveDefiniteError(np.linalg.LinAlgError):
+    """Raised when a diagonal block fails dense Cholesky — the matrix is not
+    (numerically) positive definite at the offending pivot."""
+
+    def __init__(self, pivot):
+        super().__init__(f"matrix is not positive definite (pivot {pivot})")
+        self.pivot = int(pivot)
+
+
+def potrf(block):
+    """In-place lower Cholesky of the leading square of ``block``.
+
+    ``block`` must be a square, Fortran-contiguous float64 array; only its
+    lower triangle is referenced or written.
+    """
+    c, info = _lapack.dpotrf(block, lower=1, overwrite_a=1, clean=0)
+    if info > 0:
+        raise NotPositiveDefiniteError(info - 1)
+    if info < 0:
+        raise ValueError(f"dpotrf: illegal argument {-info}")
+    if c is not block:  # overwrite was not possible (non-contiguous input)
+        block[:] = c
+    return block
+
+
+def trsm_right(rect, tri):
+    """In-place ``rect := rect @ tri^{-T}`` with ``tri`` lower triangular.
+
+    This is the DTRSM that finishes factorizing a supernode's rectangular
+    part against its (already factorized) diagonal block.
+    """
+    if rect.shape[0] == 0 or rect.shape[1] == 0:
+        return rect
+    out = _blas.dtrsm(1.0, tri, rect, side=1, lower=1, trans_a=1, diag=0,
+                      overwrite_b=1)
+    if out is not rect:
+        rect[:] = out
+    return rect
+
+
+def syrk_lower(rect, out=None):
+    """Symmetric rank-k product ``U = rect @ rect^T`` (lower triangle valid).
+
+    When ``out`` is given it must be an ``(n, n)`` Fortran-ordered buffer; the
+    product is written into it (its upper triangle is left untouched).
+    """
+    n = rect.shape[0]
+    u = _blas.dsyrk(1.0, rect, lower=1, trans=0)
+    if out is None:
+        return u
+    out[:n, :n] = u
+    return out
+
+
+def gemm_nt(a, b, out=None):
+    """General product ``C = a @ b^T`` (the DGEMM of RLB block pairs)."""
+    c = _blas.dgemm(1.0, a, b, trans_b=1)
+    if out is None:
+        return c
+    out[:c.shape[0], :c.shape[1]] = c
+    return out
+
+
+def factorize_panel(panel, w):
+    """Factorize one supernode panel in place: POTRF on the top ``w x w``
+    block, then TRSM on the rectangle below.  Returns the panel."""
+    potrf(panel[:w, :w])
+    trsm_right(panel[w:, :w], panel[:w, :w])
+    return panel

@@ -1,0 +1,75 @@
+"""Numeric factorization engines: RL / RLB (CPU), their GPU-offloaded
+variants, baselines, and factor storage."""
+
+from .storage import FactorStorage
+from .result import CpuCostAccumulator, FactorizeResult
+from .rl import factorize_rl_cpu, assemble_update, update_workspace_entries
+from .rlb import factorize_rlb_cpu, apply_block_pair, block_pair_targets
+from .rl_gpu import factorize_rl_gpu
+from .rlb_gpu import factorize_rlb_gpu
+from .left_looking import factorize_left_looking
+from .left_looking_gpu import factorize_left_looking_gpu
+from .multifrontal import (
+    factorize_multifrontal,
+    factorize_multifrontal_gpu,
+    front_relative_indices,
+    peak_front_entries,
+)
+from .multigpu import factorize_rl_multigpu
+from .schedule import (
+    Task,
+    TaskGraph,
+    ScheduleResult,
+    build_coarse_graph,
+    build_fine_graph,
+    critical_path,
+    list_schedule,
+)
+from .simplicial import simplicial_cholesky
+from .planner import MemoryPlan, plan, predict_peak_device_bytes
+from .updown import rank1_update, affected_columns, column_structure
+from .threshold import (
+    DEFAULT_RL_THRESHOLD,
+    DEFAULT_RLB_THRESHOLD,
+    DEFAULT_DEVICE_MEMORY,
+    gpu_snode_mask,
+)
+
+__all__ = [
+    "FactorStorage",
+    "CpuCostAccumulator",
+    "FactorizeResult",
+    "factorize_rl_cpu",
+    "factorize_rlb_cpu",
+    "factorize_rl_gpu",
+    "factorize_rlb_gpu",
+    "factorize_left_looking",
+    "factorize_left_looking_gpu",
+    "factorize_multifrontal",
+    "factorize_multifrontal_gpu",
+    "front_relative_indices",
+    "peak_front_entries",
+    "factorize_rl_multigpu",
+    "simplicial_cholesky",
+    "Task",
+    "TaskGraph",
+    "ScheduleResult",
+    "build_coarse_graph",
+    "build_fine_graph",
+    "critical_path",
+    "list_schedule",
+    "assemble_update",
+    "update_workspace_entries",
+    "apply_block_pair",
+    "block_pair_targets",
+    "DEFAULT_RL_THRESHOLD",
+    "DEFAULT_RLB_THRESHOLD",
+    "DEFAULT_DEVICE_MEMORY",
+    "gpu_snode_mask",
+    "rank1_update",
+    "MemoryPlan",
+    "plan",
+    "predict_peak_device_bytes",
+    "affected_columns",
+    "column_structure",
+]

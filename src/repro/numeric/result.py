@@ -1,0 +1,100 @@
+"""Result and accounting types shared by all factorization engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..gpu.costmodel import CPU_THREAD_CHOICES, MachineModel
+
+__all__ = ["CpuCostAccumulator", "FactorizeResult"]
+
+
+class CpuCostAccumulator:
+    """Accumulates modeled CPU time simultaneously for every MKL thread
+    count the paper sweeps, so one numeric run yields the whole
+    best-over-threads baseline.
+
+    ``assembly_threads`` selects how scatter-add assembly is charged:
+    ``None`` (default) charges it OpenMP-parallel at each configuration's
+    thread count (the paper parallelizes assembly loops with OpenMP); an
+    integer pins a fixed thread count.
+    """
+
+    def __init__(self, machine: MachineModel,
+                 thread_choices=CPU_THREAD_CHOICES, *, assembly_threads=None):
+        self.machine = machine
+        self.times = {t: 0.0 for t in thread_choices}
+        self.assembly_threads = assembly_threads
+        self.kernel_count = 0
+        self.flops = 0.0
+        self.assembly_bytes = 0
+
+    def kernel(self, kind, m=0, n=0, k=0):
+        """Charge one BLAS call (at dilated dimensions) to every thread
+        configuration."""
+        f = self.machine.scaled_kernel_flops(kind, m, n, k)
+        self.flops += f
+        self.kernel_count += 1
+        cpu = self.machine.cpu
+        for t in self.times:
+            self.times[t] += cpu.kernel_time(f, t)
+
+    def assembly(self, nbytes):
+        """Charge a scatter-add moving ``nbytes`` (raw; dilated inside)."""
+        scaled = self.machine.scaled_bytes(nbytes)
+        self.assembly_bytes += scaled
+        cpu = self.machine.cpu
+        for t in self.times:
+            at = self.assembly_threads if self.assembly_threads else t
+            self.times[t] += cpu.assembly_time(scaled, at)
+
+    def best(self):
+        """``(threads, seconds)`` of the fastest configuration."""
+        return self.machine.cpu.best_threads(self.times)
+
+    def at(self, threads):
+        """Modeled seconds for a specific thread count."""
+        return self.times[threads]
+
+
+@dataclass
+class FactorizeResult:
+    """Outcome of one numeric factorization.
+
+    Attributes
+    ----------
+    method:
+        ``"rl"`` / ``"rlb"`` / ``"rl_gpu"`` / ``"rlb_gpu_v1"`` /
+        ``"rlb_gpu_v2"`` / ``"left_looking"`` / ``"simplicial"``.
+    storage:
+        The numeric factor (:class:`~repro.numeric.storage.FactorStorage`).
+    modeled_seconds:
+        Modeled runtime — for CPU methods the *best-over-threads* time (the
+        paper's baseline protocol); for GPU methods the timeline's final
+        host-clock value.
+    cpu_times_by_threads:
+        For CPU methods: modeled seconds per MKL thread count.
+    best_threads:
+        Thread count achieving ``modeled_seconds`` (CPU methods).
+    snodes_on_gpu / total_snodes:
+        The table columns of Tables I and II.
+    gpu_stats:
+        :class:`~repro.gpu.device.GpuStats` for GPU methods.
+    flops / kernel_count / assembly_bytes:
+        Work statistics at the machine model's dilated scale (flops × σ³,
+        bytes × σ²) — the scale the modeled seconds correspond to.
+    """
+
+    method: str
+    storage: "object"
+    modeled_seconds: float
+    total_snodes: int
+    cpu_times_by_threads: Optional[dict] = None
+    best_threads: Optional[int] = None
+    snodes_on_gpu: int = 0
+    gpu_stats: Optional[object] = None
+    flops: float = 0.0
+    kernel_count: int = 0
+    assembly_bytes: int = 0
+    extra: dict = field(default_factory=dict)

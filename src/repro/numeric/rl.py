@@ -1,0 +1,110 @@
+"""RL: right-looking supernodal Cholesky with a full update matrix (§II-A).
+
+For each supernode ``J`` (left to right):
+
+1. DPOTRF on the dense diagonal block, DTRSM on the rectangle below — ``J``
+   is now factorized;
+2. one DSYRK computes the *entire* update matrix
+   ``U_J = L_{R,J} L_{R,J}^T`` (``R`` = below-diagonal rows of ``J``) into a
+   preallocated workspace sized for the largest update matrix of the whole
+   factorization;
+3. the update matrix is *assembled* (scatter-subtracted) into every ancestor
+   supernode's panel using generalized relative indices.
+
+The assembly routine is shared with the GPU variant (where it runs on the
+host, OpenMP-parallel in the paper's implementation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dense import kernels as dk
+from ..gpu.costmodel import CPU_THREAD_CHOICES, MachineModel
+from ..symbolic.relind import relative_indices
+from .result import CpuCostAccumulator, FactorizeResult
+from .storage import FactorStorage
+
+__all__ = ["factorize_rl_cpu", "assemble_update", "update_workspace_entries"]
+
+
+def update_workspace_entries(symb):
+    """Entries of the largest update matrix — the preallocated temporary
+    working storage RL needs (§II-A)."""
+    best = 0
+    for s in range(symb.nsup):
+        m, w = symb.panel_shape(s)
+        best = max(best, (m - w) ** 2)
+    return best
+
+
+def assemble_update(symb, storage, s, U):
+    """Scatter-subtract supernode ``s``'s update matrix into its ancestors.
+
+    ``U`` is the ``(b, b)`` lower-valid update matrix over the below-diagonal
+    rows of ``s``.  Rows are grouped into runs owned by a single ancestor
+    supernode; each run becomes one fancy-indexed ``-=`` (this is the loop
+    nest the paper parallelizes with OpenMP).
+
+    Returns the number of bytes moved (for the assembly cost model).
+    """
+    below = symb.snode_below_rows(s)
+    if below.size == 0:
+        return 0
+    col2sn = symb.col2sn
+    owners = col2sn[below]
+    cut = np.flatnonzero(np.diff(owners)) + 1
+    starts = np.concatenate(([0], cut))
+    ends = np.concatenate((cut, [below.size]))
+    bytes_moved = 0
+    for k0, k1 in zip(starts, ends):
+        p = int(owners[k0])
+        seg = below[k0:k1]
+        colpos = seg - symb.snptr[p]
+        relrows = relative_indices(symb, below[k0:], p)
+        target = storage.panel(p)
+        target[np.ix_(relrows, colpos)] -= U[k0:, k0:k1]
+        bytes_moved += 2 * 8 * (below.size - k0) * (k1 - k0)
+    return bytes_moved
+
+
+def factorize_rl_cpu(symb, A, *, machine=None,
+                     thread_choices=CPU_THREAD_CHOICES):
+    """CPU-only RL factorization.
+
+    Numerics run once; modeled time is accumulated for every MKL thread
+    count in ``thread_choices`` and the best is reported (the paper's CPU
+    baseline protocol; assembly loops are OpenMP-parallel, §III).
+    """
+    machine = machine or MachineModel()
+    storage = FactorStorage.from_matrix(symb, A)
+    acc = CpuCostAccumulator(machine, thread_choices, assembly_threads=None)
+    bmax = int(np.sqrt(update_workspace_entries(symb))) if symb.nsup else 0
+    W = np.zeros((bmax, bmax), order="F") if bmax else None
+    for s in range(symb.nsup):
+        panel = storage.panel(s)
+        m, w = symb.panel_shape(s)
+        b = m - w
+        dk.potrf(panel[:w, :w])
+        acc.kernel("potrf", n=w)
+        if b:
+            dk.trsm_right(panel[w:, :w], panel[:w, :w])
+            acc.kernel("trsm", m=b, n=w)
+            U = W[:b, :b]
+            dk.syrk_lower(panel[w:, :w], out=U)
+            acc.kernel("syrk", n=b, k=w)
+            moved = assemble_update(symb, storage, s, U)
+            acc.assembly(moved)
+    threads, seconds = acc.best()
+    return FactorizeResult(
+        method="rl",
+        storage=storage,
+        modeled_seconds=seconds,
+        total_snodes=symb.nsup,
+        cpu_times_by_threads=dict(acc.times),
+        best_threads=threads,
+        flops=acc.flops,
+        kernel_count=acc.kernel_count,
+        assembly_bytes=acc.assembly_bytes,
+        extra={"workspace_entries": update_workspace_entries(symb)},
+    )

@@ -1,0 +1,132 @@
+"""GPU-accelerated RL (§III).
+
+Per offloaded supernode ``J`` the schedule is exactly the paper's:
+
+1. **H2D** transfer of the panel;
+2. DPOTRF on the diagonal block, DTRSM on the rectangle — on the GPU;
+3. **asynchronous D2H** of the factorized panel (the CPU "does not
+   immediately require the data", so this overlaps the next step);
+4. DSYRK on the GPU producing the full update matrix in device memory —
+   this is the allocation that overflows the device for nlpkkt120;
+5. blocking **D2H** of the update matrix;
+6. assembly into ancestor panels on the CPU (OpenMP-parallel).
+
+Supernodes with panels below the size threshold take the CPU-only RL path
+(host BLAS + assembly at the configured host thread count).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dense import kernels as dk
+from ..gpu.costmodel import MachineModel
+from ..gpu.device import SimulatedGpu, Timeline
+from .result import FactorizeResult
+from .rl import assemble_update, update_workspace_entries
+from .storage import FactorStorage
+from .threshold import DEFAULT_DEVICE_MEMORY, DEFAULT_RL_THRESHOLD
+
+__all__ = ["factorize_rl_gpu"]
+
+
+def factorize_rl_gpu(symb, A, *, machine=None,
+                     threshold=DEFAULT_RL_THRESHOLD,
+                     device_memory=DEFAULT_DEVICE_MEMORY,
+                     device=None, async_panel_d2h=True):
+    """RL with large supernodes offloaded to the (simulated) GPU.
+
+    Raises :class:`~repro.gpu.device.DeviceOutOfMemory` when a panel or
+    update matrix exceeds free device memory — the paper's nlpkkt120
+    failure mode.  Pass ``threshold=0`` for the paper's "GPU only" variant
+    (every BLAS call on the device).  ``threshold`` is in *dilated* panel
+    entries, i.e. directly comparable to the paper's 600,000.
+
+    ``async_panel_d2h=False`` is an ablation switch: the factored-panel
+    transfer becomes a host-blocking copy issued at the same point of the
+    schedule, removing the overlap with the SYRK that the paper's step 3
+    ("this second transfer is asynchronous") buys.
+    """
+    machine = machine or MachineModel()
+    gpu = device or SimulatedGpu(device_memory, machine=machine,
+                                 timeline=Timeline())
+    timeline = gpu.timeline
+    cpu_t = machine.gpu_run_cpu_threads
+    storage = FactorStorage.from_matrix(symb, A)
+    bmax = int(np.sqrt(update_workspace_entries(symb))) if symb.nsup else 0
+    W = np.zeros((bmax, bmax), order="F") if bmax else None
+    on_gpu = 0
+    flops = 0.0
+    kernel_count = 0
+    assembly_bytes = 0.0
+    for s in range(symb.nsup):
+        panel = storage.panel(s)
+        m, w = symb.panel_shape(s)
+        b = m - w
+        if machine.scaled_panel_entries(m * w) < threshold:
+            # small supernode: the whole chain stays on the CPU
+            dk.potrf(panel[:w, :w])
+            timeline.advance_cpu(
+                machine.cpu_kernel_seconds("potrf", n=w, threads=cpu_t), label="cpu_blas")
+            kernel_count += 1
+            flops += machine.scaled_kernel_flops("potrf", n=w)
+            if b:
+                dk.trsm_right(panel[w:, :w], panel[:w, :w])
+                timeline.advance_cpu(
+                    machine.cpu_kernel_seconds("trsm", m=b, n=w,
+                                               threads=cpu_t), label="cpu_blas")
+                U = W[:b, :b]
+                dk.syrk_lower(panel[w:, :w], out=U)
+                timeline.advance_cpu(
+                    machine.cpu_kernel_seconds("syrk", n=b, k=w,
+                                               threads=cpu_t), label="cpu_blas")
+                moved = assemble_update(symb, storage, s, U)
+                timeline.advance_cpu(
+                    machine.assembly_seconds(moved, threads=cpu_t),
+                    label="assembly")
+                kernel_count += 2
+                flops += machine.scaled_kernel_flops("trsm", m=b, n=w)
+                flops += machine.scaled_kernel_flops("syrk", n=b, k=w)
+                assembly_bytes += machine.scaled_bytes(moved)
+            continue
+        # large supernode: the paper's three-transfer GPU schedule
+        on_gpu += 1
+        dbuf = gpu.h2d(panel)
+        gpu.potrf(dbuf, panel[:w, :w])
+        kernel_count += 1
+        flops += machine.scaled_kernel_flops("potrf", n=w)
+        if b:
+            gpu.trsm(dbuf, panel[w:, :w], panel[:w, :w])
+            kernel_count += 1
+            flops += machine.scaled_kernel_flops("trsm", m=b, n=w)
+        panel_back = gpu.d2h_async(dbuf)  # async: CPU does not need it yet
+        if not async_panel_d2h:
+            # ablation: host blocks on the copy now; device data stays
+            # valid for the SYRK below (snapshot semantics)
+            gpu.wait(panel_back, keep_on_device=True)
+        if b:
+            ubuf = gpu.alloc_like((b, b))  # may raise DeviceOutOfMemory
+            gpu.syrk(dbuf, ubuf, panel[w:, :w], ubuf.array)
+            kernel_count += 1
+            flops += machine.scaled_kernel_flops("syrk", n=b, k=w)
+            gpu.d2h(ubuf)  # blocking: assembly needs the update matrix
+            moved = assemble_update(symb, storage, s, ubuf.array)
+            timeline.advance_cpu(
+                machine.assembly_seconds(moved, threads=cpu_t),
+                label="assembly")
+            assembly_bytes += machine.scaled_bytes(moved)
+            gpu.free(ubuf)
+        gpu.wait(panel_back)
+        gpu.free(dbuf)
+    return FactorizeResult(
+        method="rl_gpu",
+        storage=storage,
+        modeled_seconds=timeline.elapsed(),
+        total_snodes=symb.nsup,
+        snodes_on_gpu=on_gpu,
+        gpu_stats=gpu.stats,
+        flops=flops,
+        kernel_count=kernel_count,
+        assembly_bytes=assembly_bytes,
+        extra={"threshold": threshold, "device_memory": gpu.capacity},
+    )

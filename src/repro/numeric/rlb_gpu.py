@@ -1,0 +1,202 @@
+"""GPU-accelerated RLB, both versions of §III.
+
+Shared with RL-GPU: the panel H2D, device DPOTRF + DTRSM, and the
+asynchronous D2H of the factorized panel.  The update phase replaces RL's
+single DSYRK with one small DSYRK/DGEMM per block pair, and the two versions
+differ in when those small update matrices come back:
+
+* **version 1** — every pair's update matrix stays in device memory until
+  all pairs of the supernode are computed, then one *batched* D2H moves them
+  all, then the CPU assembles.  Memory footprint ≈ RL's (the union of pair
+  updates is the lower triangle of the full update matrix), which is why the
+  paper judges it "of no practical value compared to RL".
+* **version 2** — each update matrix is transferred back *as soon as its
+  computation is done* (double-buffered: the copy of pair ``k`` overlaps the
+  kernel of pair ``k+1``) and assembled immediately.  Only two small buffers
+  ever live on the device, so very large matrices (nlpkkt120) still fit.
+
+Small supernodes stay on the CPU with RLB's direct in-place updates (no
+assembly), per the size threshold.
+"""
+
+from __future__ import annotations
+
+from ..dense import kernels as dk
+from ..gpu.costmodel import MachineModel
+from ..gpu.device import SimulatedGpu, Timeline
+from ..symbolic.blocks import snode_blocks
+from .result import FactorizeResult
+from .rlb import apply_block_pair, block_pair_targets
+from .storage import FactorStorage
+from .threshold import DEFAULT_DEVICE_MEMORY, DEFAULT_RLB_THRESHOLD
+
+__all__ = ["factorize_rlb_gpu"]
+
+
+def _apply_pair_result(symb, storage, u, bi, bj):
+    """Subtract a computed pair-update ``u`` into the owner's panel; returns
+    bytes moved (raw)."""
+    p, row_off, col_off = block_pair_targets(symb, bi, bj)
+    target = storage.panel(p)
+    nj = bj.length
+    ni = bi.length
+    target[row_off:row_off + nj, col_off:col_off + ni] -= u[:nj, :ni]
+    return 2 * 8 * ni * nj
+
+
+def factorize_rlb_gpu(symb, A, *, version=2, machine=None,
+                      threshold=DEFAULT_RLB_THRESHOLD,
+                      device_memory=DEFAULT_DEVICE_MEMORY,
+                      device=None, inflight=2):
+    """RLB with large supernodes offloaded to the (simulated) GPU.
+
+    Parameters
+    ----------
+    version:
+        1 (batched update transfer) or 2 (per-block transfer; the paper's
+        Table II method).
+    threshold:
+        Dilated panel entries below which a supernode stays on the CPU
+        (directly comparable to the paper's 750,000).
+    inflight:
+        Device buffers in flight for version 2 (double buffering).
+    """
+    if version not in (1, 2):
+        raise ValueError("version must be 1 or 2")
+    machine = machine or MachineModel()
+    gpu = device or SimulatedGpu(device_memory, machine=machine,
+                                 timeline=Timeline())
+    timeline = gpu.timeline
+    cpu_t = machine.gpu_run_cpu_threads
+    storage = FactorStorage.from_matrix(symb, A)
+    on_gpu = 0
+    flops = 0.0
+    kernel_count = 0
+    assembly_bytes = 0.0
+    for s in range(symb.nsup):
+        panel = storage.panel(s)
+        m, w = symb.panel_shape(s)
+        b = m - w
+        if machine.scaled_panel_entries(m * w) < threshold:
+            # CPU path: plain RLB with direct in-place updates
+            dk.potrf(panel[:w, :w])
+            timeline.advance_cpu(
+                machine.cpu_kernel_seconds("potrf", n=w, threads=cpu_t), label="cpu_blas")
+            kernel_count += 1
+            flops += machine.scaled_kernel_flops("potrf", n=w)
+            if not b:
+                continue
+            dk.trsm_right(panel[w:, :w], panel[:w, :w])
+            timeline.advance_cpu(
+                machine.cpu_kernel_seconds("trsm", m=b, n=w, threads=cpu_t), label="cpu_blas")
+            kernel_count += 1
+            flops += machine.scaled_kernel_flops("trsm", m=b, n=w)
+            blocks = snode_blocks(symb, s)
+            for i, bi in enumerate(blocks):
+                for bj in blocks[i:]:
+                    kind, km, kn, kk = apply_block_pair(
+                        symb, storage, panel, w, bi, bj)
+                    timeline.advance_cpu(
+                        machine.cpu_kernel_seconds(kind, m=km, n=kn, k=kk,
+                                                   threads=cpu_t), label="cpu_blas")
+                    kernel_count += 1
+                    flops += machine.scaled_kernel_flops(kind, km, kn, kk)
+            continue
+        # GPU path
+        on_gpu += 1
+        dbuf = gpu.h2d(panel)
+        gpu.potrf(dbuf, panel[:w, :w])
+        kernel_count += 1
+        flops += machine.scaled_kernel_flops("potrf", n=w)
+        if b:
+            gpu.trsm(dbuf, panel[w:, :w], panel[:w, :w])
+            kernel_count += 1
+            flops += machine.scaled_kernel_flops("trsm", m=b, n=w)
+        panel_back = gpu.d2h_async(dbuf)
+        blocks = snode_blocks(symb, s)
+        pairs = [(bi, bj)
+                 for i, bi in enumerate(blocks) for bj in blocks[i:]]
+        if version == 1:
+            bufs = []
+            for bi, bj in pairs:
+                ubuf = gpu.alloc_like((bj.length, bi.length))
+                rows_i = panel[bi.panel_start:bi.panel_start + bi.length, :w]
+                if bj is bi:
+                    gpu.syrk(dbuf, ubuf, rows_i, ubuf.array)
+                    flops += machine.scaled_kernel_flops(
+                        "syrk", n=bi.length, k=w)
+                else:
+                    rows_j = panel[bj.panel_start:bj.panel_start + bj.length,
+                                   :w]
+                    gpu.gemm(dbuf, ubuf, rows_j, rows_i, ubuf.array)
+                    flops += machine.scaled_kernel_flops(
+                        "gemm", bj.length, bi.length, w)
+                kernel_count += 1
+                bufs.append(ubuf)
+            if bufs:
+                # one batched transfer of all update matrices (§III v1)
+                raw_total = sum(u.array.nbytes for u in bufs)
+                timeline.advance_cpu(gpu.launch_overhead_s)
+                done = timeline.enqueue_copy(
+                    machine.transfer_seconds(raw_total),
+                    ready=max(u.ready for u in bufs),
+                )
+                gpu.stats.d2h_bytes += machine.scaled_bytes(raw_total)
+                gpu.stats.transfers += 1
+                timeline.wait_cpu_until(done)
+                for ubuf, (bi, bj) in zip(bufs, pairs):
+                    moved = _apply_pair_result(
+                        symb, storage, ubuf.array, bi, bj)
+                    timeline.advance_cpu(
+                        machine.assembly_seconds(moved, threads=cpu_t),
+                        label="assembly")
+                    assembly_bytes += machine.scaled_bytes(moved)
+                    gpu.free(ubuf)
+        else:
+            in_flight = []  # (handle, ubuf, bi, bj)
+
+            def drain_one():
+                nonlocal assembly_bytes
+                handle, ubuf, bi, bj = in_flight.pop(0)
+                gpu.wait(handle)
+                moved = _apply_pair_result(symb, storage, ubuf.array, bi, bj)
+                timeline.advance_cpu(
+                    machine.assembly_seconds(moved, threads=cpu_t),
+                    label="assembly")
+                assembly_bytes += machine.scaled_bytes(moved)
+                gpu.free(ubuf)
+
+            for bi, bj in pairs:
+                if len(in_flight) >= inflight:
+                    drain_one()
+                ubuf = gpu.alloc_like((bj.length, bi.length))
+                rows_i = panel[bi.panel_start:bi.panel_start + bi.length, :w]
+                if bj is bi:
+                    gpu.syrk(dbuf, ubuf, rows_i, ubuf.array)
+                    flops += machine.scaled_kernel_flops(
+                        "syrk", n=bi.length, k=w)
+                else:
+                    rows_j = panel[bj.panel_start:bj.panel_start + bj.length,
+                                   :w]
+                    gpu.gemm(dbuf, ubuf, rows_j, rows_i, ubuf.array)
+                    flops += machine.scaled_kernel_flops(
+                        "gemm", bj.length, bi.length, w)
+                kernel_count += 1
+                in_flight.append((gpu.d2h_async(ubuf), ubuf, bi, bj))
+            while in_flight:
+                drain_one()
+        gpu.wait(panel_back)
+        gpu.free(dbuf)
+    return FactorizeResult(
+        method=f"rlb_gpu_v{version}",
+        storage=storage,
+        modeled_seconds=timeline.elapsed(),
+        total_snodes=symb.nsup,
+        snodes_on_gpu=on_gpu,
+        gpu_stats=gpu.stats,
+        flops=flops,
+        kernel_count=kernel_count,
+        assembly_bytes=assembly_bytes,
+        extra={"threshold": threshold, "device_memory": gpu.capacity,
+               "version": version},
+    )

@@ -1,0 +1,118 @@
+"""Factor storage: one dense Fortran-ordered panel per supernode.
+
+A supernode with ``w`` columns and row list of length ``m`` is stored as an
+``(m, w)`` float64 array — its top ``w x w`` square holds the lower-triangular
+diagonal block (the strictly-upper part of that square is dead space, never
+read), the rest holds the below-diagonal rows.  This mirrors the paper's
+"a supernode is stored in a dense array" (§II-A) and is the layout all four
+factorization variants mutate in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FactorStorage"]
+
+
+class FactorStorage:
+    """Dense supernode panels of a (being-)factorized matrix.
+
+    Create with :meth:`from_matrix` to scatter the permuted input's values
+    into the symbolic structure (explicit zeros where amalgamation padded).
+    """
+
+    def __init__(self, symb, panels):
+        self.symb = symb
+        self.panels = panels
+
+    @classmethod
+    def from_matrix(cls, symb, A):
+        """Initialise panels from the permuted matrix ``A`` (which must be
+        the matrix the symbolic factorization was computed for)."""
+        if A.n != symb.n:
+            raise ValueError("matrix/symbolic dimension mismatch")
+        panels = []
+        for s in range(symb.nsup):
+            m, w = symb.panel_shape(s)
+            panels.append(np.zeros((m, w), order="F"))
+        for s in range(symb.nsup):
+            first, last = symb.snode_cols(s)
+            rows_s = symb.snode_rows(s)
+            panel = panels[s]
+            for j in range(first, last):
+                arows, avals = A.column(j)
+                pos = np.searchsorted(rows_s, arows)
+                if pos.size and (pos.max() >= rows_s.size
+                                 or not np.array_equal(rows_s[pos], arows)):
+                    raise ValueError(
+                        f"column {j}: matrix entries outside symbolic "
+                        "structure"
+                    )
+                panel[pos, j - first] = avals
+        return cls(symb, panels)
+
+    @classmethod
+    def zeros(cls, symb):
+        """All-zero storage with the symbolic layout (workspace/testing)."""
+        panels = [np.zeros(symb.panel_shape(s), order="F")
+                  for s in range(symb.nsup)]
+        return cls(symb, panels)
+
+    def panel(self, s):
+        """The dense panel of supernode ``s``."""
+        return self.panels[s]
+
+    def nbytes(self):
+        """Total bytes of panel storage."""
+        return sum(p.nbytes for p in self.panels)
+
+    def max_update_entries(self):
+        """Entries of the largest RL update matrix (``max_s b_s^2``)."""
+        best = 0
+        for s in range(self.symb.nsup):
+            m, w = self.symb.panel_shape(s)
+            best = max(best, (m - w) ** 2)
+        return best
+
+    # ------------------------------------------------------------------
+    # extraction (tests / solves)
+    # ------------------------------------------------------------------
+    def to_dense_lower(self):
+        """Materialise the factor ``L`` as a dense lower-triangular array
+        (dead panel space excluded)."""
+        symb = self.symb
+        n = symb.n
+        L = np.zeros((n, n))
+        for s in range(symb.nsup):
+            first, last = symb.snode_cols(s)
+            rows_s = symb.snode_rows(s)
+            panel = self.panels[s]
+            for c in range(last - first):
+                j = first + c
+                take = rows_s >= j
+                L[rows_s[take], j] = panel[take, c]
+        return L
+
+    def to_scipy_lower(self):
+        """Factor ``L`` as a ``scipy.sparse.csc_matrix`` (lower triangle)."""
+        from scipy.sparse import csc_matrix
+
+        symb = self.symb
+        rows_all, cols_all, vals_all = [], [], []
+        for s in range(symb.nsup):
+            first, last = symb.snode_cols(s)
+            rows_s = symb.snode_rows(s)
+            panel = self.panels[s]
+            for c in range(last - first):
+                j = first + c
+                take = rows_s >= j
+                rows_all.append(rows_s[take])
+                cols_all.append(np.full(int(take.sum()), j, dtype=np.int64))
+                vals_all.append(panel[take, c])
+        rows = np.concatenate(rows_all)
+        cols = np.concatenate(cols_all)
+        vals = np.concatenate(vals_all)
+        m = csc_matrix((vals, (rows, cols)), shape=(symb.n, symb.n))
+        m.sum_duplicates()
+        return m

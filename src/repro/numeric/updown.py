@@ -1,0 +1,142 @@
+"""Rank-1 update / downdate of a supernodal Cholesky factor.
+
+Given the factor ``L L^T = A`` held in
+:class:`~repro.numeric.storage.FactorStorage`, compute in place the factor
+of ``A + w w^T`` (update) or ``A - w w^T`` (downdate) without
+refactorizing — the classic Gill-Golub-Murray-Saunders sweep of (hyperbolic)
+rotations, in its sparse form (Davis & Hager): only the columns on the
+elimination-tree path from ``j0 = min struct(w)`` to the root are touched,
+and no new fill is created when ``struct(w) \\ {j0}`` is contained in
+``struct(L_{:,j0})`` — the factor's column structures nest along the path,
+so containment at ``j0`` propagates.  The condition is checked up front and
+a clear ``ValueError`` names the offending rows otherwise.
+
+This is the standard "many solves against a slowly changing matrix"
+workflow (optimization re-weighting, sliding-window least squares) that
+motivates keeping a factorization live instead of recomputing — a natural
+companion feature for the paper's solver.
+
+Per affected column ``j`` (update; downdate flips the inner signs)::
+
+    r   = sqrt(L_jj^2 + w_j^2)
+    c   = r / L_jj,   s = w_j / L_jj
+    L_jj        = r
+    L_below,j   = (L_below,j + s * w_below) / c
+    w_below     = c * w_below - s * L_below,j     (updated column)
+
+A downdate that destroys positive definiteness raises
+:class:`~repro.dense.kernels.NotPositiveDefiniteError` at the offending
+pivot, leaving the factor partially modified (callers that need atomicity
+snapshot the affected panels first — they are few, being one tree path).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..dense.kernels import NotPositiveDefiniteError
+
+__all__ = ["rank1_update", "affected_columns", "column_structure"]
+
+
+def _column_parent(symb, j):
+    """Parent of column ``j`` in the (column) elimination tree, derived
+    from the supernodal structure: the smallest row index > j in
+    ``struct(L_{:,j})``; ``-1`` at a root."""
+    s = int(symb.col2sn[j])
+    first, last = symb.snode_cols(s)
+    if j + 1 < last:
+        return j + 1
+    below = symb.snode_below_rows(s)
+    return int(below[0]) if below.size else -1
+
+
+def column_structure(symb, j):
+    """Row structure of factor column ``j`` below the diagonal: the
+    supernode's remaining own columns plus its below-diagonal rows."""
+    s = int(symb.col2sn[j])
+    first, last = symb.snode_cols(s)
+    own = np.arange(j + 1, last, dtype=np.int64)
+    return np.concatenate((own, symb.snode_below_rows(s)))
+
+
+def affected_columns(symb, w_pattern):
+    """Columns a rank-1 modification with pattern ``w_pattern`` touches:
+    the elimination-tree path from ``min(w_pattern)`` to its root."""
+    w_pattern = np.asarray(w_pattern)
+    if w_pattern.size == 0:
+        return []
+    path = []
+    j = int(w_pattern.min())
+    while j != -1:
+        path.append(j)
+        j = _column_parent(symb, j)
+    return path
+
+
+def rank1_update(storage, w, *, downdate=False, check_structure=True):
+    """In-place rank-1 update (``A + w w^T``) or downdate (``A - w w^T``).
+
+    Parameters
+    ----------
+    storage:
+        The factor to modify (any engine's output).
+    w:
+        Dense ``(n,)`` vector; its *nonzero pattern* determines the affected
+        elimination-tree path.
+    downdate:
+        Subtract instead of add.  Raises
+        :class:`~repro.dense.kernels.NotPositiveDefiniteError` if the
+        downdated matrix is not positive definite.
+    check_structure:
+        Verify the no-new-fill condition
+        ``struct(w) \\ {j0} ⊆ struct(L_{:,j0})`` (``ValueError`` otherwise).
+
+    Returns
+    -------
+    list of affected column indices (the elimination-tree path from ``j0``).
+    """
+    symb = storage.symb
+    w = np.array(w, dtype=np.float64, copy=True)
+    if w.shape != (symb.n,):
+        raise ValueError("w must have shape (n,)")
+    nz = np.flatnonzero(w)
+    if nz.size == 0:
+        return []
+    j0 = int(nz[0])
+    if check_structure:
+        outside = np.setdiff1d(nz[1:], column_structure(symb, j0))
+        if outside.size:
+            raise ValueError(
+                f"rank-1 vector has entries at rows {outside[:5].tolist()} "
+                f"outside struct(L[:, {j0}]) — the modification would "
+                "create new fill; refactorize instead"
+            )
+    path = affected_columns(symb, nz)
+    sign = -1.0 if downdate else 1.0
+    for j in path:
+        wj = w[j]
+        if wj == 0.0:
+            continue  # identity rotation; the pattern cannot grow here
+        s = int(symb.col2sn[j])
+        first, _last = symb.snode_cols(s)
+        c_loc = j - first
+        panel = storage.panel(s)
+        rows_below = symb.snode_rows(s)[c_loc + 1:]
+        d = panel[c_loc, c_loc]
+        r2 = d * d + sign * wj * wj
+        if r2 <= 0.0 or d == 0.0:
+            raise NotPositiveDefiniteError(j)
+        r = math.sqrt(r2)
+        c = r / d
+        sfac = wj / d
+        panel[c_loc, c_loc] = r
+        if rows_below.size:
+            col = panel[c_loc + 1:, c_loc]
+            wb = w[rows_below]
+            col_new = (col + sign * sfac * wb) / c
+            panel[c_loc + 1:, c_loc] = col_new
+            w[rows_below] = c * wb - sfac * col_new
+    return path

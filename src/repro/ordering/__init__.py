@@ -1,0 +1,59 @@
+"""Fill-reducing orderings: nested dissection (METIS stand-in), minimum
+degree, reverse Cuthill–McKee, plus graph utilities and quality metrics."""
+
+from .graph import (
+    AdjacencyGraph,
+    adjacency_from_matrix,
+    bfs_levels,
+    connected_components,
+    pseudo_peripheral_vertex,
+)
+from .amd import approximate_minimum_degree
+from .mindeg import minimum_degree
+from .rcm import reverse_cuthill_mckee
+from .nested_dissection import nested_dissection
+from .metrics import OrderingQuality, evaluate_ordering
+
+__all__ = [
+    "AdjacencyGraph",
+    "adjacency_from_matrix",
+    "bfs_levels",
+    "connected_components",
+    "pseudo_peripheral_vertex",
+    "approximate_minimum_degree",
+    "minimum_degree",
+    "reverse_cuthill_mckee",
+    "nested_dissection",
+    "OrderingQuality",
+    "evaluate_ordering",
+    "order_matrix",
+]
+
+
+def order_matrix(A, method="nd", **kwargs):
+    """Convenience dispatcher: compute a fill-reducing permutation of ``A``.
+
+    Parameters
+    ----------
+    A:
+        :class:`~repro.sparse.csc.SymmetricCSC`.
+    method:
+        ``"nd"`` (nested dissection, default — the paper's choice),
+        ``"mindeg"``, ``"amd"``, ``"rcm"`` or ``"natural"``.
+    kwargs:
+        Forwarded to the underlying algorithm.
+    """
+    import numpy as np
+
+    if method == "natural":
+        return np.arange(A.n, dtype=np.int64)
+    graph = adjacency_from_matrix(A)
+    if method == "nd":
+        return nested_dissection(graph, **kwargs)
+    if method == "mindeg":
+        return minimum_degree(graph, **kwargs)
+    if method == "amd":
+        return approximate_minimum_degree(graph, **kwargs)
+    if method == "rcm":
+        return reverse_cuthill_mckee(graph, **kwargs)
+    raise ValueError(f"unknown ordering method {method!r}")

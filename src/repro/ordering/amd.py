@@ -1,0 +1,189 @@
+"""Approximate minimum degree (AMD) ordering on a quotient graph.
+
+The classical minimum-degree code in :mod:`repro.ordering.mindeg` maintains
+the *elimination graph* explicitly — simple, exact, and quadratic-ish in
+dense rows.  AMD (Amestoy, Davis & Duff, 1996) instead works on the
+**quotient graph**: eliminated pivots persist as *elements* ``e`` with
+variable lists ``L_e``, a variable ``i`` keeps a plain-variable adjacency
+``A_i`` plus an element adjacency ``E_i``, and its degree is *approximated*
+from above by
+
+    d_i  ≈  |A_i|  +  |L_p \\ i|  +  Σ_{e ∈ E_i \\ {p}} |L_e \\ L_p|
+
+(all sizes in variables, supervariables counted with multiplicity), where
+``p`` is the element just created.  The ``|L_e \\ L_p|`` terms are computed
+for all affected elements in one scan — the trick that makes AMD fast.
+
+Also implemented, as in the reference algorithm:
+
+* **element absorption** — elements wholly covered by the new pivot element
+  vanish (aggressive absorption when ``|L_e \\ L_p| = 0``);
+* **supervariable detection** — variables in ``L_p`` with identical
+  ``(A_i, E_i)`` adjacency (found by hashing) are merged, so one pivot later
+  eliminates the whole group;
+* **mass elimination** — a variable whose entire structure lies inside the
+  new element (``A_i = ∅``, ``E_i = {p}``) is eliminated immediately.
+
+This mirrors what real sparse Cholesky packages (CHOLMOD, MA57, ...) run
+when METIS is not used; the paper's pipeline lets it stand in for the
+ordering step via ``analyze(A, ordering="amd")``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["approximate_minimum_degree"]
+
+
+def approximate_minimum_degree(graph, *, aggressive=True):
+    """Return an AMD elimination ordering of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        :class:`~repro.ordering.graph.AdjacencyGraph`.
+    aggressive:
+        Enable aggressive element absorption (default on, as in AMD).
+
+    Returns
+    -------
+    perm:
+        ``int64`` permutation array; ``perm[k]`` is the vertex eliminated at
+        step ``k``.
+    """
+    n = graph.n
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    A = [set(graph.neighbors(v).tolist()) for v in range(n)]
+    E = [set() for _ in range(n)]      # elements adjacent to each variable
+    L = {}                             # element -> set of live variables
+    nv = np.ones(n, dtype=np.int64)    # supervariable multiplicities
+    members = [[v] for v in range(n)]  # original vertices per supervariable
+    alive = np.ones(n, dtype=bool)
+    deg = np.array([sum(1 for _ in A[v]) for v in range(n)], dtype=np.int64)
+    heap = [(int(deg[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    order = []                         # pivot supervariables, in order
+    eliminated = 0
+
+    def var_count(vs, excl=None):
+        """Variables (with multiplicity) in a set of supervariables."""
+        return int(sum(nv[x] for x in vs if x != excl))
+
+    while eliminated < n:
+        d, p = heapq.heappop(heap)
+        if not alive[p] or d != deg[p]:
+            continue  # stale entry
+        # ---- form the pivot element L_p -------------------------------
+        Lp = set(A[p])
+        for e in E[p]:
+            Lp |= L[e]
+        Lp.discard(p)
+        Lp = {i for i in Lp if alive[i]}
+        for e in E[p]:
+            del L[e]  # absorbed into p
+        absorbed_elems = set(E[p])
+        E[p] = set()
+        A[p] = set()
+        alive[p] = False
+        order.append(p)
+        eliminated += int(nv[p])
+        if Lp:
+            L[p] = Lp
+        # ---- clean the adjacency of every variable in L_p -------------
+        for i in Lp:
+            A[i] -= Lp
+            A[i].discard(p)
+            E[i] -= absorbed_elems
+            E[i].add(p)
+        # ---- |L_e \ L_p| for every element touching L_p ----------------
+        w = {}
+        for i in Lp:
+            for e in E[i]:
+                if e == p:
+                    continue
+                if e not in w:
+                    w[e] = var_count(L[e])
+                w[e] -= int(nv[i])
+        if aggressive:
+            for e, rest in list(w.items()):
+                if rest == 0:
+                    # e ⊆ L_p: aggressive absorption
+                    for i in L[e]:
+                        E[i].discard(e)
+                    del L[e]
+                    del w[e]
+        # ---- approximate degrees + mass elimination --------------------
+        lp_size = var_count(Lp)
+        mass = []
+        for i in Lp:
+            if not A[i] and E[i] == {p}:
+                mass.append(i)
+                continue
+            ext = lp_size - int(nv[i])
+            bound_graph = n - eliminated - int(nv[i])
+            bound_prev = int(deg[i]) + ext
+            approx = (var_count(A[i]) + ext
+                      + sum(w.get(e, var_count(L[e])) for e in E[i]
+                            if e != p))
+            deg[i] = max(0, min(bound_graph, bound_prev, approx))
+        # mass elimination: structure entirely inside the new element
+        for i in sorted(mass):
+            order.append(i)
+            eliminated += int(nv[i])
+            alive[i] = False
+            L[p].discard(i)
+            A[i] = set()
+            E[i] = set()
+        live_lp = [i for i in Lp if alive[i]]
+        # ---- supervariable detection (hash + exact compare) ------------
+        buckets = {}
+        for i in live_lp:
+            key = (len(A[i]), len(E[i]),
+                   sum(A[i]) % 1_000_003, sum(E[i]) % 1_000_003)
+            buckets.setdefault(key, []).append(i)
+        for group in buckets.values():
+            if len(group) < 2:
+                continue
+            group.sort()
+            reps = []
+            for j in group:
+                if not alive[j]:
+                    continue
+                merged = False
+                for i in reps:
+                    if A[i] == A[j] and E[i] == E[j]:
+                        # merge j into i
+                        nv[i] += nv[j]
+                        members[i].extend(members[j])
+                        members[j] = []
+                        alive[j] = False
+                        for e in E[j]:
+                            L[e].discard(j)
+                        for a in A[j]:
+                            A[a].discard(j)
+                        A[j] = set()
+                        E[j] = set()
+                        merged = True
+                        break
+                if not merged:
+                    reps.append(j)
+        # ---- requeue updated variables ---------------------------------
+        for i in live_lp:
+            if alive[i]:
+                heapq.heappush(heap, (int(deg[i]), i))
+        if p in L and not L[p]:
+            del L[p]
+
+    perm = np.empty(n, dtype=np.int64)
+    k = 0
+    for p in order:
+        for v in members[p]:
+            perm[k] = v
+            k += 1
+    if k != n:
+        raise AssertionError("AMD did not eliminate every vertex")
+    return perm

@@ -1,0 +1,176 @@
+"""Undirected graph utilities backing the fill-reducing orderings.
+
+The adjacency structure of a symmetric matrix (both triangles, no diagonal)
+is stored CSR-style in two flat arrays — the format every ordering algorithm
+here walks.  Helpers provide BFS level structures, connected components,
+pseudo-peripheral vertices (for RCM and for the level-set separators used by
+nested dissection), and subgraph extraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "AdjacencyGraph",
+    "adjacency_from_matrix",
+    "bfs_levels",
+    "connected_components",
+    "pseudo_peripheral_vertex",
+]
+
+
+class AdjacencyGraph:
+    """CSR adjacency of an undirected graph without self loops.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices.
+    xadj:
+        ``int64`` array of length ``n + 1``.
+    adjncy:
+        Flat neighbour array; vertex ``v``'s neighbours are
+        ``adjncy[xadj[v]:xadj[v+1]]`` (sorted ascending).
+    """
+
+    __slots__ = ("n", "xadj", "adjncy")
+
+    def __init__(self, n, xadj, adjncy):
+        self.n = int(n)
+        self.xadj = np.ascontiguousarray(xadj, dtype=np.int64)
+        self.adjncy = np.ascontiguousarray(adjncy, dtype=np.int64)
+
+    def neighbors(self, v):
+        """Sorted neighbour array of vertex ``v`` (a view, do not mutate)."""
+        return self.adjncy[self.xadj[v]:self.xadj[v + 1]]
+
+    def degree(self, v):
+        """Degree of vertex ``v``."""
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def degrees(self):
+        """Array of all vertex degrees."""
+        return np.diff(self.xadj)
+
+    @property
+    def num_edges(self):
+        """Number of undirected edges."""
+        return int(self.adjncy.size // 2)
+
+    def subgraph(self, vertices):
+        """Induced subgraph on ``vertices``.
+
+        Returns ``(graph, vertices_sorted)`` where vertex ``k`` of the
+        subgraph corresponds to ``vertices_sorted[k]`` in the parent.
+        """
+        vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+        local = np.full(self.n, -1, dtype=np.int64)
+        local[vertices] = np.arange(vertices.size, dtype=np.int64)
+        xadj = np.zeros(vertices.size + 1, dtype=np.int64)
+        chunks = []
+        for k, v in enumerate(vertices):
+            nb = local[self.neighbors(v)]
+            nb = nb[nb >= 0]
+            chunks.append(nb)
+            xadj[k + 1] = xadj[k] + nb.size
+        adjncy = (np.concatenate(chunks) if chunks
+                  else np.empty(0, dtype=np.int64))
+        return AdjacencyGraph(vertices.size, xadj, adjncy), vertices
+
+
+def adjacency_from_matrix(A):
+    """Adjacency graph of the symmetric matrix ``A`` (diagonal dropped)."""
+    cols = np.repeat(np.arange(A.n, dtype=np.int64), np.diff(A.indptr))
+    rows = A.indices
+    off = rows != cols
+    r, c = rows[off], cols[off]
+    # both directions
+    src = np.concatenate([r, c])
+    dst = np.concatenate([c, r])
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    xadj = np.zeros(A.n + 1, dtype=np.int64)
+    np.add.at(xadj, src + 1, 1)
+    np.cumsum(xadj, out=xadj)
+    return AdjacencyGraph(A.n, xadj, dst)
+
+
+def bfs_levels(graph, root, *, mask=None):
+    """Breadth-first level structure from ``root``.
+
+    Parameters
+    ----------
+    graph:
+        :class:`AdjacencyGraph`.
+    root:
+        Start vertex.
+    mask:
+        Optional boolean array; only ``mask``-true vertices are visited.
+
+    Returns
+    -------
+    levels:
+        ``int64`` array of per-vertex level, ``-1`` for unreached vertices.
+    order:
+        Vertices in visitation order.
+    """
+    levels = np.full(graph.n, -1, dtype=np.int64)
+    if mask is not None and not mask[root]:
+        raise ValueError("root excluded by mask")
+    levels[root] = 0
+    frontier = [root]
+    order = [root]
+    depth = 0
+    while frontier:
+        depth += 1
+        nxt = []
+        for v in frontier:
+            for u in graph.neighbors(v):
+                if levels[u] == -1 and (mask is None or mask[u]):
+                    levels[u] = depth
+                    nxt.append(int(u))
+        order.extend(nxt)
+        frontier = nxt
+    return levels, np.asarray(order, dtype=np.int64)
+
+
+def connected_components(graph, *, mask=None):
+    """Connected components (restricted to ``mask`` when given).
+
+    Returns a list of ``int64`` vertex arrays, one per component, each sorted.
+    """
+    if mask is None:
+        todo = np.ones(graph.n, dtype=bool)
+    else:
+        todo = mask.copy()
+    comps = []
+    for start in range(graph.n):
+        if not todo[start]:
+            continue
+        levels, order = bfs_levels(graph, start, mask=todo)
+        todo[order] = False
+        comps.append(np.sort(order))
+    return comps
+
+
+def pseudo_peripheral_vertex(graph, start, *, mask=None, max_iter=10):
+    """George–Liu pseudo-peripheral vertex heuristic.
+
+    Repeatedly BFS from the current candidate and jump to a minimum-degree
+    vertex of the last (deepest) level until the eccentricity stops growing.
+    Returns ``(vertex, levels, order)`` of the final BFS.
+    """
+    v = int(start)
+    levels, order = bfs_levels(graph, v, mask=mask)
+    ecc = levels[order].max() if order.size else 0
+    for _ in range(max_iter):
+        last = order[levels[order] == ecc]
+        degs = np.array([graph.degree(u) for u in last])
+        cand = int(last[np.argmin(degs)])
+        lv, od = bfs_levels(graph, cand, mask=mask)
+        new_ecc = lv[od].max() if od.size else 0
+        if new_ecc <= ecc:
+            break
+        v, levels, order, ecc = cand, lv, od, new_ecc
+    return v, levels, order

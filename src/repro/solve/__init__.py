@@ -1,0 +1,23 @@
+"""Solve layer: supernodal triangular solves, the high-level solver driver,
+and iterative refinement."""
+
+from .triangular import forward_solve, backward_solve, solve_factored
+from .gpu_solve import solve_factored_cpu, solve_factored_gpu, solve_flops
+from .sparse_rhs import solve_reach, forward_solve_sparse
+from .driver import CholeskySolver, METHODS
+from .refine import RefinementResult, refine
+
+__all__ = [
+    "forward_solve",
+    "backward_solve",
+    "solve_factored",
+    "solve_factored_cpu",
+    "solve_factored_gpu",
+    "solve_flops",
+    "solve_reach",
+    "forward_solve_sparse",
+    "CholeskySolver",
+    "METHODS",
+    "RefinementResult",
+    "refine",
+]

@@ -1,0 +1,69 @@
+"""Supernodal triangular solves: ``L y = b`` and ``L^T x = y``.
+
+Once the factor is computed (by any engine — they all share
+:class:`~repro.numeric.storage.FactorStorage`), the solve phase walks the
+supernodes once forward and once backward, doing a dense triangular solve on
+each diagonal block and a GEMV-style update with each rectangle — the
+standard supernodal solve that completes the paper's "direct method" story
+(§I: the triangular factors are used to compute the solution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+__all__ = ["forward_solve", "backward_solve", "solve_factored"]
+
+
+
+def _check_rhs(n, b, name):
+    """Validate an ``(n,)`` or ``(n, k)`` right-hand side; returns a copy."""
+    out = np.array(b, dtype=np.float64, copy=True)
+    if out.ndim not in (1, 2) or out.shape[0] != n:
+        raise ValueError(f"{name} must have shape (n,) or (n, k)")
+    return out
+
+
+def forward_solve(storage, b):
+    """Solve ``L Y = B`` in place on a copy of ``b``; returns ``y``.
+
+    ``b`` may be a single ``(n,)`` vector or an ``(n, k)`` block of
+    right-hand sides (solved together with level-3 BLAS).
+    """
+    symb = storage.symb
+    y = _check_rhs(symb.n, b, "b")
+    for s in range(symb.nsup):
+        first, last = symb.snode_cols(s)
+        w = last - first
+        panel = storage.panel(s)
+        y[first:last] = solve_triangular(
+            panel[:w, :w], y[first:last], lower=True, check_finite=False
+        )
+        below = symb.snode_below_rows(s)
+        if below.size:
+            y[below] -= panel[w:, :w] @ y[first:last]
+    return y
+
+
+def backward_solve(storage, y):
+    """Solve ``L^T X = Y``; accepts ``(n,)`` or ``(n, k)``; returns ``x``."""
+    symb = storage.symb
+    x = _check_rhs(symb.n, y, "y")
+    for s in range(symb.nsup - 1, -1, -1):
+        first, last = symb.snode_cols(s)
+        w = last - first
+        panel = storage.panel(s)
+        below = symb.snode_below_rows(s)
+        if below.size:
+            x[first:last] -= panel[w:, :w].T @ x[below]
+        x[first:last] = solve_triangular(
+            panel[:w, :w], x[first:last], lower=True, trans="T",
+            check_finite=False,
+        )
+    return x
+
+
+def solve_factored(storage, b):
+    """Full solve ``L L^T x = b`` with an existing factor."""
+    return backward_solve(storage, forward_solve(storage, b))

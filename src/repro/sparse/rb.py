@@ -1,0 +1,142 @@
+"""Rutherford–Boeing I/O for symmetric matrices.
+
+The Rutherford–Boeing (RB) format is the SuiteSparse collection's other
+distribution format (and the lingua franca of the HSL codes MA57/MA87 the
+paper cites): a four/five-line header followed by fixed-width Fortran-style
+blocks of column pointers, row indices and values, storing the *lower
+triangle* of a symmetric matrix in compressed-column form — exactly this
+library's :class:`~repro.sparse.csc.SymmetricCSC` layout, so conversion is
+a straight (re)indexing.
+
+Supported: ``rsa`` (real symmetric assembled) and ``psa`` (pattern
+symmetric assembled, values set to 1.0) matrices, reading the common
+Fortran edit descriptors (``(16I5)``, ``(3E26.18)``-style); writing emits
+standard descriptors.  Elemental (``*se``) and unsymmetric (``*ua``) files
+are rejected with clear errors — the library is Cholesky-only.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from .csc import SymmetricCSC
+
+__all__ = ["read_rutherford_boeing", "write_rutherford_boeing"]
+
+_FMT_RE = re.compile(
+    r"^\(?\s*(?:\d+\s*[xX]\s*,)?\s*(\d+)\s*([IiEeDdFf])\s*(\d+)(?:\.\d+)?",
+)
+
+
+def _parse_fmt(fmt):
+    """``(per_line, kind, width)`` from a Fortran edit descriptor."""
+    m = _FMT_RE.match(fmt.strip())
+    if not m:
+        raise ValueError(f"unsupported Fortran format {fmt!r}")
+    return int(m.group(1)), m.group(2).upper(), int(m.group(3))
+
+
+def _read_block(fh, count, fmt, dtype):
+    """Read ``count`` fixed-width numbers laid out per ``fmt``."""
+    per_line, kind, width = _parse_fmt(fmt)
+    out = np.empty(count, dtype=dtype)
+    k = 0
+    while k < count:
+        line = fh.readline()
+        if not line:
+            raise ValueError("unexpected end of file in data block")
+        line = line.rstrip("\n")
+        take = min(per_line, count - k)
+        for i in range(take):
+            tok = line[i * width:(i + 1) * width].strip()
+            if not tok:
+                raise ValueError("short line in data block")
+            if kind == "I":
+                out[k] = int(tok)
+            else:
+                out[k] = float(tok.replace("D", "E").replace("d", "e"))
+            k += 1
+    return out
+
+
+def read_rutherford_boeing(path_or_file):
+    """Read an ``rsa``/``psa`` Rutherford–Boeing file into
+    :class:`~repro.sparse.csc.SymmetricCSC`."""
+    if hasattr(path_or_file, "read"):
+        fh, close = path_or_file, False
+    else:
+        fh, close = open(path_or_file, "r"), True
+    try:
+        fh.readline()                     # title / key line
+        counts = fh.readline().split()    # totcrd ptrcrd indcrd valcrd
+        if len(counts) < 4:
+            raise ValueError("malformed RB card-count line")
+        line3 = fh.readline().split()
+        mxtype = line3[0].lower()
+        if len(mxtype) != 3:
+            raise ValueError(f"malformed matrix type {mxtype!r}")
+        if mxtype[1] != "s":
+            raise ValueError("only symmetric (.s.) RB matrices supported")
+        if mxtype[2] != "a":
+            raise ValueError("only assembled (..a) RB matrices supported")
+        if mxtype[0] not in ("r", "p", "i"):
+            raise ValueError(f"unsupported value type {mxtype[0]!r}")
+        nrow, ncol, nnz = (int(x) for x in line3[1:4])
+        if nrow != ncol:
+            raise ValueError("symmetric RB matrix must be square")
+        fmts = fh.readline().split()
+        if len(fmts) < 2:
+            raise ValueError("malformed RB format line")
+        ptrfmt, indfmt = fmts[0], fmts[1]
+        valfmt = fmts[2] if len(fmts) > 2 else None
+        indptr = _read_block(fh, ncol + 1, ptrfmt, np.int64) - 1
+        indices = _read_block(fh, nnz, indfmt, np.int64) - 1
+        if mxtype[0] == "p" or valfmt is None:
+            data = np.ones(nnz)
+        else:
+            data = _read_block(fh, nnz, valfmt, np.float64)
+    finally:
+        if close:
+            fh.close()
+    # RB columns are not guaranteed row-sorted; SymmetricCSC requires it
+    for j in range(ncol):
+        lo, hi = indptr[j], indptr[j + 1]
+        order = np.argsort(indices[lo:hi], kind="stable")
+        indices[lo:hi] = indices[lo:hi][order]
+        data[lo:hi] = data[lo:hi][order]
+    return SymmetricCSC(ncol, indptr, indices, data)
+
+
+def write_rutherford_boeing(path_or_file, A, *, title="repro matrix",
+                            key="REPRO"):
+    """Write ``A`` (lower triangle) as an ``rsa`` Rutherford–Boeing file."""
+    if hasattr(path_or_file, "write"):
+        fh, close = path_or_file, False
+    else:
+        fh, close = open(path_or_file, "w"), True
+    try:
+        n = A.n
+        nnz = int(A.indptr[-1])
+        ptr = A.indptr + 1
+        ind = A.indices + 1
+        ptr_lines = -(-ptr.size // 8)
+        ind_lines = -(-ind.size // 8)
+        val_lines = -(-nnz // 3)
+        fh.write(f"{title[:72]:<72}{key[:8]:<8}\n")
+        fh.write(f"{ptr_lines + ind_lines + val_lines:14d}{ptr_lines:14d}"
+                 f"{ind_lines:14d}{val_lines:14d}\n")
+        fh.write(f"{'rsa':<14}{n:14d}{n:14d}{nnz:14d}{0:14d}\n")
+        fh.write(f"{'(8I10)':<16}{'(8I10)':<16}{'(3E26.18)':<20}\n")
+
+        def block(vals, per, fmt):
+            for i in range(0, len(vals), per):
+                fh.write("".join(fmt % v for v in vals[i:i + per]) + "\n")
+        block(ptr.tolist(), 8, "%10d")
+        block(ind.tolist(), 8, "%10d")
+        block(A.data.tolist(), 3, "%26.18E")
+    finally:
+        if close:
+            fh.close()
+    return path_or_file

@@ -1,0 +1,51 @@
+"""Symbolic analysis: elimination trees, column counts, supernodes,
+amalgamation, partition refinement, relative indices, block partitions and
+the end-to-end :func:`analyze` pipeline."""
+
+from .etree import (
+    elimination_tree,
+    postorder,
+    children_lists,
+    etree_heights,
+    is_postordered,
+    first_descendants,
+)
+from .colcounts import column_counts, column_counts_reference
+from .supernodes import fundamental_supernodes, snode_of_column, validate_snptr
+from .amalgamate import amalgamate, merge_extra_fill
+from .treeviz import render_tree, tree_stats, TreeStats
+from .structure import SymbolicFactor, symbolic_factorization
+from .relind import relative_indices, relative_indices_bottom
+from .blocks import Block, snode_blocks, all_blocks, count_blocks
+from .partition_refinement import partition_refinement
+from .analyze import AnalyzedSystem, analyze
+
+__all__ = [
+    "render_tree",
+    "tree_stats",
+    "TreeStats",
+    "elimination_tree",
+    "postorder",
+    "children_lists",
+    "etree_heights",
+    "is_postordered",
+    "first_descendants",
+    "column_counts",
+    "column_counts_reference",
+    "fundamental_supernodes",
+    "snode_of_column",
+    "validate_snptr",
+    "amalgamate",
+    "merge_extra_fill",
+    "SymbolicFactor",
+    "symbolic_factorization",
+    "relative_indices",
+    "relative_indices_bottom",
+    "Block",
+    "snode_blocks",
+    "all_blocks",
+    "count_blocks",
+    "partition_refinement",
+    "AnalyzedSystem",
+    "analyze",
+]

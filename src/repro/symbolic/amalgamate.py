@@ -1,0 +1,144 @@
+"""Relaxed supernode amalgamation (Ashcraft–Grimes, paper's §IV-A).
+
+Fundamental supernodes at the bottom of the tree are tiny; merging a child
+supernode into its parent trades extra explicit zeros in the factor for
+fewer, larger dense panels.  The paper's policy, reproduced here:
+
+* candidate pairs are child/parent supernodes ``(J, p(J))``;
+* at each step merge the pair adding the *least* new fill;
+* stop once the cumulative growth of factor storage would exceed a cap
+  (25 % in the paper).
+
+Like CHOLMOD, we restrict candidates to *column-adjacent* pairs (the child
+owning the columns immediately before the parent's first column — on a
+postordered partition that child is the parent's rightmost child), so merging
+never renumbers columns: the result is simply a coarser ``snptr``.
+
+When child ``C`` (``w_C`` columns, ``b_C`` below-rows) merges into its parent
+``P`` (``w_P``, ``b_P``), the subset property gives the merged panel
+``w_C + w_P`` columns over ``b_P`` below-rows, and the storage delta is the
+difference of dense trapezoid sizes.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["amalgamate", "merge_extra_fill"]
+
+
+def _trapezoid(w, b):
+    """Entries of a dense trapezoidal panel with ``w`` columns and ``w + b``
+    rows (lower-triangular diagonal block plus rectangle)."""
+    m = w + b
+    return w * m - w * (w - 1) // 2
+
+
+def merge_extra_fill(w_child, b_child, w_parent, b_parent):
+    """Explicit zeros added by merging the child into its parent."""
+    new = _trapezoid(w_child + w_parent, b_parent)
+    old = _trapezoid(w_child, b_child) + _trapezoid(w_parent, b_parent)
+    return new - old
+
+
+def amalgamate(symb, *, growth_cap=0.25):
+    """Coarsen a supernode partition by greedy min-fill merging.
+
+    Parameters
+    ----------
+    symb:
+        :class:`~repro.symbolic.structure.SymbolicFactor` of the
+        *fundamental* partition.
+    growth_cap:
+        Maximum allowed relative growth of factor storage (paper: 0.25).
+        Merges are applied in increasing-fill order while the cumulative
+        extra storage stays within ``growth_cap * base_storage``.
+
+    Returns
+    -------
+    snptr:
+        New (coarser) supernode boundary array.  Column order is unchanged.
+    """
+    nsup = symb.nsup
+    snptr = symb.snptr
+    w = np.diff(snptr).astype(np.int64)
+    m = np.diff(symb.rowptr).astype(np.int64)
+    b = m - w
+    parent0 = symb.sn_parent.copy()
+    base = symb.factor_nnz_dense()
+    budget = int(growth_cap * base)
+
+    alive = np.ones(nsup, dtype=bool)
+    merged_into = np.arange(nsup, dtype=np.int64)  # union-find
+    prev_sn = np.arange(-1, nsup - 1, dtype=np.int64)
+    next_sn = np.arange(1, nsup + 1, dtype=np.int64)
+    next_sn[-1] = -1
+    first_col = snptr[:-1].copy()  # current first column of each alive snode
+
+    def find(s):
+        root = s
+        while merged_into[root] != root:
+            root = merged_into[root]
+        while merged_into[s] != root:
+            merged_into[s], s = root, int(merged_into[s])
+        return int(root)
+
+    def candidate(c):
+        """Extra fill for merging alive snode ``c`` into its successor, or
+        None when the successor is not its parent."""
+        p = next_sn[c]
+        if p == -1:
+            return None
+        par = parent0[c]
+        if par == -1 or find(int(par)) != p:
+            return None
+        return merge_extra_fill(int(w[c]), int(b[c]), int(w[p]), int(b[p]))
+
+    heap = []
+    for c in range(nsup):
+        extra = candidate(c)
+        if extra is not None:
+            heapq.heappush(heap, (extra, c))
+    spent = 0
+    while heap:
+        extra, c = heapq.heappop(heap)
+        if not alive[c]:
+            continue
+        cur = candidate(c)
+        if cur is None or cur != extra:
+            if cur is not None:
+                heapq.heappush(heap, (cur, c))
+            continue
+        if spent + extra > budget:
+            break
+        p = int(next_sn[c])
+        spent += extra
+        # merge c into p (p keeps its id; its columns now start at c's)
+        w[p] += w[c]
+        first_col[p] = first_col[c]
+        alive[c] = False
+        merged_into[c] = p
+        prv = int(prev_sn[c])
+        prev_sn[p] = prv
+        if prv != -1:
+            next_sn[prv] = p
+            cur = candidate(prv)
+            if cur is not None:
+                heapq.heappush(heap, (cur, prv))
+        cur = candidate(p)
+        if cur is not None:
+            heapq.heappush(heap, (cur, p))
+
+    # rebuild boundaries by walking the linked list of alive snodes
+    heads = np.flatnonzero(alive & (prev_sn == -1))
+    if heads.size != 1:
+        raise AssertionError("amalgamation linked list corrupted")
+    bounds = []
+    s = int(heads[0])
+    while s != -1:
+        bounds.append(int(first_col[s]))
+        s = int(next_sn[s])
+    bounds.append(int(snptr[-1]))
+    return np.asarray(bounds, dtype=np.int64)

@@ -1,0 +1,107 @@
+"""Column counts of the Cholesky factor, without forming its structure.
+
+``column_counts`` implements the Gilbert–Ng–Peyton skeleton/least-common-
+ancestor algorithm (the one in CSparse's ``cs_counts``), which runs in nearly
+O(|A|) time: each strictly-lower entry ``a_ij`` is tested for being a leaf of
+the row subtree ``T_i`` via first-descendant numbers, and overlap between
+consecutive leaves is subtracted at their LCA (found with path compression).
+
+``column_counts_reference`` is the brute-force symbolic-elimination version
+used as the test oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .etree import first_descendants, postorder
+
+__all__ = ["column_counts", "column_counts_reference"]
+
+
+def column_counts(A, parent, post=None):
+    """Counts ``|struct(L_{*,j})|`` (including the diagonal) for each j.
+
+    Parameters
+    ----------
+    A:
+        :class:`~repro.sparse.csc.SymmetricCSC` (lower triangle).
+    parent:
+        Elimination tree of ``A``.
+    post:
+        Optional postorder of ``parent`` (computed when omitted).
+    """
+    n = A.n
+    if post is None:
+        post = postorder(parent)
+    first = first_descendants(parent, post)
+    # delta[j] = 1 iff j is a leaf of the elimination tree
+    delta = np.zeros(n, dtype=np.int64)
+    childcount = np.zeros(n, dtype=np.int64)
+    has_parent = parent >= 0
+    np.add.at(childcount, parent[has_parent], 1)
+    delta[childcount == 0] = 1
+    maxfirst = np.full(n, -1, dtype=np.int64)
+    prevleaf = np.full(n, -1, dtype=np.int64)
+    ancestor = np.arange(n, dtype=np.int64)
+    indptr, indices = A.indptr, A.indices
+    for k in range(n):
+        j = int(post[k])
+        if parent[j] != -1:
+            delta[parent[j]] -= 1  # child subtree overlaps parent's diagonal
+        for p in range(indptr[j] + 1, indptr[j + 1]):  # strictly-lower of col j
+            i = int(indices[p])
+            if first[j] > maxfirst[i]:
+                # j is a new leaf of the row subtree T_i
+                delta[j] += 1
+                maxfirst[i] = first[j]
+                q = int(prevleaf[i])
+                if q != -1:
+                    # LCA(prevleaf[i], j) via path compression on `ancestor`
+                    r = q
+                    while r != ancestor[r]:
+                        r = int(ancestor[r])
+                    # compress the path q -> r
+                    while q != r:
+                        nxt = int(ancestor[q])
+                        ancestor[q] = r
+                        q = nxt
+                    delta[r] -= 1  # subtract the overlap counted twice
+                prevleaf[i] = j
+        if parent[j] != -1:
+            ancestor[j] = parent[j]
+    counts = delta
+    for k in range(n):
+        j = int(post[k])
+        if parent[j] != -1:
+            counts[parent[j]] += counts[j]
+    return counts
+
+
+def column_counts_reference(A, parent=None):
+    """O(|L|)-memory brute force: build each column's structure bottom-up
+    (``struct(j) = A-struct(j) ∪ ⋃_child struct(child) \\ {child}``) and
+    return its size.  Quadratic-ish; for tests only."""
+    from .etree import elimination_tree
+
+    n = A.n
+    if parent is None:
+        parent = elimination_tree(A)
+    structs = [None] * n
+    counts = np.zeros(n, dtype=np.int64)
+    for j in range(n):
+        rows = A.indices[A.indptr[j]:A.indptr[j + 1]]
+        s = set(int(r) for r in rows)
+        if structs[j] is not None:
+            s |= structs[j]
+        s.add(j)
+        counts[j] = len(s)
+        p = parent[j]
+        if p >= 0:
+            s.discard(j)
+            if structs[p] is None:
+                structs[p] = s
+            else:
+                structs[p] |= s
+        structs[j] = None
+    return counts

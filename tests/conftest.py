@@ -1,0 +1,69 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.sparse import (
+    SymmetricCSC,
+    grid_laplacian,
+    random_spd,
+    tridiagonal,
+    vector_stencil,
+)
+from repro.symbolic import analyze
+
+
+@pytest.fixture(scope="session")
+def small_grid():
+    """An 8x8x3 Laplacian — small but with real 3-D structure."""
+    return grid_laplacian((8, 8, 3))
+
+
+@pytest.fixture(scope="session")
+def small_vec():
+    """A 3-dof vector stencil — produces chunky supernodes."""
+    return vector_stencil((5, 5, 4), 3, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_random():
+    """A random sparse SPD matrix."""
+    return random_spd(120, density=0.05, seed=3)
+
+
+@pytest.fixture(scope="session")
+def analyzed_grid(small_grid):
+    """Full symbolic pipeline output for the small grid."""
+    return analyze(small_grid)
+
+
+@pytest.fixture(scope="session")
+def analyzed_vec(small_vec):
+    return analyze(small_vec)
+
+
+@pytest.fixture(scope="session")
+def tiny_tridiag():
+    return tridiagonal(16)
+
+
+def dense_chol_lower(system):
+    """Reference lower Cholesky factor of an AnalyzedSystem's matrix."""
+    return np.tril(sla.cholesky(system.matrix.to_dense(), lower=True))
+
+
+def assert_factor_matches(result, system, tol=1e-10):
+    """Assert a FactorizeResult's storage equals the dense reference."""
+    L = result.storage.to_dense_lower()
+    Lref = dense_chol_lower(system)
+    err = np.abs(L - Lref).max()
+    assert err < tol, f"factor mismatch: max abs error {err}"
+
+
+def random_spd_dense(n, rng):
+    """Dense random SPD matrix for oracle tests."""
+    M = rng.standard_normal((n, n))
+    return M @ M.T + n * np.eye(n)

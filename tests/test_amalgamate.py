@@ -1,0 +1,96 @@
+"""Supernode amalgamation tests (the paper's 25 %-growth merge policy)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import grid_laplacian, vector_stencil
+from repro.symbolic import (
+    amalgamate,
+    analyze,
+    merge_extra_fill,
+    symbolic_factorization,
+    validate_snptr,
+)
+
+
+@pytest.fixture(scope="module")
+def fundamental_system():
+    A = grid_laplacian((7, 7, 4))
+    return analyze(A, merge=False, refine=False)
+
+
+class TestMergeExtraFill:
+    def test_zero_fill_perfect_chain(self):
+        # child (1 col, rows exactly = parent's panel) merges free:
+        # child w=1, b=3; parent w=2, b=1 -> merged w=3, b=1
+        # old = (1*4 - 0) + (2*3 - 1) = 4 + 5 = 9; new = 3*4 - 3 = 9
+        assert merge_extra_fill(1, 3, 2, 1) == 0
+
+    def test_positive_fill_sparse_child(self):
+        # child with fewer rows than the parent panel pads zeros
+        extra = merge_extra_fill(1, 1, 2, 1)
+        assert extra == 2  # new = 3*4-3 = 9; old = (2) + (5) = 7
+
+    def test_formula_vs_bruteforce(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            wc, bc, wp, bp = rng.integers(1, 10, size=4)
+            bc = int(bc)
+
+            def trap(w, b):
+                return sum((w + b) - k for k in range(w))
+
+            expected = trap(wc + wp, bp) - trap(wc, bc) - trap(wp, bp)
+            assert merge_extra_fill(int(wc), bc, int(wp), int(bp)) == expected
+
+
+class TestAmalgamate:
+    def test_growth_cap_respected(self, fundamental_system):
+        symb0 = fundamental_system.symb
+        base = symb0.factor_nnz_dense()
+        for cap in (0.0, 0.1, 0.25, 0.5):
+            snptr = amalgamate(symb0, growth_cap=cap)
+            validate_snptr(snptr, symb0.n)
+            symb1 = symbolic_factorization(fundamental_system.matrix, snptr)
+            growth = symb1.factor_nnz_dense() / base - 1
+            assert growth <= cap + 1e-12
+
+    def test_zero_cap_still_merges_free_pairs(self, fundamental_system):
+        # zero-fill merges cost nothing and are always taken first
+        snptr = amalgamate(fundamental_system.symb, growth_cap=0.0)
+        assert snptr.size <= fundamental_system.symb.snptr.size
+
+    def test_coarsens_partition(self, fundamental_system):
+        snptr = amalgamate(fundamental_system.symb, growth_cap=0.25)
+        assert snptr.size < fundamental_system.symb.snptr.size
+
+    def test_monotone_in_cap(self, fundamental_system):
+        sizes = [amalgamate(fundamental_system.symb, growth_cap=c).size
+                 for c in (0.0, 0.1, 0.25, 0.5)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_boundaries_subset_of_fundamental(self, fundamental_system):
+        # merging only removes boundaries, never adds
+        snptr0 = set(fundamental_system.symb.snptr.tolist())
+        snptr1 = set(amalgamate(fundamental_system.symb).tolist())
+        assert snptr1 <= snptr0
+
+    def test_merged_structure_still_valid(self, fundamental_system):
+        import scipy.linalg as sla
+
+        snptr = amalgamate(fundamental_system.symb)
+        symb = symbolic_factorization(fundamental_system.matrix, snptr)
+        L = sla.cholesky(fundamental_system.matrix.to_dense(), lower=True)
+        pat = np.abs(np.tril(L)) > 1e-13
+        cover = np.zeros_like(pat)
+        for s in range(symb.nsup):
+            f, l = symb.snode_cols(s)
+            rows = symb.snode_rows(s)
+            for c in range(f, l):
+                cover[rows[rows >= c], c] = True
+        assert (~pat | cover).all()
+
+    def test_vec_stencil(self, small_vec):
+        system = analyze(small_vec, merge=False, refine=False)
+        snptr = amalgamate(system.symb)
+        validate_snptr(snptr, small_vec.n)

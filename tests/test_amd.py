@@ -1,0 +1,154 @@
+"""Tests for the approximate-minimum-degree (AMD) ordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ordering import (
+    adjacency_from_matrix,
+    approximate_minimum_degree,
+    evaluate_ordering,
+    minimum_degree,
+    order_matrix,
+)
+from repro.sparse import grid_laplacian, random_spd, tridiagonal
+from repro.symbolic import analyze
+
+
+def is_permutation(p, n):
+    return p.dtype == np.int64 and sorted(p.tolist()) == list(range(n))
+
+
+class TestBasics:
+    def test_permutation_on_grid(self):
+        A = grid_laplacian((10, 10))
+        p = approximate_minimum_degree(adjacency_from_matrix(A))
+        assert is_permutation(p, A.n)
+
+    def test_empty_graph(self):
+        from repro.ordering.graph import AdjacencyGraph
+
+        g = AdjacencyGraph(0, np.zeros(1, dtype=np.int64),
+                           np.empty(0, dtype=np.int64))
+        assert approximate_minimum_degree(g).size == 0
+
+    def test_no_edges(self):
+        from repro.ordering.graph import AdjacencyGraph
+
+        g = AdjacencyGraph(5, np.zeros(6, dtype=np.int64),
+                           np.empty(0, dtype=np.int64))
+        p = approximate_minimum_degree(g)
+        assert is_permutation(p, 5)
+
+    def test_path_graph_is_perfect(self):
+        """A path has a perfect elimination ordering with zero fill; AMD
+        must find one (every step has a degree<=1 or degree-2 interior
+        vertex whose elimination adds at most an existing edge)."""
+        A = tridiagonal(30)
+        p = approximate_minimum_degree(adjacency_from_matrix(A))
+        q = evaluate_ordering(A, p)
+        assert q.factor_nnz == A.nnz_lower
+
+    def test_deterministic(self):
+        A = grid_laplacian((9, 9))
+        g = adjacency_from_matrix(A)
+        p1 = approximate_minimum_degree(g)
+        p2 = approximate_minimum_degree(g)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_star_graph(self):
+        """AMD must eliminate the leaves of a star before its hub."""
+        import scipy.sparse as sp
+
+        n = 12
+        rows = list(range(1, n)) + [0] * (n - 1) + list(range(n))
+        cols = [0] * (n - 1) + list(range(1, n)) + list(range(n))
+        vals = [-1.0] * (2 * (n - 1)) + [float(n)] * n
+        from repro.sparse import SymmetricCSC
+
+        A = SymmetricCSC.from_scipy(
+            sp.csc_matrix((vals, (rows, cols)), shape=(n, n)))
+        p = approximate_minimum_degree(adjacency_from_matrix(A))
+        assert is_permutation(p, n)
+        assert p[-1] == 0 or evaluate_ordering(A, p).fill_ratio == 1.0
+
+
+class TestQuality:
+    @pytest.mark.parametrize("builder", [
+        lambda: grid_laplacian((12, 12)),
+        lambda: grid_laplacian((5, 5, 5)),
+        lambda: random_spd(140, density=0.05, seed=9),
+    ])
+    def test_fill_close_to_exact_mindeg(self, builder):
+        A = builder()
+        g = adjacency_from_matrix(A)
+        f_amd = evaluate_ordering(A, approximate_minimum_degree(g)).factor_nnz
+        f_md = evaluate_ordering(A, minimum_degree(g)).factor_nnz
+        # AMD's approximate degrees cost at most a modest quality penalty
+        assert f_amd <= 1.25 * f_md
+
+    def test_beats_natural_ordering_on_grid(self):
+        A = grid_laplacian((14, 14))
+        g = adjacency_from_matrix(A)
+        f_amd = evaluate_ordering(A, approximate_minimum_degree(g)).factor_nnz
+        f_nat = evaluate_ordering(A, np.arange(A.n)).factor_nnz
+        assert f_amd < f_nat
+
+    def test_aggressive_absorption_toggle(self):
+        A = grid_laplacian((10, 10))
+        g = adjacency_from_matrix(A)
+        p1 = approximate_minimum_degree(g, aggressive=True)
+        p2 = approximate_minimum_degree(g, aggressive=False)
+        assert is_permutation(p1, A.n) and is_permutation(p2, A.n)
+
+
+class TestPipelineIntegration:
+    def test_order_matrix_dispatch(self):
+        A = grid_laplacian((8, 8))
+        p = order_matrix(A, "amd")
+        assert is_permutation(p, A.n)
+
+    def test_analyze_with_amd_and_factorize(self):
+        from repro.numeric import factorize_rl_cpu
+        from tests.conftest import assert_factor_matches
+
+        system = analyze(grid_laplacian((7, 7, 2)), ordering="amd")
+        res = factorize_rl_cpu(system.symb, system.matrix)
+        assert_factor_matches(res, system)
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=2, max_value=28), st.integers(0, 10 ** 6))
+    def test_always_a_permutation(self, n, seed):
+        A = random_spd(n, density=0.15, seed=seed)
+        p = approximate_minimum_degree(adjacency_from_matrix(A))
+        assert is_permutation(p, n)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=3, max_value=22), st.integers(0, 10 ** 6))
+    def test_factorization_succeeds_under_amd(self, n, seed):
+        """The AMD permutation composed through the full pipeline still
+        yields a correct factorization (catches ordering/permutation
+        bookkeeping bugs)."""
+        from repro.numeric import factorize_rlb_cpu
+
+        A = random_spd(n, density=0.2, seed=seed)
+        system = analyze(A, ordering="amd")
+        res = factorize_rlb_cpu(system.symb, system.matrix)
+        L = res.storage.to_dense_lower()
+        np.testing.assert_allclose(
+            L @ L.T, system.matrix.to_dense(), atol=1e-8
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=24), st.integers(0, 10 ** 6))
+    def test_amd_not_wildly_worse_than_mindeg(self, n, seed):
+        A = random_spd(n, density=0.25, seed=seed)
+        g = adjacency_from_matrix(A)
+        f_amd = evaluate_ordering(A, approximate_minimum_degree(g)).factor_nnz
+        f_md = evaluate_ordering(A, minimum_degree(g)).factor_nnz
+        assert f_amd <= 1.5 * f_md + 5

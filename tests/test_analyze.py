@@ -1,0 +1,69 @@
+"""End-to-end symbolic pipeline tests (the §IV-A preprocessing chain)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import is_permutation, vector_stencil
+from repro.symbolic import analyze
+from repro.symbolic.etree import elimination_tree, is_postordered
+
+
+class TestPipeline:
+    def test_default_pipeline(self, small_grid):
+        system = analyze(small_grid)
+        assert is_permutation(system.perm, small_grid.n)
+        assert system.matrix.n == small_grid.n
+        assert system.nsup == system.symb.nsup
+
+    def test_permuted_matrix_consistent(self, small_grid):
+        system = analyze(small_grid)
+        D = small_grid.to_dense()
+        P = system.perm
+        assert np.allclose(system.matrix.to_dense(), D[np.ix_(P, P)])
+
+    def test_result_is_postordered(self, small_grid):
+        system = analyze(small_grid)
+        assert is_postordered(elimination_tree(system.matrix))
+
+    def test_merge_reduces_supernodes(self, small_vec):
+        plain = analyze(small_vec, merge=False, refine=False)
+        merged = analyze(small_vec, merge=True, refine=False)
+        assert merged.nsup < plain.nsup
+
+    def test_growth_cap_zero_vs_quarter(self, small_vec):
+        tight = analyze(small_vec, merge=True, refine=False, growth_cap=0.0)
+        loose = analyze(small_vec, merge=True, refine=False, growth_cap=0.25)
+        assert loose.nsup <= tight.nsup
+        assert (loose.symb.factor_nnz_dense()
+                >= tight.symb.factor_nnz_dense())
+
+    @pytest.mark.parametrize("ordering", ["nd", "mindeg", "rcm", "natural"])
+    def test_all_orderings(self, small_grid, ordering):
+        system = analyze(small_grid, ordering=ordering)
+        assert is_permutation(system.perm, small_grid.n)
+
+    def test_refine_keeps_partition_and_perm_valid(self, small_vec):
+        system = analyze(small_vec, refine=True)
+        assert is_permutation(system.perm, small_vec.n)
+
+    def test_maximal_supernodes_option(self, small_grid):
+        fund = analyze(small_grid, fundamental=True, merge=False,
+                       refine=False)
+        maxi = analyze(small_grid, fundamental=False, merge=False,
+                       refine=False)
+        assert maxi.nsup <= fund.nsup
+
+    def test_ordering_kwargs_forwarded(self, small_grid):
+        system = analyze(small_grid, ordering="nd",
+                         ordering_kwargs={"leaf_size": 16})
+        assert is_permutation(system.perm, small_grid.n)
+
+    def test_factorizable_after_every_variant(self, small_vec):
+        from repro.numeric import factorize_rl_cpu
+        from tests.conftest import assert_factor_matches
+
+        for merge in (False, True):
+            for refine in ((False,) if not merge else (False, True)):
+                system = analyze(small_vec, merge=merge, refine=refine)
+                res = factorize_rl_cpu(system.symb, system.matrix)
+                assert_factor_matches(res, system)

@@ -1,0 +1,76 @@
+"""Tests for the 21-matrix benchmark suite definition."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import SUITE, build_matrix, get_entry, suite_names
+from repro.sparse.collection import PaperStats
+
+
+class TestSuiteDefinition:
+    def test_exactly_21_matrices(self):
+        assert len(SUITE) == 21
+
+    def test_names_match_paper_order(self):
+        names = suite_names()
+        assert names[0] == "CurlCurl_2"
+        assert names[3] == "PFlow_742"
+        assert names[-1] == "Queen_4147"
+        assert names[-2] == "nlpkkt120"
+        assert len(set(names)) == 21
+
+    def test_paper_dimensions_all_large(self):
+        # the paper selects n >= 600,000
+        for e in SUITE:
+            assert e.paper_n >= 600_000
+
+    def test_nlpkkt120_rl_failed_in_paper(self):
+        e = get_entry("nlpkkt120")
+        assert e.rl.runtime_s is None
+        assert e.rl.speedup is None
+        assert e.rlb.runtime_s == pytest.approx(114.658)
+
+    def test_paper_speedup_extremes(self):
+        # Table I: min 1.31 (Flan_1565), max 4.47 (Bump_2911)
+        speedups = [e.rl.speedup for e in SUITE if e.rl.speedup]
+        assert min(speedups) == pytest.approx(1.31)
+        assert max(speedups) == pytest.approx(4.47)
+        # Table II: min 1.09 (dielFilterV2real), max 3.15 (Queen_4147)
+        rlb = [e.rlb.speedup for e in SUITE if e.rlb.speedup]
+        assert min(rlb) == pytest.approx(1.09)
+        assert max(rlb) == pytest.approx(3.15)
+
+    def test_get_entry_unknown(self):
+        with pytest.raises(KeyError, match="unknown suite matrix"):
+            get_entry("nosuchmatrix")
+        with pytest.raises(KeyError):
+            build_matrix("nosuchmatrix")
+
+
+class TestSurrogateProperties:
+    @pytest.mark.parametrize("name", ["CurlCurl_2", "PFlow_742", "bone010",
+                                      "nlpkkt80", "Fault_639"])
+    def test_builders_produce_valid_spd_structure(self, name):
+        A = build_matrix(name)
+        assert A.n > 500
+        # diagonal dominance by construction => positive diagonal
+        assert (A.diagonal() > 0).all()
+
+    def test_builders_deterministic(self):
+        a = build_matrix("bone010")
+        b = build_matrix("bone010")
+        assert np.array_equal(a.data, b.data)
+
+    def test_work_grows_down_the_table(self):
+        # the last three matrices must carry much more factorization work
+        # than the first three (the paper's table is ordered by runtime)
+        from repro.ordering import evaluate_ordering, order_matrix
+
+        def flops(name):
+            A = build_matrix(name)
+            p = order_matrix(A, "nd")
+            return evaluate_ordering(A, p).factor_flops
+
+        head = max(flops(n) for n in suite_names()[:2])
+        tail = min(flops(n) for n in suite_names()[-2:])
+        assert tail > 5 * head

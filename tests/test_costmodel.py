@@ -1,0 +1,141 @@
+"""Cost model tests: monotonicity, graded dilation, baseline protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.costmodel import (
+    CPU_THREAD_CHOICES,
+    CpuModel,
+    GpuModel,
+    MachineModel,
+    TransferModel,
+    kernel_flops,
+)
+from repro.numeric import gpu_snode_mask
+
+
+class TestKernelFlops:
+    def test_kinds(self):
+        assert kernel_flops("potrf", 0, 4) > 0
+        assert kernel_flops("trsm", 3, 4) == 48
+        assert kernel_flops("syrk", 0, 3, 2) == 24
+        assert kernel_flops("gemm", 2, 2, 2) == 16
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            kernel_flops("axpy", 1, 1)
+
+
+class TestCpuModel:
+    def test_more_threads_never_slower_at_fixed_flops(self):
+        cpu = CpuModel()
+        f = 1e10
+        times = [cpu.kernel_time(f, t) for t in CPU_THREAD_CHOICES]
+        assert times == sorted(times, reverse=True)
+
+    def test_small_kernels_single_threaded(self):
+        cpu = CpuModel()
+        f = cpu.parallel_grain_flops / 10
+        assert cpu.kernel_time(f, 128) == pytest.approx(
+            cpu.kernel_time(f, 8))
+
+    def test_overhead_floor(self):
+        cpu = CpuModel()
+        assert cpu.kernel_time(1.0, 128) >= cpu.call_overhead_s
+
+    def test_assembly_bandwidth_saturates(self):
+        cpu = CpuModel()
+        t_sat = int(np.ceil(cpu.assembly_max_gbs / cpu.assembly_thread_gbs))
+        a = cpu.assembly_time(1e9, t_sat)
+        b = cpu.assembly_time(1e9, t_sat * 4)
+        assert a == pytest.approx(b)
+
+    def test_best_threads(self):
+        cpu = CpuModel()
+        best_t, best_v = cpu.best_threads({8: 3.0, 16: 1.0, 32: 2.0})
+        assert best_t == 16 and best_v == 1.0
+
+
+class TestGpuModel:
+    def test_monotone_in_flops(self):
+        gpu = GpuModel()
+        assert gpu.kernel_time(1e6) < gpu.kernel_time(1e9) < gpu.kernel_time(1e12)
+
+    def test_launch_floor(self):
+        gpu = GpuModel()
+        assert gpu.kernel_time(0.0) >= gpu.launch_s
+
+    def test_asymptotic_rate(self):
+        gpu = GpuModel()
+        f = 1e15
+        rate = f / gpu.kernel_time(f)
+        assert rate == pytest.approx(gpu.peak_gflops * 1e9, rel=0.01)
+
+
+class TestTransferModel:
+    def test_latency_floor(self):
+        tr = TransferModel()
+        assert tr.time(0) == tr.latency_s
+
+    def test_bandwidth(self):
+        tr = TransferModel()
+        dt = tr.time(tr.bandwidth_gbs * 1e9) - tr.latency_s
+        assert dt == pytest.approx(1.0)
+
+
+class TestGradedDilation:
+    def test_sigma_limits(self):
+        mm = MachineModel()
+        assert mm.sigma_flops(mm.flops_lo / 2) == 1.0
+        assert mm.sigma_flops(mm.flops_hi * 2) == mm.dilation
+        assert mm.sigma_entries(mm.entries_lo / 2) == 1.0
+        assert mm.sigma_entries(mm.entries_hi * 2) == mm.dilation
+
+    def test_sigma_monotone(self):
+        mm = MachineModel()
+        xs = np.logspace(2, 9, 40)
+        sf = [mm.sigma_flops(x) for x in xs]
+        assert all(a <= b + 1e-12 for a, b in zip(sf, sf[1:]))
+
+    def test_scaled_flops_monotone(self):
+        mm = MachineModel()
+        fs = [mm.scaled_kernel_flops("syrk", n=n, k=n // 2)
+              for n in (4, 16, 64, 256, 1024)]
+        assert fs == sorted(fs)
+
+    def test_scaled_bytes_bounds(self):
+        mm = MachineModel()
+        nb = 8 * 1000  # small: sigma ~ 1
+        assert mm.scaled_bytes(nb) == pytest.approx(nb)
+        nb = 8 * int(mm.entries_hi * 10)
+        assert mm.scaled_bytes(nb) == pytest.approx(nb * mm.dilation ** 2)
+
+    @given(st.floats(min_value=1.0, max_value=1e12))
+    @settings(max_examples=50, deadline=None)
+    def test_sigma_in_range_property(self, f):
+        mm = MachineModel()
+        s = mm.sigma_flops(f)
+        assert 1.0 <= s <= mm.dilation
+
+
+class TestThresholdMask:
+    def test_mask_counts_match_engine(self, analyzed_vec):
+        from repro.numeric import factorize_rl_gpu
+
+        symb = analyzed_vec.symb
+        mm = MachineModel()
+        for thr in (0, 100_000, 10 ** 12):
+            mask = gpu_snode_mask(symb, thr, machine=mm)
+            res = factorize_rl_gpu(analyzed_vec.symb, analyzed_vec.matrix,
+                                   machine=mm, threshold=thr,
+                                   device_memory=10 ** 15)
+            assert res.snodes_on_gpu == int(mask.sum())
+
+    def test_zero_threshold_all_on_gpu(self, analyzed_grid):
+        mask = gpu_snode_mask(analyzed_grid.symb, 0)
+        assert mask.all()
+
+    def test_huge_threshold_none_on_gpu(self, analyzed_grid):
+        mask = gpu_snode_mask(analyzed_grid.symb, 10 ** 15)
+        assert not mask.any()

@@ -1,0 +1,147 @@
+"""Unit tests for SymmetricCSC construction, validation and operations."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import SymmetricCSC, grid_laplacian, random_spd
+
+
+class TestFromCoo:
+    def test_basic_lower(self):
+        A = SymmetricCSC.from_coo(3, [0, 1, 2, 2], [0, 1, 2, 0],
+                                  [2.0, 3.0, 4.0, 1.0])
+        assert A.n == 3
+        assert A.nnz_lower == 4
+        rows, vals = A.column(0)
+        assert rows.tolist() == [0, 2]
+        assert vals.tolist() == [2.0, 1.0]
+
+    def test_upper_entries_mirrored(self):
+        # (0, 2) in the upper triangle must land in column 0, row 2
+        A = SymmetricCSC.from_coo(3, [0, 1, 2, 0], [0, 1, 2, 2],
+                                  [2.0, 3.0, 4.0, 5.0])
+        rows, vals = A.column(0)
+        assert rows.tolist() == [0, 2]
+        assert vals.tolist() == [2.0, 5.0]
+
+    def test_missing_diagonal_inserted_as_zero(self):
+        A = SymmetricCSC.from_coo(2, [1], [0], [7.0])
+        d = A.diagonal()
+        assert d.tolist() == [0.0, 0.0]
+        assert A.nnz_lower == 3
+
+    def test_duplicates_summed(self):
+        A = SymmetricCSC.from_coo(2, [1, 1, 0, 1], [0, 0, 0, 1],
+                                  [1.0, 2.0, 5.0, 1.0])
+        rows, vals = A.column(0)
+        assert vals.tolist() == [5.0, 3.0]
+
+    def test_duplicates_rejected_when_disabled(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SymmetricCSC.from_coo(2, [1, 1, 0, 1], [0, 0, 0, 1],
+                                  [1.0, 2.0, 5.0, 1.0],
+                                  sum_duplicates=False)
+
+    def test_out_of_range_indices(self):
+        with pytest.raises(ValueError, match="out of range"):
+            SymmetricCSC.from_coo(2, [2], [0], [1.0])
+        with pytest.raises(ValueError, match="out of range"):
+            SymmetricCSC.from_coo(2, [-1], [0], [1.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            SymmetricCSC.from_coo(2, [0, 1], [0], [1.0])
+
+    def test_empty_matrix(self):
+        A = SymmetricCSC.from_coo(3, [], [], [])
+        assert A.nnz_lower == 3  # three inserted diagonal zeros
+        assert np.array_equal(A.diagonal(), np.zeros(3))
+
+
+class TestFromDense:
+    def test_roundtrip(self):
+        D = np.array([[4.0, 1.0, 0.0], [1.0, 5.0, 2.0], [0.0, 2.0, 6.0]])
+        A = SymmetricCSC.from_dense(D)
+        assert np.allclose(A.to_dense(), D)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            SymmetricCSC.from_dense(np.ones((2, 3)))
+
+    def test_rejects_nonsymmetric(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            SymmetricCSC.from_dense(np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+    def test_drop_tol(self):
+        D = np.array([[4.0, 1e-15], [1e-15, 5.0]])
+        A = SymmetricCSC.from_dense(D, drop_tol=1e-12)
+        assert A.nnz_lower == 2
+
+
+class TestValidation:
+    def test_unsorted_rows_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            SymmetricCSC(2, [0, 3, 4], [0, 1, 1, 1], [1.0, 1.0, 1.0, 1.0])
+
+    def test_missing_diagonal_rejected(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            SymmetricCSC(2, [0, 1, 2], [1, 1], [1.0, 1.0])
+
+    def test_bad_indptr(self):
+        with pytest.raises(ValueError):
+            SymmetricCSC(2, [0, 1], [0, 1], [1.0, 1.0])
+
+    def test_indices_data_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            SymmetricCSC(2, [0, 1, 2], [0, 1], [1.0])
+
+
+class TestConversions:
+    def test_to_scipy_full_symmetric(self, small_grid):
+        S = small_grid.to_scipy(full=True)
+        D = small_grid.to_dense()
+        assert np.allclose(S.toarray(), D)
+        assert np.allclose(D, D.T)
+
+    def test_to_scipy_lower(self, small_grid):
+        S = small_grid.to_scipy(full=False)
+        assert np.allclose(S.toarray(), np.tril(small_grid.to_dense()))
+
+    def test_from_scipy_roundtrip(self, small_grid):
+        S = small_grid.to_scipy(full=True)
+        B = SymmetricCSC.from_scipy(S)
+        assert np.allclose(B.to_dense(), small_grid.to_dense())
+
+    def test_nnz_full(self, small_grid):
+        D = small_grid.to_dense()
+        assert small_grid.nnz_full == np.count_nonzero(D) + (
+            small_grid.n - np.count_nonzero(np.diag(D))
+        )
+
+
+class TestNumericHelpers:
+    def test_matvec_matches_dense(self, small_grid):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(small_grid.n)
+        assert np.allclose(small_grid.matvec(x), small_grid.to_dense() @ x)
+
+    def test_matvec_shape_check(self, small_grid):
+        with pytest.raises(ValueError):
+            small_grid.matvec(np.ones(small_grid.n + 1))
+
+    def test_shift_diagonal(self, small_grid):
+        B = small_grid.shift_diagonal(2.5)
+        assert np.allclose(B.diagonal(), small_grid.diagonal() + 2.5)
+        # structure unchanged
+        assert np.array_equal(B.indices, small_grid.indices)
+
+    @given(st.integers(min_value=2, max_value=25), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_matvec_random_property(self, n, seed):
+        A = random_spd(n, density=0.3, seed=seed % 1000)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n)
+        assert np.allclose(A.matvec(x), A.to_dense() @ x, atol=1e-10)

@@ -1,0 +1,116 @@
+"""Dense kernel wrapper tests (DPOTRF / DTRSM / DSYRK / DGEMM)."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.dense import (
+    NotPositiveDefiniteError,
+    factorize_panel,
+    gemm_nt,
+    gemm_flops,
+    potrf,
+    potrf_flops,
+    syrk_flops,
+    syrk_lower,
+    trsm_flops,
+    trsm_right,
+)
+from tests.conftest import random_spd_dense
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestPotrf:
+    def test_matches_scipy(self, rng):
+        A = np.asfortranarray(random_spd_dense(8, rng))
+        L = sla.cholesky(A, lower=True)
+        potrf(A)
+        assert np.allclose(np.tril(A), np.tril(L))
+
+    def test_in_place(self, rng):
+        A = np.asfortranarray(random_spd_dense(5, rng))
+        out = potrf(A)
+        assert out is A
+
+    def test_not_positive_definite(self):
+        A = np.asfortranarray(-np.eye(3))
+        with pytest.raises(NotPositiveDefiniteError) as ei:
+            potrf(A)
+        assert ei.value.pivot == 0
+
+    def test_upper_untouched(self, rng):
+        A = np.asfortranarray(random_spd_dense(6, rng))
+        upper = np.triu(A, 1).copy()
+        potrf(A)
+        assert np.array_equal(np.triu(A, 1), upper)
+
+
+class TestTrsm:
+    def test_solves_right_transposed(self, rng):
+        L = np.asfortranarray(np.tril(rng.standard_normal((5, 5)))
+                              + 5 * np.eye(5))
+        B = np.asfortranarray(rng.standard_normal((7, 5)))
+        X_ref = B @ np.linalg.inv(L.T)
+        trsm_right(B, L)
+        assert np.allclose(B, X_ref)
+
+    def test_empty_rect(self):
+        L = np.asfortranarray(np.eye(3))
+        B = np.zeros((0, 3), order="F")
+        assert trsm_right(B, L) is B
+
+
+class TestSyrkGemm:
+    def test_syrk_lower_correct(self, rng):
+        A = np.asfortranarray(rng.standard_normal((6, 4)))
+        U = syrk_lower(A)
+        assert np.allclose(np.tril(U), np.tril(A @ A.T))
+
+    def test_syrk_out_buffer(self, rng):
+        A = np.asfortranarray(rng.standard_normal((4, 3)))
+        out = np.zeros((8, 8), order="F")
+        syrk_lower(A, out=out)
+        assert np.allclose(np.tril(out[:4, :4]), np.tril(A @ A.T))
+        assert np.all(out[4:, :] == 0)
+
+    def test_gemm_nt(self, rng):
+        A = np.asfortranarray(rng.standard_normal((5, 3)))
+        B = np.asfortranarray(rng.standard_normal((4, 3)))
+        C = gemm_nt(A, B)
+        assert np.allclose(C, A @ B.T)
+
+    def test_gemm_out_buffer(self, rng):
+        A = np.asfortranarray(rng.standard_normal((2, 3)))
+        B = np.asfortranarray(rng.standard_normal((3, 3)))
+        out = np.zeros((5, 5), order="F")
+        gemm_nt(A, B, out=out)
+        assert np.allclose(out[:2, :3], A @ B.T)
+
+
+class TestFactorizePanel:
+    def test_full_panel(self, rng):
+        # build an SPD matrix, take its leading panel relationship:
+        # panel = [L11; L21] such that [A11; A21] = panel applied
+        n, w = 9, 4
+        A = random_spd_dense(n, rng)
+        L = sla.cholesky(A, lower=True)
+        panel = np.asfortranarray(A[:, :w].copy())
+        factorize_panel(panel, w)
+        assert np.allclose(np.tril(panel[:w, :w]), np.tril(L[:w, :w]))
+        assert np.allclose(panel[w:, :w], L[w:, :w])
+
+
+class TestFlopCounts:
+    def test_values(self):
+        assert potrf_flops(3) == pytest.approx(27 / 3 + 4.5)
+        assert trsm_flops(4, 3) == 36
+        assert syrk_flops(3, 2) == 24
+        assert gemm_flops(2, 3, 4) == 48
+
+    def test_monotonic(self):
+        assert potrf_flops(10) < potrf_flops(20)
+        assert syrk_flops(10, 5) < syrk_flops(10, 9)

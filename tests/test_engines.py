@@ -1,0 +1,114 @@
+"""Numeric factorization engine tests: every engine against the dense
+reference, plus engine-specific behaviour (workspace, block pairs, result
+metadata)."""
+
+import numpy as np
+import pytest
+
+from repro.dense import NotPositiveDefiniteError
+from repro.numeric import (
+    factorize_left_looking,
+    factorize_rl_cpu,
+    factorize_rlb_cpu,
+    simplicial_cholesky,
+    update_workspace_entries,
+)
+from repro.sparse import grid_laplacian, random_spd, vector_stencil
+from repro.symbolic import analyze
+from tests.conftest import assert_factor_matches, dense_chol_lower
+
+ENGINES = [factorize_rl_cpu, factorize_rlb_cpu, factorize_left_looking]
+
+
+@pytest.fixture(scope="module", params=["grid", "vec", "random", "aniso"])
+def system(request):
+    from repro.sparse import anisotropic_laplacian
+
+    A = {
+        "grid": lambda: grid_laplacian((7, 6, 3)),
+        "vec": lambda: vector_stencil((4, 4, 3), 3, seed=2),
+        "random": lambda: random_spd(150, density=0.06, seed=8),
+        "aniso": lambda: anisotropic_laplacian((8, 6, 4)),
+    }[request.param]()
+    return analyze(A)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("engine", ENGINES,
+                             ids=[e.__name__ for e in ENGINES])
+    def test_factor_matches_dense(self, system, engine):
+        res = engine(system.symb, system.matrix)
+        assert_factor_matches(res, system)
+
+    @pytest.mark.parametrize("engine", ENGINES,
+                             ids=[e.__name__ for e in ENGINES])
+    def test_no_preprocessing_pipeline(self, engine, small_grid):
+        # engines must also work on natural-order fundamental partitions
+        system = analyze(small_grid, ordering="natural", merge=False,
+                         refine=False)
+        res = engine(system.symb, system.matrix)
+        assert_factor_matches(res, system)
+
+    def test_not_positive_definite_detected(self, small_grid):
+        system = analyze(small_grid.shift_diagonal(-100.0))
+        with pytest.raises(NotPositiveDefiniteError):
+            factorize_rl_cpu(system.symb, system.matrix)
+
+
+class TestSimplicial:
+    def test_matches_dense(self, system):
+        ip, ix, dv = simplicial_cholesky(system.matrix)
+        n = system.matrix.n
+        L = np.zeros((n, n))
+        for j in range(n):
+            L[ix[ip[j]:ip[j + 1]], j] = dv[ip[j]:ip[j + 1]]
+        assert np.abs(L - dense_chol_lower(system)).max() < 1e-9
+
+    def test_not_positive_definite(self):
+        from repro.sparse import tridiagonal
+
+        A = tridiagonal(5).shift_diagonal(-10.0)
+        with pytest.raises(NotPositiveDefiniteError):
+            simplicial_cholesky(A)
+
+    def test_structure_sorted(self, tiny_tridiag):
+        ip, ix, _ = simplicial_cholesky(tiny_tridiag)
+        for j in range(tiny_tridiag.n):
+            col = ix[ip[j]:ip[j + 1]]
+            assert col[0] == j
+            assert (np.diff(col) > 0).all()
+
+
+class TestResultMetadata:
+    def test_rl_fields(self, system):
+        res = factorize_rl_cpu(system.symb, system.matrix)
+        assert res.method == "rl"
+        assert res.total_snodes == system.symb.nsup
+        assert res.best_threads in res.cpu_times_by_threads
+        assert res.modeled_seconds == min(res.cpu_times_by_threads.values())
+        assert res.flops > 0
+        assert res.kernel_count >= system.symb.nsup
+        assert res.extra["workspace_entries"] == update_workspace_entries(
+            system.symb)
+
+    def test_rlb_fields(self, system):
+        res = factorize_rlb_cpu(system.symb, system.matrix)
+        assert res.method == "rlb"
+        assert res.extra["block_pairs"] >= 0
+        # RLB issues at least as many kernels as RL
+        rl = factorize_rl_cpu(system.symb, system.matrix)
+        assert res.kernel_count >= rl.kernel_count
+
+    def test_rl_and_rlb_same_scaled_flops(self, system):
+        # both methods perform the same arithmetic (RLB's pair updates
+        # tile RL's full update); modeled flop totals agree closely
+        rl = factorize_rl_cpu(system.symb, system.matrix)
+        rlb = factorize_rlb_cpu(system.symb, system.matrix)
+        # raw flop identity holds exactly; dilation weights kernels by size,
+        # so compare within a tolerance
+        assert rlb.flops == pytest.approx(rl.flops, rel=0.35)
+
+    def test_left_looking_fields(self, system):
+        res = factorize_left_looking(system.symb, system.matrix)
+        assert res.method == "left_looking"
+        assert res.assembly_bytes > 0

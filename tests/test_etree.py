@@ -1,0 +1,120 @@
+"""Elimination-tree tests, including a brute-force oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import (
+    children_lists,
+    elimination_tree,
+    etree_heights,
+    first_descendants,
+    is_postordered,
+    postorder,
+)
+from repro.sparse import SymmetricCSC, random_spd, tridiagonal
+
+
+def etree_bruteforce(A):
+    """Parent[j] = min row index of the fill-in structure below j."""
+    D = A.to_dense() != 0
+    n = A.n
+    L = D.copy()
+    # symbolic elimination: struct(col j) propagates to parent
+    parent = np.full(n, -1, dtype=np.int64)
+    for j in range(n):
+        rows = np.flatnonzero(L[:, j])
+        rows = rows[rows > j]
+        if rows.size:
+            p = rows.min()
+            parent[j] = p
+            L[rows, p] = True
+    return parent
+
+
+class TestEliminationTree:
+    def test_tridiagonal_chain(self):
+        parent = elimination_tree(tridiagonal(5))
+        assert parent.tolist() == [1, 2, 3, 4, -1]
+
+    def test_matches_bruteforce(self, small_grid):
+        assert np.array_equal(elimination_tree(small_grid),
+                              etree_bruteforce(small_grid))
+
+    def test_matches_bruteforce_random(self):
+        for seed in range(5):
+            A = random_spd(40, density=0.1, seed=seed)
+            assert np.array_equal(elimination_tree(A), etree_bruteforce(A))
+
+    @given(st.integers(min_value=2, max_value=35), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_bruteforce_property(self, n, seed):
+        A = random_spd(n, density=0.2, seed=seed % 499)
+        assert np.array_equal(elimination_tree(A), etree_bruteforce(A))
+
+    def test_diagonal_matrix_is_forest_of_roots(self):
+        A = SymmetricCSC.from_coo(4, range(4), range(4), [1.0] * 4)
+        assert np.all(elimination_tree(A) == -1)
+
+
+class TestPostorder:
+    def test_valid_postorder(self, small_grid):
+        parent = elimination_tree(small_grid)
+        post = postorder(parent)
+        assert sorted(post.tolist()) == list(range(small_grid.n))
+        # every node appears after all its descendants
+        position = np.empty(small_grid.n, dtype=int)
+        position[post] = np.arange(small_grid.n)
+        for j, p in enumerate(parent):
+            if p >= 0:
+                assert position[j] < position[p]
+
+    def test_postordered_detection(self):
+        assert is_postordered(np.array([1, 2, -1]))
+        assert not is_postordered(np.array([2, 0, -1]))
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError):
+            postorder(np.array([1, 0, -1]))
+
+    def test_relabelled_tree_is_postordered(self, small_random):
+        parent = elimination_tree(small_random)
+        post = postorder(parent)
+        # relabel: node post[k] -> k
+        inv = np.empty_like(post)
+        inv[post] = np.arange(post.size)
+        new_parent = np.full_like(parent, -1)
+        for j, p in enumerate(parent):
+            if p >= 0:
+                new_parent[inv[j]] = inv[p]
+        assert is_postordered(new_parent)
+
+
+class TestTreeUtilities:
+    def test_children_lists(self):
+        parent = np.array([2, 2, 4, 4, -1])
+        cptr, child = children_lists(parent)
+        assert child[cptr[2]:cptr[3]].tolist() == [0, 1]
+        assert child[cptr[4]:cptr[5]].tolist() == [2, 3]
+        assert cptr[1] == cptr[0]  # node 0 childless
+
+    def test_heights_chain(self):
+        parent = np.array([1, 2, 3, -1])
+        assert etree_heights(parent).tolist() == [0, 1, 2, 3]
+
+    def test_heights_balanced(self):
+        parent = np.array([2, 2, -1])
+        assert etree_heights(parent).tolist() == [0, 0, 1]
+
+    def test_first_descendants_chain(self):
+        parent = np.array([1, 2, -1])
+        post = postorder(parent)
+        first = first_descendants(parent, post)
+        assert first.tolist() == [0, 0, 0]
+
+    def test_first_descendants_star(self):
+        parent = np.array([3, 3, 3, -1])
+        post = postorder(parent)
+        first = first_descendants(parent, post)
+        assert first[3] == 0
+        assert sorted(first[:3]) == [0, 1, 2]

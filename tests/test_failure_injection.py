@@ -1,0 +1,157 @@
+"""Failure-injection tests: every engine and the device discipline must
+fail loudly and precisely, not corrupt state silently."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dense import NotPositiveDefiniteError
+from repro.gpu import DeviceOutOfMemory, MachineModel, SimulatedGpu
+from repro.gpu.device import Timeline
+from repro.numeric import (
+    factorize_left_looking,
+    factorize_left_looking_gpu,
+    factorize_multifrontal,
+    factorize_multifrontal_gpu,
+    factorize_rl_cpu,
+    factorize_rl_gpu,
+    factorize_rl_multigpu,
+    factorize_rlb_cpu,
+    factorize_rlb_gpu,
+)
+from repro.sparse import SymmetricCSC, grid_laplacian
+from repro.symbolic import analyze
+
+ALL_ENGINES = [
+    ("rl", factorize_rl_cpu, {}),
+    ("rlb", factorize_rlb_cpu, {}),
+    ("left_looking", factorize_left_looking, {}),
+    ("multifrontal", factorize_multifrontal, {}),
+    ("rl_gpu", factorize_rl_gpu, dict(device_memory=10 ** 13)),
+    ("rlb_gpu_v1", factorize_rlb_gpu,
+     dict(version=1, device_memory=10 ** 13)),
+    ("rlb_gpu_v2", factorize_rlb_gpu,
+     dict(version=2, device_memory=10 ** 13)),
+    ("ll_gpu", factorize_left_looking_gpu, dict(device_memory=10 ** 13)),
+    ("mf_gpu", factorize_multifrontal_gpu, dict(device_memory=10 ** 13)),
+    ("rl_multigpu", factorize_rl_multigpu,
+     dict(num_devices=2, device_memory=10 ** 13)),
+]
+
+
+def indefinite_system():
+    """An analyzed system whose matrix is *not* positive definite."""
+    A = grid_laplacian((5, 5))
+    system = analyze(A)
+    B = system.matrix
+    data = B.data.copy()
+    # flip one diagonal entry deep enough into the elimination to pass
+    # the early pivots
+    j = B.n - 1
+    for p in range(B.indptr[j], B.indptr[j + 1]):
+        if B.indices[p] == j:
+            data[p] = -50.0
+    bad = SymmetricCSC(B.n, B.indptr, B.indices, data)
+    return system.symb, bad
+
+
+class TestNotPositiveDefinite:
+    @pytest.mark.parametrize("name,fn,kwargs", ALL_ENGINES,
+                             ids=[e[0] for e in ALL_ENGINES])
+    def test_engines_raise_on_indefinite(self, name, fn, kwargs):
+        symb, bad = indefinite_system()
+        with pytest.raises(NotPositiveDefiniteError):
+            fn(symb, bad, **kwargs)
+
+    def test_pivot_index_reported(self):
+        symb, bad = indefinite_system()
+        with pytest.raises(NotPositiveDefiniteError) as ei:
+            factorize_rl_cpu(symb, bad)
+        assert ei.value.pivot >= 0
+
+
+class TestDeviceDiscipline:
+    def test_use_after_free_raises(self):
+        gpu = SimulatedGpu(10 ** 9, machine=MachineModel(),
+                           timeline=Timeline())
+        buf = gpu.h2d(np.eye(4, order="F"))
+        gpu.free(buf)
+        with pytest.raises(RuntimeError, match="freed"):
+            gpu.potrf(buf, buf.array)
+
+    def test_kernel_after_blocking_d2h_raises(self):
+        """Reading a buffer on the device after it was handed back to the
+        host is a transfer-ordering bug; the simulator catches it."""
+        gpu = SimulatedGpu(10 ** 9, machine=MachineModel(),
+                           timeline=Timeline())
+        buf = gpu.h2d(np.eye(4, order="F"))
+        gpu.d2h(buf)
+        with pytest.raises(RuntimeError, match="host"):
+            gpu.potrf(buf, buf.array)
+
+    def test_keep_on_device_snapshot_allows_reuse(self):
+        gpu = SimulatedGpu(10 ** 9, machine=MachineModel(),
+                           timeline=Timeline())
+        buf = gpu.h2d(np.eye(4, order="F"))
+        handle = gpu.d2h_async(buf)
+        gpu.wait(handle, keep_on_device=True)
+        gpu.potrf(buf, buf.array)  # must not raise
+
+    def test_double_free_is_idempotent(self):
+        gpu = SimulatedGpu(10 ** 9, machine=MachineModel(),
+                           timeline=Timeline())
+        buf = gpu.h2d(np.eye(4, order="F"))
+        gpu.free(buf)
+        gpu.free(buf)
+        assert gpu.used == 0.0
+
+    def test_oom_leaves_accounting_consistent(self):
+        gpu = SimulatedGpu(1000, machine=MachineModel(), timeline=Timeline())
+        with pytest.raises(DeviceOutOfMemory) as ei:
+            gpu.h2d(np.zeros((64, 64), order="F"))
+        assert ei.value.requested > ei.value.free
+        assert gpu.used == 0.0  # failed alloc must not leak
+
+
+class TestInputValidation:
+    def test_nan_input_propagates_or_raises(self):
+        """NaNs must never silently disappear: the factor either carries
+        them or the engine raises on the broken pivot."""
+        A = grid_laplacian((4, 4))
+        system = analyze(A)
+        B = system.matrix
+        data = B.data.copy()
+        data[0] = np.nan
+        bad = SymmetricCSC(B.n, B.indptr, B.indices, data, check=False)
+        try:
+            res = factorize_rl_cpu(system.symb, bad)
+            assert np.isnan(res.storage.to_dense_lower()).any()
+        except (NotPositiveDefiniteError, ValueError):
+            pass
+
+    def test_dimension_mismatch(self):
+        sy_small = analyze(grid_laplacian((4, 4)))
+        other = grid_laplacian((5, 5))
+        with pytest.raises(ValueError):
+            factorize_rl_cpu(sy_small.symb, other)
+
+    def test_matrix_outside_structure_rejected(self):
+        """Storage scatter must refuse entries the symbolic phase never
+        predicted (a corrupted pipeline, not a user error to paper over)."""
+        from repro.numeric.storage import FactorStorage
+
+        system = analyze(grid_laplacian((4, 4)))
+        A = grid_laplacian((4, 4))  # unpermuted: entries off-structure
+        # build a matrix with a full first column — certainly off-structure
+        import scipy.sparse as sp
+
+        n = system.symb.n
+        D = sp.eye(n, format="csc") * 4.0
+        D = D.tolil()
+        D[:, 0] = 1.0
+        D[0, :] = 1.0
+        D[0, 0] = 10.0
+        bad = SymmetricCSC.from_scipy(D.tocsc())
+        with pytest.raises(ValueError):
+            FactorStorage.from_matrix(system.symb, bad)

@@ -1,0 +1,131 @@
+"""Tests for the synthetic matrix generators (all must be SPD and
+deterministic)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    anisotropic_laplacian,
+    arrow_matrix,
+    grid_laplacian,
+    kkt_like,
+    random_spd,
+    tridiagonal,
+    vector_stencil,
+)
+
+
+def eigmin(A):
+    return np.linalg.eigvalsh(A.to_dense()).min()
+
+
+class TestGridLaplacian:
+    def test_dimensions(self):
+        assert grid_laplacian((4, 5)).n == 20
+        assert grid_laplacian((3, 3, 3)).n == 27
+
+    def test_star_nnz_2d(self):
+        # 5-point stencil on 4x4: 2*4*3 = 24 edges + 16 diagonal
+        A = grid_laplacian((4, 4))
+        assert A.nnz_lower == 24 + 16
+
+    def test_box_has_more_edges_than_star(self):
+        a = grid_laplacian((5, 5), connectivity="star")
+        b = grid_laplacian((5, 5), connectivity="box")
+        assert b.nnz_lower > a.nnz_lower
+
+    def test_spd(self):
+        assert eigmin(grid_laplacian((5, 5))) > 0
+        assert eigmin(grid_laplacian((3, 3, 3), connectivity="box")) > 0
+
+    def test_bad_connectivity(self):
+        with pytest.raises(ValueError):
+            grid_laplacian((3, 3), connectivity="hex")
+
+    def test_symmetric(self):
+        D = grid_laplacian((4, 4, 2)).to_dense()
+        assert np.allclose(D, D.T)
+
+
+class TestAnisotropicLaplacian:
+    def test_spd(self):
+        assert eigmin(anisotropic_laplacian((5, 4, 3))) > 0
+
+    def test_weights_applied(self):
+        A = anisotropic_laplacian((3, 3), weights=[2.0, 0.5])
+        D = A.to_dense()
+        # x-direction neighbour (offset 3 in flat index, ij-indexing)
+        assert D[3, 0] == pytest.approx(-2.0)
+        assert D[1, 0] == pytest.approx(-0.5)
+
+    def test_wrong_weight_count(self):
+        with pytest.raises(ValueError):
+            anisotropic_laplacian((3, 3), weights=[1.0])
+
+
+class TestVectorStencil:
+    def test_dimensions(self):
+        A = vector_stencil((3, 3, 2), 3)
+        assert A.n == 54
+
+    def test_spd(self):
+        assert eigmin(vector_stencil((3, 3, 2), 2, seed=1)) > 0
+        assert eigmin(vector_stencil((3, 3), 3, connectivity="box", seed=2)) > 0
+
+    def test_deterministic(self):
+        a = vector_stencil((3, 3, 2), 3, seed=5)
+        b = vector_stencil((3, 3, 2), 3, seed=5)
+        assert np.array_equal(a.data, b.data)
+
+    def test_seed_changes_values(self):
+        a = vector_stencil((3, 3, 2), 3, seed=5)
+        b = vector_stencil((3, 3, 2), 3, seed=6)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_node_blocks_dense(self):
+        # dofs of one node must couple (dense node block structure)
+        A = vector_stencil((2, 2), 3, seed=0)
+        D = A.to_dense()
+        blk = D[0:3, 0:3]
+        assert np.count_nonzero(blk) == 9
+
+
+class TestKktLike:
+    def test_dimensions(self):
+        assert kkt_like(30, 10).n == 40
+
+    def test_spd(self):
+        assert eigmin(kkt_like(30, 10, seed=2)) > 0
+
+    def test_saddle_block_structure(self):
+        A = kkt_like(20, 8, density=0.05, seed=1)
+        D = A.to_dense()
+        # constraint block (bottom-right off-diagonal) is empty
+        bottom = D[20:, 20:] - np.diag(np.diag(D[20:, 20:]))
+        assert np.count_nonzero(bottom) == 0
+
+
+class TestRandomSpd:
+    def test_spd_various(self):
+        for seed in (0, 1, 2):
+            assert eigmin(random_spd(40, density=0.1, seed=seed)) > 0
+
+    def test_density_scaling(self):
+        sparse = random_spd(60, density=0.02, seed=0)
+        dense = random_spd(60, density=0.3, seed=0)
+        assert dense.nnz_lower > sparse.nnz_lower
+
+
+class TestArrowAndTridiagonal:
+    def test_arrow_structure(self):
+        A = arrow_matrix(10, bandwidth=1, arrow_width=1)
+        rows, _ = A.column(0)
+        assert rows.tolist() == [0, 1, 9]
+
+    def test_arrow_spd(self):
+        assert eigmin(arrow_matrix(12, bandwidth=2, arrow_width=2)) > 0
+
+    def test_tridiagonal_structure(self):
+        A = tridiagonal(6)
+        assert A.nnz_lower == 11
+        assert eigmin(A) > 0

@@ -1,0 +1,120 @@
+"""Tests for multi-RHS triangular solves and the modeled GPU solve."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numeric import factorize_rl_cpu
+from repro.solve import (
+    backward_solve,
+    forward_solve,
+    solve_factored,
+    solve_factored_cpu,
+    solve_factored_gpu,
+    solve_flops,
+)
+from repro.sparse import grid_laplacian, random_spd
+from repro.symbolic import analyze
+
+
+@pytest.fixture(scope="module")
+def factored():
+    system = analyze(grid_laplacian((7, 7, 3)))
+    res = factorize_rl_cpu(system.symb, system.matrix)
+    return system, res.storage
+
+
+class TestMultiRhs:
+    def test_block_solve_matches_column_solves(self, factored):
+        system, storage = factored
+        rng = np.random.default_rng(3)
+        B = rng.standard_normal((system.symb.n, 5))
+        X = solve_factored(storage, B)
+        for j in range(5):
+            xj = solve_factored(storage, B[:, j])
+            np.testing.assert_allclose(X[:, j], xj, rtol=0, atol=1e-12)
+
+    def test_block_residual(self, factored):
+        system, storage = factored
+        rng = np.random.default_rng(4)
+        B = rng.standard_normal((system.symb.n, 4))
+        X = solve_factored(storage, B)
+        A = system.matrix.to_dense()
+        np.testing.assert_allclose(A @ X, B, atol=1e-8)
+
+    def test_shape_validation(self, factored):
+        _, storage = factored
+        with pytest.raises(ValueError):
+            forward_solve(storage, np.zeros(3))
+        with pytest.raises(ValueError):
+            backward_solve(storage, np.zeros((storage.symb.n, 2, 2)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=7), st.integers(0, 10 ** 6))
+    def test_property_block_solve(self, k, seed):
+        A = random_spd(25, density=0.2, seed=seed)
+        system = analyze(A)
+        storage = factorize_rl_cpu(system.symb, system.matrix).storage
+        rng = np.random.default_rng(seed)
+        B = rng.standard_normal((25, k))
+        X = solve_factored(storage, B)
+        np.testing.assert_allclose(system.matrix.to_dense() @ X, B,
+                                   atol=1e-7)
+
+
+class TestModeledSolves:
+    def test_cpu_gpu_same_solution(self, factored):
+        system, storage = factored
+        rng = np.random.default_rng(5)
+        B = rng.standard_normal((system.symb.n, 3))
+        xc, tc, sc = solve_factored_cpu(storage, B)
+        xg, tg, sg = solve_factored_gpu(storage, B)
+        np.testing.assert_array_equal(xc, xg)
+        assert tc > 0 and tg > 0
+        assert sc["kind"] == "cpu" and sg["kind"] == "gpu"
+
+    def test_resident_factor_cheaper(self, factored):
+        _, storage = factored
+        b = np.ones(storage.symb.n)
+        _, t_cold, s_cold = solve_factored_gpu(storage, b)
+        _, t_res, s_res = solve_factored_gpu(storage, b,
+                                             factor_resident=True)
+        assert t_res < t_cold
+        assert s_res["panel_h2d_bytes"] == 0.0
+        assert s_cold["panel_h2d_bytes"] > 0.0
+
+    def test_gpu_time_grows_slower_in_k_than_cpu(self, factored):
+        """The crossover mechanism: CPU solve time scales ~linearly in the
+        RHS count, the GPU's launch/transfer floor does not."""
+        _, storage = factored
+        rng = np.random.default_rng(6)
+        n = storage.symb.n
+
+        def times(k):
+            B = rng.standard_normal((n, k))
+            _, tc, _ = solve_factored_cpu(storage, B)
+            _, tg, _ = solve_factored_gpu(storage, B, factor_resident=True)
+            return tc, tg
+        tc1, tg1 = times(1)
+        tc64, tg64 = times(64)
+        # CPU time grows with k (on this small fixture the per-call floor
+        # damps the slope, hence > 1.2 rather than ~64)
+        assert tc64 > 1.2 * tc1
+        assert tg64 / tg1 < tc64 / tc1
+
+    def test_solve_flops_scales_in_k(self, factored):
+        system, _ = factored
+        f1 = solve_flops(system.symb, 1)
+        f8 = solve_flops(system.symb, 8)
+        assert f8 == pytest.approx(8 * f1)
+
+    def test_modeled_seconds_positive_single_vector(self, factored):
+        _, storage = factored
+        b = np.ones(storage.symb.n)
+        x, t, stats = solve_factored_cpu(storage, b)
+        assert x.shape == (storage.symb.n,)
+        assert stats["rhs"] == 1
+        assert t > 0

@@ -1,0 +1,113 @@
+"""Tests for the adjacency-graph utilities behind the orderings."""
+
+import numpy as np
+import pytest
+
+from repro.ordering import (
+    adjacency_from_matrix,
+    bfs_levels,
+    connected_components,
+    pseudo_peripheral_vertex,
+)
+from repro.sparse import SymmetricCSC, grid_laplacian, tridiagonal
+
+
+@pytest.fixture
+def path_graph():
+    """Adjacency of a 6-vertex path."""
+    return adjacency_from_matrix(tridiagonal(6))
+
+
+@pytest.fixture
+def two_components():
+    """Two disconnected triangles."""
+    rows = [1, 2, 2, 4, 5, 5]
+    cols = [0, 0, 1, 3, 3, 4]
+    A = SymmetricCSC.from_coo(6, rows + list(range(6)),
+                              cols + list(range(6)),
+                              [1.0] * 6 + [4.0] * 6)
+    return adjacency_from_matrix(A)
+
+
+class TestAdjacency:
+    def test_path_degrees(self, path_graph):
+        assert path_graph.degrees().tolist() == [1, 2, 2, 2, 2, 1]
+
+    def test_neighbors_sorted(self, path_graph):
+        assert path_graph.neighbors(2).tolist() == [1, 3]
+
+    def test_diagonal_dropped(self):
+        g = adjacency_from_matrix(tridiagonal(4))
+        for v in range(4):
+            assert v not in g.neighbors(v)
+
+    def test_num_edges(self, path_graph):
+        assert path_graph.num_edges == 5
+
+    def test_grid_degree_pattern(self):
+        g = adjacency_from_matrix(grid_laplacian((3, 3)))
+        degs = sorted(g.degrees().tolist())
+        assert degs == [2, 2, 2, 2, 3, 3, 3, 3, 4]
+
+
+class TestSubgraph:
+    def test_induced_edges(self, path_graph):
+        sub, verts = path_graph.subgraph([1, 2, 4])
+        assert verts.tolist() == [1, 2, 4]
+        # only edge (1,2) survives
+        assert sub.num_edges == 1
+        assert sub.neighbors(0).tolist() == [1]
+        assert sub.neighbors(2).size == 0
+
+    def test_duplicate_vertices_deduped(self, path_graph):
+        sub, verts = path_graph.subgraph([3, 3, 2])
+        assert verts.tolist() == [2, 3]
+        assert sub.num_edges == 1
+
+
+class TestBfs:
+    def test_levels_on_path(self, path_graph):
+        levels, order = bfs_levels(path_graph, 0)
+        assert levels.tolist() == [0, 1, 2, 3, 4, 5]
+        assert order.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_mask_restricts(self, path_graph):
+        mask = np.array([True, True, False, True, True, True])
+        levels, order = bfs_levels(path_graph, 0, mask=mask)
+        assert levels[2] == -1
+        assert levels[3] == -1  # unreachable past the hole
+
+    def test_mask_excluding_root_raises(self, path_graph):
+        mask = np.zeros(6, dtype=bool)
+        with pytest.raises(ValueError):
+            bfs_levels(path_graph, 0, mask=mask)
+
+
+class TestComponents:
+    def test_connected(self, path_graph):
+        comps = connected_components(path_graph)
+        assert len(comps) == 1
+        assert comps[0].tolist() == list(range(6))
+
+    def test_two_components(self, two_components):
+        comps = connected_components(two_components)
+        assert len(comps) == 2
+        assert sorted(map(tuple, comps)) == [(0, 1, 2), (3, 4, 5)]
+
+    def test_masked(self, two_components):
+        mask = np.array([True] * 3 + [False] * 3)
+        comps = connected_components(two_components, mask=mask)
+        assert len(comps) == 1
+
+
+class TestPseudoPeripheral:
+    def test_path_endpoint(self, path_graph):
+        v, levels, order = pseudo_peripheral_vertex(path_graph, 3)
+        assert v in (0, 5)
+        assert levels[order].max() == 5
+
+    def test_grid(self):
+        g = adjacency_from_matrix(grid_laplacian((5, 5)))
+        v, levels, _ = pseudo_peripheral_vertex(g, 12)  # start at centre
+        # a pseudo-peripheral vertex of a grid is a corner
+        assert v in (0, 4, 20, 24)

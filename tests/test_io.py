@@ -1,0 +1,127 @@
+"""Matrix Market I/O tests."""
+
+import gzip
+import io
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    grid_laplacian,
+    random_spd,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+def roundtrip(A, **kwargs):
+    buf = io.StringIO()
+    write_matrix_market(buf, A, **kwargs)
+    buf.seek(0)
+    return read_matrix_market(buf)
+
+
+class TestRoundtrip:
+    def test_grid(self, small_grid):
+        B = roundtrip(small_grid)
+        assert B.n == small_grid.n
+        assert np.array_equal(B.indices, small_grid.indices)
+        assert np.allclose(B.data, small_grid.data)
+
+    def test_random(self):
+        A = random_spd(30, density=0.2, seed=4)
+        B = roundtrip(A)
+        assert np.allclose(B.to_dense(), A.to_dense())
+
+    def test_comment_preserved_structurally(self):
+        A = random_spd(5, seed=0)
+        buf = io.StringIO()
+        write_matrix_market(buf, A, comment="hello\nworld")
+        text = buf.getvalue()
+        assert "% hello" in text and "% world" in text
+        buf.seek(0)
+        B = read_matrix_market(buf)
+        assert np.allclose(B.to_dense(), A.to_dense())
+
+    def test_gzip_file(self, tmp_path):
+        A = random_spd(20, seed=1)
+        path = tmp_path / "m.mtx.gz"
+        write_matrix_market(str(path), A)
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith("%%MatrixMarket")
+        B = read_matrix_market(str(path))
+        assert np.allclose(B.to_dense(), A.to_dense())
+
+    def test_plain_file(self, tmp_path):
+        A = grid_laplacian((4, 4))
+        path = tmp_path / "m.mtx"
+        write_matrix_market(str(path), A)
+        B = read_matrix_market(str(path))
+        assert np.allclose(B.to_dense(), A.to_dense())
+
+
+class TestReadFormats:
+    def test_pattern(self):
+        text = """%%MatrixMarket matrix coordinate pattern symmetric
+3 3 4
+1 1
+2 1
+2 2
+3 3
+"""
+        A = read_matrix_market(io.StringIO(text))
+        assert A.nnz_lower == 4
+        assert np.all(A.data == 1.0)
+
+    def test_integer(self):
+        text = """%%MatrixMarket matrix coordinate integer symmetric
+2 2 3
+1 1 4
+2 1 -1
+2 2 4
+"""
+        A = read_matrix_market(io.StringIO(text))
+        assert A.to_dense()[1, 0] == -1.0
+
+    def test_upper_triangle_entries_accepted(self):
+        text = """%%MatrixMarket matrix coordinate real symmetric
+2 2 3
+1 1 4.0
+1 2 -1.0
+2 2 4.0
+"""
+        A = read_matrix_market(io.StringIO(text))
+        assert A.to_dense()[1, 0] == -1.0
+
+
+class TestReadErrors:
+    def make(self, header="%%MatrixMarket matrix coordinate real symmetric",
+             size="2 2 1", body="1 1 1.0"):
+        return io.StringIO(f"{header}\n{size}\n{body}\n")
+
+    def test_not_mm(self):
+        with pytest.raises(ValueError, match="not a MatrixMarket"):
+            read_matrix_market(io.StringIO("garbage\n"))
+
+    def test_general_rejected(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            read_matrix_market(self.make(
+                "%%MatrixMarket matrix coordinate real general"))
+
+    def test_array_format_rejected(self):
+        with pytest.raises(ValueError, match="coordinate"):
+            read_matrix_market(self.make(
+                "%%MatrixMarket matrix array real symmetric"))
+
+    def test_complex_rejected(self):
+        with pytest.raises(ValueError, match="field"):
+            read_matrix_market(self.make(
+                "%%MatrixMarket matrix coordinate complex symmetric"))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            read_matrix_market(self.make(size="2 3 1"))
+
+    def test_wrong_entry_count(self):
+        with pytest.raises(ValueError, match="expected"):
+            read_matrix_market(self.make(size="2 2 2"))

@@ -1,0 +1,144 @@
+"""Tests for fill-reducing orderings (minimum degree, RCM, nested
+dissection) and the quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ordering import (
+    adjacency_from_matrix,
+    evaluate_ordering,
+    minimum_degree,
+    nested_dissection,
+    order_matrix,
+    reverse_cuthill_mckee,
+)
+from repro.sparse import (
+    arrow_matrix,
+    grid_laplacian,
+    is_permutation,
+    random_spd,
+    tridiagonal,
+)
+
+
+class TestMinimumDegree:
+    def test_is_permutation(self, small_grid):
+        g = adjacency_from_matrix(small_grid)
+        assert is_permutation(minimum_degree(g), small_grid.n)
+
+    def test_arrow_matrix_no_fill(self):
+        # min degree eliminates the band first; natural order on the
+        # reversed arrow causes massive fill.  MD must find the no-fill order
+        A = arrow_matrix(30, bandwidth=1, arrow_width=1)
+        q_md = evaluate_ordering(A, order_matrix(A, "mindeg"))
+        q_nat = evaluate_ordering(A, order_matrix(A, "natural"))
+        assert q_md.factor_nnz <= q_nat.factor_nnz
+        # arrow with natural ordering has zero fill already; reverse it
+        rev = np.arange(A.n)[::-1]
+        q_rev = evaluate_ordering(A, rev)
+        assert q_md.factor_nnz < q_rev.factor_nnz
+
+    def test_path_eliminates_ends_first(self):
+        g = adjacency_from_matrix(tridiagonal(5))
+        perm = minimum_degree(g)
+        assert perm[0] in (0, 4)
+
+    def test_bad_tie_break(self, small_grid):
+        g = adjacency_from_matrix(small_grid)
+        with pytest.raises(ValueError):
+            minimum_degree(g, tie_break="random")
+
+    def test_no_fill_on_tree(self):
+        # elimination of a path graph by min degree creates zero fill
+        A = tridiagonal(20)
+        q = evaluate_ordering(A, order_matrix(A, "mindeg"))
+        assert q.factor_nnz == A.nnz_lower
+
+
+class TestRcm:
+    def test_is_permutation(self, small_grid):
+        g = adjacency_from_matrix(small_grid)
+        assert is_permutation(reverse_cuthill_mckee(g), small_grid.n)
+
+    def test_reduces_bandwidth(self):
+        rng = np.random.default_rng(0)
+        A = random_spd(80, density=0.05, seed=9)
+        g = adjacency_from_matrix(A)
+        perm = reverse_cuthill_mckee(g)
+        from repro.sparse import symmetric_permute
+
+        def bandwidth(M):
+            D = M.to_dense()
+            idx = np.nonzero(np.tril(D, -1))
+            return (idx[0] - idx[1]).max() if idx[0].size else 0
+
+        shuffled = symmetric_permute(A, rng.permutation(A.n))
+        assert bandwidth(symmetric_permute(A, perm)) <= bandwidth(shuffled)
+
+
+class TestNestedDissection:
+    def test_is_permutation(self, small_grid):
+        g = adjacency_from_matrix(small_grid)
+        assert is_permutation(nested_dissection(g), small_grid.n)
+
+    def test_beats_natural_on_3d_grid(self):
+        A = grid_laplacian((8, 8, 8))
+        q_nd = evaluate_ordering(A, order_matrix(A, "nd"))
+        q_nat = evaluate_ordering(A, order_matrix(A, "natural"))
+        assert q_nd.factor_nnz < q_nat.factor_nnz
+
+    def test_beats_rcm_on_2d_grid(self):
+        A = grid_laplacian((20, 20))
+        q_nd = evaluate_ordering(A, order_matrix(A, "nd"))
+        q_rcm = evaluate_ordering(A, order_matrix(A, "rcm"))
+        assert q_nd.factor_nnz < q_rcm.factor_nnz
+
+    def test_shallower_tree_than_rcm(self):
+        A = grid_laplacian((16, 16))
+        q_nd = evaluate_ordering(A, order_matrix(A, "nd"))
+        q_rcm = evaluate_ordering(A, order_matrix(A, "rcm"))
+        assert q_nd.etree_height < q_rcm.etree_height
+
+    def test_disconnected_graph(self):
+        from repro.sparse import SymmetricCSC
+
+        rows = [1, 4]
+        cols = [0, 3]
+        A = SymmetricCSC.from_coo(6, rows + list(range(6)),
+                                  cols + list(range(6)),
+                                  [1.0] * 2 + [3.0] * 6)
+        g = adjacency_from_matrix(A)
+        assert is_permutation(nested_dissection(g, leaf_size=2), 6)
+
+    def test_leaf_size_respected(self, small_grid):
+        g = adjacency_from_matrix(small_grid)
+        for leaf in (8, 32, 128):
+            assert is_permutation(nested_dissection(g, leaf_size=leaf),
+                                  small_grid.n)
+
+    @given(st.integers(min_value=2, max_value=40), st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_always_a_permutation_property(self, n, seed):
+        A = random_spd(n, density=0.15, seed=seed % 211)
+        g = adjacency_from_matrix(A)
+        assert is_permutation(nested_dissection(g, leaf_size=4), n)
+
+
+class TestDispatcher:
+    def test_all_methods(self, small_grid):
+        for m in ("nd", "mindeg", "rcm", "natural"):
+            assert is_permutation(order_matrix(small_grid, m), small_grid.n)
+
+    def test_unknown_method(self, small_grid):
+        with pytest.raises(ValueError):
+            order_matrix(small_grid, "metis")
+
+
+class TestQualityMetrics:
+    def test_fields(self, small_grid):
+        q = evaluate_ordering(small_grid, order_matrix(small_grid, "nd"))
+        assert q.factor_nnz >= small_grid.nnz_lower
+        assert q.factor_flops > 0
+        assert q.etree_height >= 1
+        assert q.fill_ratio >= 1.0

@@ -1,0 +1,94 @@
+"""Tests for symmetric permutation and permutation-vector utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import (
+    compose_permutations,
+    grid_laplacian,
+    invert_permutation,
+    is_permutation,
+    random_permutation,
+    random_spd,
+    symmetric_permute,
+)
+
+
+class TestPermutationVectors:
+    def test_is_permutation_true(self):
+        assert is_permutation([2, 0, 1])
+        assert is_permutation(np.arange(10), n=10)
+
+    def test_is_permutation_false(self):
+        assert not is_permutation([0, 0, 1])
+        assert not is_permutation([0, 3, 1])
+        assert not is_permutation([0, 1], n=3)
+        assert not is_permutation(np.zeros((2, 2), dtype=int))
+
+    def test_invert(self):
+        p = np.array([2, 0, 3, 1])
+        ip = invert_permutation(p)
+        assert np.array_equal(p[ip], np.arange(4))
+        assert np.array_equal(ip[p], np.arange(4))
+
+    def test_compose_semantics(self):
+        # inner places original index at positions; outer permutes those
+        inner = np.array([2, 0, 1])
+        outer = np.array([1, 2, 0])
+        combined = compose_permutations(outer, inner)
+        assert np.array_equal(combined, inner[outer])
+
+    def test_compose_length_mismatch(self):
+        with pytest.raises(ValueError):
+            compose_permutations([0, 1], [0, 1, 2])
+
+    def test_random_permutation(self):
+        rng = np.random.default_rng(5)
+        p = random_permutation(50, rng)
+        assert is_permutation(p, 50)
+
+
+class TestSymmetricPermute:
+    def test_matches_dense(self, small_grid):
+        rng = np.random.default_rng(1)
+        p = random_permutation(small_grid.n, rng)
+        B = symmetric_permute(small_grid, p)
+        D = small_grid.to_dense()
+        assert np.allclose(B.to_dense(), D[np.ix_(p, p)])
+
+    def test_identity(self, small_grid):
+        B = symmetric_permute(small_grid, np.arange(small_grid.n))
+        assert np.allclose(B.to_dense(), small_grid.to_dense())
+
+    def test_involution(self, small_grid):
+        rng = np.random.default_rng(2)
+        p = random_permutation(small_grid.n, rng)
+        B = symmetric_permute(small_grid, p)
+        C = symmetric_permute(B, invert_permutation(p))
+        assert np.allclose(C.to_dense(), small_grid.to_dense())
+
+    def test_rejects_non_permutation(self, small_grid):
+        with pytest.raises(ValueError):
+            symmetric_permute(small_grid, np.zeros(small_grid.n, dtype=int))
+
+    def test_compose_equals_sequential(self, small_random):
+        rng = np.random.default_rng(3)
+        p1 = random_permutation(small_random.n, rng)
+        p2 = random_permutation(small_random.n, rng)
+        sequential = symmetric_permute(symmetric_permute(small_random, p1), p2)
+        combined = symmetric_permute(
+            small_random, compose_permutations(p2, p1)
+        )
+        assert np.allclose(sequential.to_dense(), combined.to_dense())
+
+    @given(st.integers(min_value=2, max_value=30), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_permute_preserves_spectrum_property(self, n, seed):
+        A = random_spd(n, density=0.3, seed=seed % 97)
+        rng = np.random.default_rng(seed)
+        p = random_permutation(n, rng)
+        B = symmetric_permute(A, p)
+        ev_a = np.sort(np.linalg.eigvalsh(A.to_dense()))
+        ev_b = np.sort(np.linalg.eigvalsh(B.to_dense()))
+        assert np.allclose(ev_a, ev_b, atol=1e-8)

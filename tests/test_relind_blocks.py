@@ -1,0 +1,111 @@
+"""Relative-index and block-partition tests (the machinery of §II)."""
+
+import numpy as np
+import pytest
+
+from repro.symbolic import (
+    analyze,
+    relative_indices,
+    relative_indices_bottom,
+    snode_blocks,
+    all_blocks,
+    count_blocks,
+)
+
+
+class TestRelativeIndices:
+    def test_positions_correct(self, analyzed_grid):
+        symb = analyzed_grid.symb
+        for s in range(symb.nsup):
+            below = symb.snode_below_rows(s)
+            if below.size == 0:
+                continue
+            p = int(symb.sn_parent[s])
+            inside = below[below < symb.snptr[p + 1]]
+            rel = relative_indices(symb, inside, p)
+            prows = symb.snode_rows(p)
+            assert np.array_equal(prows[rel], inside)
+
+    def test_bottom_convention(self, analyzed_grid):
+        # paper's Figure-1 convention: distance from the bottom of the
+        # ancestor's index set
+        symb = analyzed_grid.symb
+        for s in range(symb.nsup):
+            below = symb.snode_below_rows(s)
+            if below.size == 0:
+                continue
+            p = int(symb.sn_parent[s])
+            inside = below[below < symb.snptr[p + 1]]
+            top = relative_indices(symb, inside, p)
+            bottom = relative_indices_bottom(symb, inside, p)
+            plen = symb.snode_rows(p).size
+            assert np.array_equal(top + bottom, np.full(top.size, plen - 1))
+
+    def test_uncontained_rows_raise(self, analyzed_grid):
+        symb = analyzed_grid.symb
+        # find a supernode and ask for a row definitely not in an ancestor
+        for s in range(symb.nsup):
+            p = symb.sn_parent[s]
+            if p < 0:
+                continue
+            prows = set(symb.snode_rows(int(p)).tolist())
+            missing = [r for r in range(symb.n) if r not in prows]
+            if missing:
+                with pytest.raises(ValueError, match="not contained"):
+                    relative_indices(symb, np.array([missing[0]]), int(p))
+                return
+        pytest.skip("no suitable ancestor found")
+
+
+class TestBlocks:
+    def test_blocks_partition_below_rows(self, analyzed_grid):
+        symb = analyzed_grid.symb
+        for s in range(symb.nsup):
+            below = symb.snode_below_rows(s)
+            blocks = snode_blocks(symb, s)
+            covered = []
+            for b in blocks:
+                covered.extend(range(b.first_row, b.first_row + b.length))
+            assert covered == below.tolist()
+
+    def test_blocks_are_consecutive_runs(self, analyzed_grid):
+        symb = analyzed_grid.symb
+        for s in range(symb.nsup):
+            for b in snode_blocks(symb, s):
+                rows = np.arange(b.first_row, b.first_row + b.length)
+                # single owner supernode
+                owners = symb.col2sn[rows]
+                assert (owners == b.owner).all()
+
+    def test_block_panel_offsets(self, analyzed_grid):
+        symb = analyzed_grid.symb
+        for s in range(symb.nsup):
+            rows = symb.snode_rows(s)
+            for b in snode_blocks(symb, s):
+                assert rows[b.panel_start] == b.first_row
+                seg = rows[b.panel_start:b.panel_start + b.length]
+                assert np.array_equal(
+                    seg, np.arange(b.first_row, b.first_row + b.length))
+
+    def test_maximality(self, analyzed_grid):
+        # consecutive blocks cannot be merged: either a row gap or an
+        # owner change separates them
+        symb = analyzed_grid.symb
+        for s in range(symb.nsup):
+            blocks = snode_blocks(symb, s)
+            for a, b in zip(blocks, blocks[1:]):
+                gap = b.first_row != a.first_row + a.length
+                owner_change = b.owner != a.owner
+                assert gap or owner_change
+
+    def test_count_blocks(self, analyzed_grid):
+        symb = analyzed_grid.symb
+        assert count_blocks(symb) == sum(
+            len(bl) for bl in all_blocks(symb))
+
+    def test_no_below_rows_no_blocks(self, analyzed_grid):
+        symb = analyzed_grid.symb
+        roots = [s for s in range(symb.nsup) if symb.sn_parent[s] == -1
+                 and symb.snode_below_rows(s).size == 0]
+        for s in roots:
+            assert snode_blocks(symb, s) == []

@@ -1,0 +1,188 @@
+"""Tests for the task-DAG builders, critical path and list scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numeric import (
+    Task,
+    TaskGraph,
+    build_coarse_graph,
+    build_fine_graph,
+    critical_path,
+    list_schedule,
+)
+from repro.sparse import grid_laplacian, random_spd
+from repro.symbolic import analyze
+
+
+@pytest.fixture(scope="module")
+def system():
+    return analyze(grid_laplacian((8, 8, 3)))
+
+
+def chain_graph(durs):
+    """A serial chain of tasks."""
+    tasks = [Task(f"t{i}", "snode", d, i) for i, d in enumerate(durs)]
+    preds = [[] if i == 0 else [i - 1] for i in range(len(durs))]
+    succs = [[i + 1] if i + 1 < len(durs) else [] for i in range(len(durs))]
+    return TaskGraph(tasks, preds, succs)
+
+
+def fork_graph(durs):
+    """Independent tasks (embarrassingly parallel)."""
+    tasks = [Task(f"t{i}", "snode", d, i) for i, d in enumerate(durs)]
+    return TaskGraph(tasks, [[] for _ in durs], [[] for _ in durs])
+
+
+class TestCriticalPath:
+    def test_chain(self):
+        g = chain_graph([1.0, 2.0, 3.0])
+        cp, path = critical_path(g)
+        assert cp == pytest.approx(6.0)
+        assert path == [0, 1, 2]
+
+    def test_fork(self):
+        g = fork_graph([1.0, 5.0, 2.0])
+        cp, path = critical_path(g)
+        assert cp == pytest.approx(5.0)
+        assert path == [1]
+
+    def test_empty(self):
+        g = TaskGraph([], [], [])
+        assert critical_path(g) == (0.0, [])
+
+    def test_cycle_detection(self):
+        tasks = [Task("a", "snode", 1.0, 0), Task("b", "snode", 1.0, 1)]
+        g = TaskGraph(tasks, [[1], [0]], [[1], [0]])
+        with pytest.raises(ValueError):
+            g.validate()
+
+
+class TestListSchedule:
+    def test_serial_equals_work(self):
+        g = fork_graph([1.0, 2.0, 3.0])
+        r = list_schedule(g, 1)
+        assert r.makespan == pytest.approx(6.0)
+
+    def test_parallel_fork(self):
+        g = fork_graph([1.0] * 8)
+        r = list_schedule(g, 8)
+        assert r.makespan == pytest.approx(1.0)
+
+    def test_chain_ignores_workers(self):
+        g = chain_graph([1.0, 1.0, 1.0])
+        assert list_schedule(g, 16).makespan == pytest.approx(3.0)
+
+    def test_lower_bounds_respected(self, system):
+        for builder in (build_coarse_graph, build_fine_graph):
+            g = builder(system.symb)
+            cp, _ = critical_path(g)
+            for p in (1, 2, 4, 8):
+                r = list_schedule(g, p)
+                assert r.makespan >= cp - 1e-15
+                assert r.makespan >= g.total_work() / p - 1e-15
+
+    def test_graham_bound(self, system):
+        """Greedy list scheduling is a 2-approximation:
+        makespan <= work/p + critical path."""
+        for builder in (build_coarse_graph, build_fine_graph):
+            g = builder(system.symb)
+            cp, _ = critical_path(g)
+            for p in (2, 4, 8):
+                r = list_schedule(g, p)
+                assert r.makespan <= g.total_work() / p + cp + 1e-12
+
+    def test_makespan_nonincreasing_in_workers(self, system):
+        g = build_fine_graph(system.symb)
+        times = [list_schedule(g, p).makespan for p in (1, 2, 4, 8, 16)]
+        for a, b in zip(times, times[1:]):
+            assert b <= a + 1e-12
+
+    def test_dispatch_overhead_charged(self):
+        g = fork_graph([1.0] * 4)
+        r0 = list_schedule(g, 1, dispatch_overhead=0.0)
+        r1 = list_schedule(g, 1, dispatch_overhead=0.5)
+        assert r1.makespan == pytest.approx(r0.makespan + 4 * 0.5)
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            list_schedule(fork_graph([1.0]), 0)
+
+    def test_empty_graph(self):
+        r = list_schedule(TaskGraph([], [], []), 4)
+        assert r.makespan == 0.0
+
+
+class TestFactorizationGraphs:
+    def test_coarse_task_per_snode(self, system):
+        g = build_coarse_graph(system.symb)
+        assert g.ntasks == system.symb.nsup
+
+    def test_fine_has_factor_plus_pairs(self, system):
+        from repro.symbolic.blocks import snode_blocks
+
+        g = build_fine_graph(system.symb)
+        npairs = sum(
+            len(snode_blocks(system.symb, s)) *
+            (len(snode_blocks(system.symb, s)) + 1) // 2
+            for s in range(system.symb.nsup)
+        )
+        assert g.ntasks == system.symb.nsup + npairs
+
+    def test_fine_more_parallelism(self, system):
+        """The finer DAG must expose at least as much inherent parallelism
+        (work/critical-path) — the flip side of its overhead cost."""
+        gc = build_coarse_graph(system.symb)
+        gf = build_fine_graph(system.symb)
+        pc = gc.total_work() / critical_path(gc)[0]
+        pf = gf.total_work() / critical_path(gf)[0]
+        assert pf > pc
+
+    def test_coarse_edges_follow_updates(self, system):
+        symb = system.symb
+        g = build_coarse_graph(symb)
+        for s in range(symb.nsup):
+            below = symb.snode_below_rows(s)
+            owners = set(np.unique(symb.col2sn[below]).tolist())
+            assert set(g.succs[s]) == owners
+
+    def test_fine_pair_edges_target_owner_factor(self, system):
+        g = build_fine_graph(system.symb)
+        for tid, t in enumerate(g.tasks):
+            if t.kind != "pair":
+                continue
+            assert len(g.preds[tid]) == 1
+            ft = g.tasks[g.preds[tid][0]]
+            assert ft.kind == "factor" and ft.snode == t.snode
+            assert len(g.succs[tid]) == 1
+            target = g.tasks[g.succs[tid][0]]
+            assert target.kind == "factor"
+
+    def test_overhead_penalizes_fine_grain_serially(self, system):
+        """The paper's coarse-grain argument: with realistic per-task
+        dispatch cost, the fine DAG's serial time exceeds the coarse one's
+        by more than the pure-work difference."""
+        gc = build_coarse_graph(system.symb)
+        gf = build_fine_graph(system.symb)
+        oh = 5e-6
+        mc = list_schedule(gc, 1, dispatch_overhead=oh).makespan
+        mf = list_schedule(gf, 1, dispatch_overhead=oh).makespan
+        assert mf > mc
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=4, max_value=24), st.integers(0, 10 ** 6),
+           st.integers(min_value=1, max_value=16))
+    def test_schedule_bounds_random_systems(self, n, seed, workers):
+        A = random_spd(n, density=0.25, seed=seed)
+        symb = analyze(A).symb
+        g = build_fine_graph(symb)
+        cp, _ = critical_path(g)
+        r = list_schedule(g, workers)
+        assert r.makespan >= max(cp, g.total_work() / workers) - 1e-15
+        assert r.makespan <= g.total_work() + 1e-12

@@ -1,0 +1,134 @@
+"""Solve-layer tests: triangular solves, the driver, iterative refinement."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.numeric import factorize_rl_cpu
+from repro.solve import (
+    CholeskySolver,
+    METHODS,
+    backward_solve,
+    forward_solve,
+    refine,
+    solve_factored,
+)
+from repro.sparse import grid_laplacian, random_spd, vector_stencil
+from repro.symbolic import analyze
+
+
+@pytest.fixture(scope="module")
+def factored():
+    system = analyze(grid_laplacian((6, 6, 3)))
+    res = factorize_rl_cpu(system.symb, system.matrix)
+    return system, res
+
+
+class TestTriangularSolves:
+    def test_forward(self, factored):
+        system, res = factored
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(system.matrix.n)
+        L = sla.cholesky(system.matrix.to_dense(), lower=True)
+        y = forward_solve(res.storage, b)
+        assert np.allclose(L @ y, b, atol=1e-9)
+
+    def test_backward(self, factored):
+        system, res = factored
+        rng = np.random.default_rng(1)
+        y = rng.standard_normal(system.matrix.n)
+        L = sla.cholesky(system.matrix.to_dense(), lower=True)
+        x = backward_solve(res.storage, y)
+        assert np.allclose(L.T @ x, y, atol=1e-9)
+
+    def test_full_solve(self, factored):
+        system, res = factored
+        rng = np.random.default_rng(2)
+        b = rng.standard_normal(system.matrix.n)
+        x = solve_factored(res.storage, b)
+        assert np.allclose(system.matrix.to_dense() @ x, b, atol=1e-8)
+
+    def test_shape_checks(self, factored):
+        _, res = factored
+        with pytest.raises(ValueError):
+            forward_solve(res.storage, np.ones(3))
+        with pytest.raises(ValueError):
+            backward_solve(res.storage, np.ones(3))
+
+
+class TestCholeskySolver:
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    def test_all_methods_solve(self, method):
+        A = vector_stencil((4, 4, 3), 3, seed=9)
+        rng = np.random.default_rng(3)
+        x_true = rng.standard_normal(A.n)
+        b = A.matvec(x_true)
+        kw = {}
+        if "gpu" in method:
+            kw = {"factor_kwargs": {"device_memory": 10 ** 15}}
+        solver = CholeskySolver(A, method=method, **kw)
+        x = solver.solve(b)
+        assert np.allclose(x, x_true, atol=1e-7)
+        assert solver.residual_norm(x, b) < 1e-10
+
+    def test_unknown_method(self, small_grid):
+        with pytest.raises(ValueError, match="unknown method"):
+            CholeskySolver(small_grid, method="lu")
+
+    def test_lazy_pipeline(self, small_grid):
+        solver = CholeskySolver(small_grid)
+        assert solver.system is None and solver.result is None
+        rng = np.random.default_rng(4)
+        b = rng.standard_normal(small_grid.n)
+        solver.solve(b)
+        assert solver.system is not None and solver.result is not None
+
+    def test_analyze_options_forwarded(self, small_grid):
+        solver = CholeskySolver(
+            small_grid,
+            analyze_kwargs={"ordering": "mindeg", "merge": False,
+                            "refine": False},
+        )
+        solver.analyze()
+        assert solver.system.nsup >= 1
+
+    def test_repeated_solves_reuse_factor(self, small_grid):
+        solver = CholeskySolver(small_grid)
+        rng = np.random.default_rng(5)
+        solver.solve(rng.standard_normal(small_grid.n))
+        result_ref = solver.result
+        solver.solve(rng.standard_normal(small_grid.n))
+        assert solver.result is result_ref
+
+
+class TestRefinement:
+    def test_converges_immediately_on_good_factor(self, small_grid):
+        system = analyze(small_grid)
+        res = factorize_rl_cpu(system.symb, system.matrix)
+        rng = np.random.default_rng(6)
+        b = rng.standard_normal(small_grid.n)
+        out = refine(small_grid, res.storage, system.perm, b, tol=1e-12)
+        assert out.converged
+        assert out.iterations <= 2
+        assert out.residual_norms[-1] <= 1e-12
+
+    def test_improves_perturbed_start(self, small_grid):
+        system = analyze(small_grid)
+        res = factorize_rl_cpu(system.symb, system.matrix)
+        rng = np.random.default_rng(7)
+        x_true = rng.standard_normal(small_grid.n)
+        b = small_grid.matvec(x_true)
+        x0 = x_true + 1e-2 * rng.standard_normal(small_grid.n)
+        out = refine(small_grid, res.storage, system.perm, b, x0=x0,
+                     tol=1e-12, max_iter=4)
+        assert out.converged
+        assert np.allclose(out.x, x_true, atol=1e-8)
+        assert out.residual_norms[0] > out.residual_norms[-1]
+
+    def test_history_recorded(self, small_grid):
+        system = analyze(small_grid)
+        res = factorize_rl_cpu(system.symb, system.matrix)
+        out = refine(small_grid, res.storage, system.perm,
+                     np.ones(small_grid.n), tol=0.0, max_iter=3)
+        assert len(out.residual_norms) == 3
+        assert not out.converged

@@ -1,0 +1,93 @@
+"""Tests for the sparse right-hand-side forward solve."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numeric import factorize_rl_cpu
+from repro.solve import forward_solve, forward_solve_sparse, solve_reach
+from repro.sparse import grid_laplacian, random_spd
+from repro.symbolic import analyze
+
+
+@pytest.fixture(scope="module")
+def factored():
+    system = analyze(grid_laplacian((8, 8, 3)))
+    storage = factorize_rl_cpu(system.symb, system.matrix).storage
+    return system, storage
+
+
+class TestReach:
+    def test_reach_is_closed_under_parent(self, factored):
+        system, _ = factored
+        symb = system.symb
+        reach = solve_reach(symb, np.array([2, 17]))
+        rs = set(reach.tolist())
+        for s in reach:
+            p = int(symb.sn_parent[s])
+            if p != -1:
+                assert p in rs
+
+    def test_empty_pattern(self, factored):
+        system, _ = factored
+        assert solve_reach(system.symb, np.array([], dtype=int)).size == 0
+
+    def test_out_of_range(self, factored):
+        system, _ = factored
+        with pytest.raises(ValueError):
+            solve_reach(system.symb, np.array([system.symb.n]))
+
+    def test_root_pattern_touches_one_path(self, factored):
+        system, _ = factored
+        symb = system.symb
+        # last column's supernode is a root: reach = that supernode alone
+        reach = solve_reach(symb, np.array([symb.n - 1]))
+        assert reach.size >= 1
+        assert int(symb.sn_parent[reach[-1]]) == -1
+
+
+class TestForwardSolveSparse:
+    def test_matches_dense_forward_solve(self, factored):
+        system, storage = factored
+        idx = np.array([3, 40])
+        val = np.array([1.5, -2.0])
+        b = np.zeros(system.symb.n)
+        b[idx] = val
+        y_ref = forward_solve(storage, b)
+        y, touched = forward_solve_sparse(storage, idx, val)
+        np.testing.assert_allclose(y, y_ref, atol=1e-12)
+        assert 0 < touched.size <= system.symb.nsup
+
+    def test_single_nonzero_touches_few(self, factored):
+        system, storage = factored
+        y, touched = forward_solve_sparse(
+            storage, np.array([0]), np.array([1.0]))
+        # a leaf-rooted point load touches only its tree path
+        assert touched.size < system.symb.nsup
+        # nonzeros of y stay within the reach's columns
+        cols = np.concatenate([
+            np.arange(*system.symb.snode_cols(int(s))) for s in touched])
+        outside = np.setdiff1d(np.flatnonzero(np.abs(y) > 1e-14), cols)
+        assert outside.size == 0
+
+    def test_validation(self, factored):
+        _, storage = factored
+        with pytest.raises(ValueError):
+            forward_solve_sparse(storage, np.array([1, 2]), np.array([1.0]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(min_value=1, max_value=5))
+    def test_property_random(self, seed, k):
+        A = random_spd(40, density=0.15, seed=seed)
+        system = analyze(A)
+        storage = factorize_rl_cpu(system.symb, system.matrix).storage
+        rng = np.random.default_rng(seed)
+        idx = np.unique(rng.integers(0, 40, size=k))
+        val = rng.standard_normal(idx.size)
+        b = np.zeros(40)
+        b[idx] = val
+        y, _ = forward_solve_sparse(storage, idx, val)
+        np.testing.assert_allclose(y, forward_solve(storage, b), atol=1e-10)

@@ -1,0 +1,52 @@
+"""Factor-storage tests: initial scatter, extraction, workspace sizing."""
+
+import numpy as np
+import pytest
+
+from repro.numeric import FactorStorage, update_workspace_entries
+from repro.symbolic import analyze
+
+
+class TestFromMatrix:
+    def test_initial_values_match_input(self, analyzed_grid):
+        symb, B = analyzed_grid.symb, analyzed_grid.matrix
+        storage = FactorStorage.from_matrix(symb, B)
+        D = np.tril(B.to_dense())
+        assert np.allclose(storage.to_dense_lower(), D)
+
+    def test_panel_shapes(self, analyzed_grid):
+        storage = FactorStorage.from_matrix(
+            analyzed_grid.symb, analyzed_grid.matrix)
+        for s in range(analyzed_grid.symb.nsup):
+            assert storage.panel(s).shape == analyzed_grid.symb.panel_shape(s)
+            assert storage.panel(s).flags.f_contiguous
+
+    def test_dimension_mismatch(self, analyzed_grid, small_vec):
+        with pytest.raises(ValueError, match="mismatch"):
+            FactorStorage.from_matrix(analyzed_grid.symb, small_vec)
+
+    def test_zeros(self, analyzed_grid):
+        storage = FactorStorage.zeros(analyzed_grid.symb)
+        assert storage.to_dense_lower().sum() == 0
+
+    def test_nbytes(self, analyzed_grid):
+        storage = FactorStorage.zeros(analyzed_grid.symb)
+        expected = sum(
+            8 * analyzed_grid.symb.panel_size(s)
+            for s in range(analyzed_grid.symb.nsup))
+        assert storage.nbytes() == expected
+
+
+class TestExtraction:
+    def test_scipy_matches_dense(self, analyzed_vec):
+        from repro.numeric import factorize_rl_cpu
+
+        res = factorize_rl_cpu(analyzed_vec.symb, analyzed_vec.matrix)
+        S = res.storage.to_scipy_lower().toarray()
+        D = res.storage.to_dense_lower()
+        assert np.allclose(S, D)
+
+    def test_max_update_entries(self, analyzed_grid):
+        storage = FactorStorage.zeros(analyzed_grid.symb)
+        assert storage.max_update_entries() == update_workspace_entries(
+            analyzed_grid.symb)

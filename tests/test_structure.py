@@ -1,0 +1,116 @@
+"""Supernodal symbolic structure tests: correctness against the true factor
+pattern and internal consistency."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import random_spd
+from repro.symbolic import analyze, symbolic_factorization
+
+
+def true_pattern(system):
+    L = sla.cholesky(system.matrix.to_dense(), lower=True)
+    return np.abs(np.tril(L)) > 1e-13
+
+
+def symbolic_covers_pattern(symb, pat):
+    n = symb.n
+    cover = np.zeros_like(pat)
+    for s in range(symb.nsup):
+        f, l = symb.snode_cols(s)
+        rows = symb.snode_rows(s)
+        for c in range(f, l):
+            rr = rows[rows >= c]
+            cover[rr, c] = True
+    return bool((~pat | cover).all())
+
+
+class TestStructureCorrectness:
+    @pytest.mark.parametrize("merge,refine", [(False, False), (True, False),
+                                              (True, True)])
+    def test_covers_true_pattern_grid(self, small_grid, merge, refine):
+        system = analyze(small_grid, merge=merge, refine=refine)
+        assert symbolic_covers_pattern(system.symb, true_pattern(system))
+
+    def test_covers_true_pattern_vec(self, small_vec):
+        system = analyze(small_vec)
+        assert symbolic_covers_pattern(system.symb, true_pattern(system))
+
+    def test_exact_without_merge(self, small_grid):
+        # without amalgamation the fundamental-supernode structure is exact:
+        # dense-panel nnz equals the symbolic column-count total
+        from repro.symbolic import column_counts, elimination_tree
+
+        system = analyze(small_grid, merge=False, refine=False)
+        cc = column_counts(system.matrix,
+                           elimination_tree(system.matrix))
+        assert system.symb.factor_nnz_dense() == cc.sum()
+
+    @given(st.integers(min_value=5, max_value=40), st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_property(self, n, seed):
+        A = random_spd(n, density=0.15, seed=seed % 401)
+        system = analyze(A)
+        assert symbolic_covers_pattern(system.symb, true_pattern(system))
+
+
+class TestInternalConsistency:
+    def test_rows_sorted_and_prefix_is_columns(self, analyzed_grid):
+        symb = analyzed_grid.symb
+        for s in range(symb.nsup):
+            f, l = symb.snode_cols(s)
+            rows = symb.snode_rows(s)
+            assert np.array_equal(rows[:l - f], np.arange(f, l))
+            assert (np.diff(rows) > 0).all()
+            below = symb.snode_below_rows(s)
+            assert below.size == 0 or below[0] >= l
+
+    def test_sn_parent_owns_first_below_row(self, analyzed_grid):
+        symb = analyzed_grid.symb
+        for s in range(symb.nsup):
+            below = symb.snode_below_rows(s)
+            if below.size == 0:
+                assert symb.sn_parent[s] == -1
+            else:
+                assert symb.col2sn[below[0]] == symb.sn_parent[s]
+
+    def test_sn_parent_increasing(self, analyzed_grid):
+        symb = analyzed_grid.symb
+        for s in range(symb.nsup):
+            p = symb.sn_parent[s]
+            assert p == -1 or p > s
+
+    def test_children_inverse_of_parent(self, analyzed_grid):
+        symb = analyzed_grid.symb
+        kids = symb.children()
+        for s in range(symb.nsup):
+            p = symb.sn_parent[s]
+            if p >= 0:
+                assert s in kids[p]
+
+    def test_panel_shapes(self, analyzed_grid):
+        symb = analyzed_grid.symb
+        for s in range(symb.nsup):
+            m, w = symb.panel_shape(s)
+            assert m >= w >= 1
+            assert symb.panel_size(s) == m * w
+
+    def test_aggregate_stats(self, analyzed_grid):
+        symb = analyzed_grid.symb
+        assert symb.factor_nnz_dense() >= analyzed_grid.matrix.nnz_lower
+        assert symb.factor_flops() > 0
+        assert symb.largest_update_size() >= 0
+
+    def test_largest_update_matches_panels(self, analyzed_grid):
+        symb = analyzed_grid.symb
+        best = max((symb.panel_shape(s)[0] - symb.panel_shape(s)[1]) ** 2
+                   for s in range(symb.nsup))
+        assert symb.largest_update_size() == best
+
+    def test_mismatched_snptr_rejected(self, small_grid):
+        system = analyze(small_grid)
+        with pytest.raises(ValueError):
+            symbolic_factorization(system.matrix,
+                                   np.array([0, small_grid.n + 1]))

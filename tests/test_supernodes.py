@@ -1,0 +1,107 @@
+"""Supernode detection tests."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.sparse import SymmetricCSC, random_spd, tridiagonal
+from repro.symbolic import (
+    column_counts,
+    elimination_tree,
+    fundamental_supernodes,
+    postorder,
+    snode_of_column,
+    validate_snptr,
+)
+
+
+def detect(A, **kw):
+    parent = elimination_tree(A)
+    counts = column_counts(A, parent)
+    return fundamental_supernodes(parent, counts, **kw)
+
+
+class TestDetection:
+    def test_dense_single_supernode(self):
+        D = np.ones((5, 5)) + 5 * np.eye(5)
+        A = SymmetricCSC.from_dense(D)
+        assert detect(A).tolist() == [0, 5]
+
+    def test_tridiagonal_nearly_all_singletons(self):
+        # the trailing 2x2 block is a genuine dense supernode
+        # (struct(n-2) \ {n-2} == struct(n-1)); everything else splits
+        snptr = detect(tridiagonal(6))
+        assert snptr.tolist() == [0, 1, 2, 3, 4, 6]
+
+    def test_block_diagonal_two_supernodes(self):
+        D = np.zeros((6, 6))
+        D[:3, :3] = 1.0
+        D[3:, 3:] = 1.0
+        D += 6 * np.eye(6)
+        snptr = detect(SymmetricCSC.from_dense(D))
+        assert snptr.tolist() == [0, 3, 6]
+
+    def test_fundamental_vs_maximal(self):
+        # two chains merging at a node: maximal merges across the join,
+        # fundamental does not (join node has two children)
+        D = np.eye(5) * 10
+        # children 0 and 1 both point to 2; 2-3-4 dense chain
+        D[2, 0] = D[0, 2] = 1
+        D[2, 1] = D[1, 2] = 1
+        D[3, 2] = D[2, 3] = 1
+        D[4, 3] = D[3, 4] = 1
+        D[4, 2] = D[2, 4] = 1
+        D[3, 0] = D[0, 3] = 1
+        D[4, 0] = D[0, 4] = 1
+        D[3, 1] = D[1, 3] = 1
+        D[4, 1] = D[1, 4] = 1
+        A = SymmetricCSC.from_dense(D)
+        fund = detect(A, fundamental=True)
+        maxi = detect(A, fundamental=False)
+        # node 2 has two children (0 and 1) => fundamental splits at 2
+        assert 2 in fund.tolist()
+        assert len(maxi) <= len(fund)
+
+    def test_requires_postorder(self):
+        parent = np.array([2, 0, -1])  # not postordered
+        with pytest.raises(ValueError, match="postorder"):
+            fundamental_supernodes(parent, np.array([2, 2, 1]))
+
+    def test_empty(self):
+        assert fundamental_supernodes(np.empty(0, dtype=np.int64),
+                                      np.empty(0, dtype=np.int64)).tolist() == [0]
+
+    def test_supernode_columns_share_structure(self, analyzed_grid):
+        # within a *fundamental* supernode (pre-merge) every column's true
+        # factor structure nests exactly
+        from repro.symbolic import analyze
+
+        system = analyze(analyzed_grid.matrix, ordering="natural",
+                         merge=False, refine=False)
+        L = np.abs(sla.cholesky(system.matrix.to_dense(), lower=True)) > 1e-12
+        symb = system.symb
+        for s in range(symb.nsup):
+            f, l = symb.snode_cols(s)
+            for j in range(f, l - 1):
+                sj = set(np.flatnonzero(L[:, j]))
+                sj1 = set(np.flatnonzero(L[:, j + 1]))
+                assert sj - {j} >= sj1 or sj - {j} <= sj1
+
+
+class TestHelpers:
+    def test_snode_of_column(self):
+        snptr = np.array([0, 2, 5, 6])
+        assert snode_of_column(snptr).tolist() == [0, 0, 1, 1, 1, 2]
+
+    def test_validate_snptr_ok(self):
+        validate_snptr(np.array([0, 2, 5]), 5)
+
+    def test_validate_snptr_errors(self):
+        with pytest.raises(ValueError):
+            validate_snptr(np.array([1, 5]), 5)
+        with pytest.raises(ValueError):
+            validate_snptr(np.array([0, 3]), 5)
+        with pytest.raises(ValueError):
+            validate_snptr(np.array([0, 3, 3, 5]), 5)
+        with pytest.raises(ValueError):
+            validate_snptr(np.array([[0, 5]]), 5)

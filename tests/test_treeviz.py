@@ -1,0 +1,94 @@
+"""Tests for the supernodal-tree renderer and shape statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import grid_laplacian, random_spd, tridiagonal
+from repro.symbolic import analyze, render_tree, tree_stats
+
+
+@pytest.fixture(scope="module")
+def system():
+    return analyze(grid_laplacian((8, 8, 2)))
+
+
+class TestTreeStats:
+    def test_counts_consistent(self, system):
+        st = tree_stats(system.symb)
+        assert st.nsup == system.symb.nsup
+        assert 1 <= st.height <= st.nsup
+        assert st.nroots >= 1
+        assert st.nleaves >= st.nroots
+        assert st.nroots + st.nleaves <= st.nsup + st.nroots
+
+    def test_work_by_depth_sums_to_total(self, system):
+        symb = system.symb
+        st = tree_stats(symb)
+        assert sum(st.work_by_depth.values()) == pytest.approx(
+            float(symb.factor_flops()))
+
+    def test_top_heavy_fraction_bounds(self, system):
+        st = tree_stats(system.symb)
+        assert 0.0 < st.top_heavy_fraction <= 1.0
+
+    def test_chain_tree(self):
+        """A tridiagonal matrix under natural order gives a pure chain."""
+        system = analyze(tridiagonal(20), ordering="natural", merge=False,
+                         refine=False)
+        st = tree_stats(system.symb)
+        assert st.nroots == 1
+        assert st.max_children <= 1
+        assert st.height == system.symb.nsup
+
+    def test_summary_lines(self, system):
+        lines = tree_stats(system.symb).summary_lines()
+        labels = [l for l, _ in lines]
+        assert "tree height" in labels and "supernodes" in labels
+
+
+class TestRenderTree:
+    def test_contains_every_shown_node_shape(self, system):
+        text = render_tree(system.symb, max_nodes=10 ** 9)
+        symb = system.symb
+        for s in range(symb.nsup):
+            m, w = symb.panel_shape(s)
+            assert f"{s}: {m}x{w}" in text
+
+    def test_truncation_reports_elided(self, system):
+        text = render_tree(system.symb, max_nodes=5)
+        assert "elided" in text
+        assert len(text.splitlines()) <= 6 + 1
+
+    def test_forest_renders_every_root(self):
+        """A disconnected matrix yields a forest; all roots must appear."""
+        import scipy.sparse as sp
+
+        from repro.sparse import SymmetricCSC
+
+        A1 = grid_laplacian((4, 4)).to_scipy()
+        A2 = grid_laplacian((3, 3)).to_scipy()
+        A = SymmetricCSC.from_scipy(sp.block_diag([A1, A2], format="csc"))
+        system = analyze(A)
+        symb = system.symb
+        nroots = int(np.count_nonzero(symb.sn_parent < 0))
+        assert nroots >= 2
+        text = render_tree(symb, max_nodes=10 ** 9)
+        # every root's label is present at zero indentation
+        zero_indent = [l for l in text.splitlines()
+                       if l.startswith(("`-", "|-"))]
+        assert len(zero_indent) == nroots
+
+    def test_depth_cap(self, system):
+        text = render_tree(system.symb, max_depth=0, max_nodes=10 ** 9)
+        st = tree_stats(system.symb)
+        body = [l for l in text.splitlines() if "elided" not in l]
+        assert len(body) == st.nroots
+
+    def test_cli_tree_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", "Fault_639", "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "tree height" in out and "flops]" in out

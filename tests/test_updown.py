@@ -1,0 +1,172 @@
+"""Tests for rank-1 update/downdate of the supernodal factor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dense import NotPositiveDefiniteError
+from repro.numeric import (
+    affected_columns,
+    column_structure,
+    factorize_rl_cpu,
+    factorize_rlb_cpu,
+    rank1_update,
+)
+from repro.sparse import grid_laplacian, random_spd
+from repro.symbolic import analyze
+
+
+@pytest.fixture()
+def factored():
+    system = analyze(grid_laplacian((6, 6, 2)))
+    res = factorize_rl_cpu(system.symb, system.matrix)
+    return system, res.storage
+
+
+def make_w(system, j0, nent, seed, scale=0.4):
+    """A structurally valid rank-1 vector rooted at column ``j0``."""
+    rng = np.random.default_rng(seed)
+    w = np.zeros(system.symb.n)
+    w[j0] = 0.5 + rng.random()
+    rows = column_structure(system.symb, j0)
+    take = rows[:nent]
+    w[take] = scale * rng.standard_normal(take.size)
+    return w
+
+
+def dense_ref(system, w, sign=+1.0):
+    return np.tril(sla.cholesky(
+        system.matrix.to_dense() + sign * np.outer(w, w), lower=True))
+
+
+class TestUpdate:
+    def test_matches_dense_recomputation(self, factored):
+        system, storage = factored
+        w = make_w(system, 7, 5, seed=1)
+        rank1_update(storage, w)
+        np.testing.assert_allclose(storage.to_dense_lower(),
+                                   dense_ref(system, w), atol=1e-10)
+
+    def test_affected_columns_is_tree_path(self, factored):
+        system, storage = factored
+        w = make_w(system, 3, 4, seed=2)
+        before = [storage.panel(s).copy()
+                  for s in range(system.symb.nsup)]
+        path = rank1_update(storage, w)
+        assert path == affected_columns(system.symb, np.flatnonzero(w))
+        assert path[0] == 3 and sorted(path) == path
+        # panels whose columns are all off the path are untouched
+        touched = set(path)
+        for s in range(system.symb.nsup):
+            first, last = system.symb.snode_cols(s)
+            if not touched.intersection(range(first, last)):
+                np.testing.assert_array_equal(storage.panel(s), before[s])
+
+    def test_zero_vector_noop(self, factored):
+        system, storage = factored
+        before = storage.to_dense_lower()
+        assert rank1_update(storage, np.zeros(system.symb.n)) == []
+        np.testing.assert_array_equal(storage.to_dense_lower(), before)
+
+    def test_structure_violation_raises(self, factored):
+        system, storage = factored
+        w = np.zeros(system.symb.n)
+        w[0] = 1.0
+        # find a row guaranteed outside struct(L[:,0])
+        outside = np.setdiff1d(np.arange(1, system.symb.n),
+                               column_structure(system.symb, 0))
+        if outside.size == 0:
+            pytest.skip("column 0 structure is full")
+        w[outside[0]] = 1.0
+        with pytest.raises(ValueError, match="new fill"):
+            rank1_update(storage, w)
+
+    def test_check_can_be_disabled(self, factored):
+        """check_structure=False lets the sweep run (wrong answer, caller's
+        responsibility) — verify it simply does not raise."""
+        system, storage = factored
+        w = np.zeros(system.symb.n)
+        w[0] = 1e-8
+        outside = np.setdiff1d(np.arange(1, system.symb.n),
+                               column_structure(system.symb, 0))
+        if outside.size == 0:
+            pytest.skip("column 0 structure is full")
+        w[outside[0]] = 1e-8
+        rank1_update(storage, w, check_structure=False)
+
+    def test_shape_validation(self, factored):
+        _, storage = factored
+        with pytest.raises(ValueError):
+            rank1_update(storage, np.ones(3))
+
+
+class TestDowndate:
+    def test_update_then_downdate_roundtrip(self, factored):
+        system, storage = factored
+        ref = storage.to_dense_lower().copy()
+        w = make_w(system, 11, 6, seed=3)
+        rank1_update(storage, w)
+        rank1_update(storage, w, downdate=True)
+        np.testing.assert_allclose(storage.to_dense_lower(), ref,
+                                   atol=1e-10)
+
+    def test_downdate_matches_dense(self, factored):
+        system, storage = factored
+        w = 0.05 * make_w(system, 5, 3, seed=4)  # small: A - w w^T stays SPD
+        rank1_update(storage, w, downdate=True)
+        np.testing.assert_allclose(storage.to_dense_lower(),
+                                   dense_ref(system, w, sign=-1.0),
+                                   atol=1e-9)
+
+    def test_indefinite_downdate_raises(self, factored):
+        system, storage = factored
+        w = np.zeros(system.symb.n)
+        j0 = 8
+        w[j0] = 100.0  # far larger than any pivot
+        with pytest.raises(NotPositiveDefiniteError):
+            rank1_update(storage, w, downdate=True)
+
+
+class TestSolveAfterUpdate:
+    def test_solve_against_updated_matrix(self, factored):
+        system, storage = factored
+        from repro.solve import solve_factored
+
+        w = make_w(system, 2, 4, seed=5)
+        rank1_update(storage, w)
+        A1 = system.matrix.to_dense() + np.outer(w, w)
+        rng = np.random.default_rng(6)
+        b = rng.standard_normal(system.symb.n)
+        x = solve_factored(storage, b)
+        np.testing.assert_allclose(A1 @ x, b, atol=1e-8)
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(min_value=8, max_value=26),
+           st.data())
+    def test_update_random_systems(self, seed, n, data):
+        A = random_spd(n, density=0.25, seed=seed)
+        system = analyze(A)
+        storage = factorize_rlb_cpu(system.symb, system.matrix).storage
+        j0 = data.draw(st.integers(min_value=0, max_value=n - 1))
+        w = make_w(system, j0, data.draw(st.integers(0, 6)), seed=seed)
+        rank1_update(storage, w)
+        np.testing.assert_allclose(storage.to_dense_lower(),
+                                   dense_ref(system, w), atol=1e-8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10 ** 6), st.integers(min_value=8, max_value=22))
+    def test_roundtrip_random(self, seed, n):
+        A = random_spd(n, density=0.3, seed=seed)
+        system = analyze(A)
+        storage = factorize_rl_cpu(system.symb, system.matrix).storage
+        ref = storage.to_dense_lower().copy()
+        w = make_w(system, seed % n, 4, seed=seed, scale=0.2)
+        rank1_update(storage, w)
+        rank1_update(storage, w, downdate=True)
+        np.testing.assert_allclose(storage.to_dense_lower(), ref, atol=1e-8)
