@@ -1,0 +1,154 @@
+"""Wall-clock benchmark of the fast-path layer: panel scatter plans and
+same-pattern refactorization.
+
+Measures, on a 3-D grid Laplacian (default ``40x40x10``, the acceptance
+problem):
+
+1. ``FactorStorage.from_matrix`` — the seed's per-column ``searchsorted``
+   scatter (re-implemented here as the reference) against the vectorised
+   :class:`~repro.numeric.storage.ScatterPlan` path, cold (plan built) and
+   warm (plan cached on the symbolic factor);
+2. a repeated same-pattern factorize+solve cycle — a fresh
+   ``CholeskySolver`` per iteration (ordering + symbolic + numeric every
+   time) against one solver driven by ``refactorize`` (numeric only).
+
+Exits non-zero when the from_matrix or cycle speedup falls below
+``--min-speedup`` (default 3.0, the PR's acceptance threshold), so CI can
+run it as a loud perf-regression guard.
+
+Run:  PYTHONPATH=src python benchmarks/bench_refactorize.py
+      PYTHONPATH=src python benchmarks/bench_refactorize.py \\
+          --shape 12,12,4 --min-speedup 1.0   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.numeric.storage import FactorStorage, ScatterPlan
+from repro.solve.driver import CholeskySolver
+from repro.sparse import SymmetricCSC, grid_laplacian
+from repro.symbolic import analyze
+
+
+def _from_matrix_percolumn(symb, A):
+    """The seed implementation: one searchsorted per column (reference)."""
+    panels = [np.zeros(symb.panel_shape(s), order="F")
+              for s in range(symb.nsup)]
+    for s in range(symb.nsup):
+        first, last = symb.snode_cols(s)
+        rows_s = symb.snode_rows(s)
+        panel = panels[s]
+        for j in range(first, last):
+            arows, avals = A.column(j)
+            pos = np.searchsorted(rows_s, arows)
+            panel[pos, j - first] = avals
+    return FactorStorage(symb, panels)
+
+
+def _best_of(fn, repeats):
+    best = np.inf
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--shape", default="40,40,10",
+                    help="grid Laplacian shape, comma separated")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="timing repeats (best-of)")
+    ap.add_argument("--cycles", type=int, default=4,
+                    help="factorize+solve cycles per protocol")
+    ap.add_argument("--method", default="rl", help="factorization engine")
+    ap.add_argument("--min-speedup", type=float, default=3.0,
+                    help="fail when below this (scatter and cycle)")
+    args = ap.parse_args(argv)
+
+    shape = tuple(int(t) for t in args.shape.split(","))
+    A = grid_laplacian(shape)
+    system = analyze(A)
+    symb, M = system.symb, system.matrix
+    print(f"grid_laplacian{shape}: n = {A.n}, nnz_lower = {A.nnz_lower}, "
+          f"{symb.nsup} supernodes\n")
+
+    # -- 1. panel scatter --------------------------------------------------
+    t_seed, ref = _best_of(lambda: _from_matrix_percolumn(symb, M),
+                           args.repeats)
+
+    def cold():
+        symb.cache().pop("scatter_plan", None)
+        return FactorStorage.from_matrix(symb, M)
+
+    t_cold, st_cold = _best_of(cold, args.repeats)
+    ScatterPlan.get(symb, M)  # ensure cached
+    t_warm, st_warm = _best_of(
+        lambda: FactorStorage.from_matrix(symb, M), args.repeats)
+    for p, q, r in zip(ref.panels, st_cold.panels, st_warm.panels):
+        assert np.array_equal(p, q) and np.array_equal(p, r)
+    print("FactorStorage.from_matrix (best of %d):" % args.repeats)
+    print(f"  per-column seed scatter : {t_seed * 1e3:9.2f} ms")
+    print(f"  scatter plan, cold      : {t_cold * 1e3:9.2f} ms "
+          f"({t_seed / t_cold:5.1f}x)")
+    print(f"  scatter plan, warm      : {t_warm * 1e3:9.2f} ms "
+          f"({t_seed / t_warm:5.1f}x)\n")
+
+    # -- 2. repeated same-pattern factorize+solve cycle --------------------
+    rng = np.random.default_rng(0)
+    b = A.matvec(np.ones(A.n))
+    datas = [A.data * (1.0 + 0.01 * rng.random(A.data.size))
+             for _ in range(args.cycles)]
+
+    def fresh_cycle():
+        xs = []
+        for data in datas:
+            At = SymmetricCSC(A.n, A.indptr, A.indices, data, check=False)
+            solver = CholeskySolver(At, method=args.method)
+            solver.factorize()
+            xs.append(solver.solve(b))
+        return xs
+
+    reuse_solver = CholeskySolver(A, method=args.method)
+    reuse_solver.factorize()  # symbolic + plan warm-up outside the loop
+
+    def reuse_cycle():
+        xs = []
+        for data in datas:
+            reuse_solver.refactorize(data)
+            xs.append(reuse_solver.solve(b))
+        return xs
+
+    t_fresh, x_fresh = _best_of(fresh_cycle, max(1, args.repeats // 2))
+    t_reuse, x_reuse = _best_of(reuse_cycle, max(1, args.repeats // 2))
+    for u, v in zip(x_fresh, x_reuse):
+        assert np.allclose(u, v, atol=1e-10)
+    print(f"{args.cycles}-cycle same-pattern factorize+solve "
+          f"({args.method}):")
+    print(f"  fresh solver per cycle  : {t_fresh * 1e3:9.2f} ms")
+    print(f"  refactorize reuse       : {t_reuse * 1e3:9.2f} ms "
+          f"({t_fresh / t_reuse:5.1f}x)\n")
+
+    ok = True
+    if t_seed / t_cold < args.min_speedup:
+        print(f"FAIL: cold scatter speedup {t_seed / t_cold:.2f}x "
+              f"< {args.min_speedup}x")
+        ok = False
+    if t_fresh / t_reuse < args.min_speedup:
+        print(f"FAIL: cycle speedup {t_fresh / t_reuse:.2f}x "
+              f"< {args.min_speedup}x")
+        ok = False
+    if ok:
+        print(f"OK: all speedups >= {args.min_speedup}x")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,24 @@ Quickstart::
     solver = CholeskySolver(A, method="rl_gpu")
     x = solver.solve(np.ones(A.n))
 
+Symbolic reuse
+--------------
+Symbolic analysis (ordering, supernodes, relative indices) and the panel
+scatter plan depend only on the sparsity pattern, so a sequence of
+factorizations with fixed structure and changing values — time stepping,
+parameter sweeps, re-weighted least squares — should reuse them::
+
+    solver = CholeskySolver(A, method="rl")
+    solver.factorize()                 # ordering + symbolic + numeric
+    for data_t in value_stream:        # same pattern, new values
+        solver.refactorize(data_t)     # numeric kernels only
+        x = solver.solve(b)
+
+Under the hood the relative-index runs, block lists and value-scatter plan
+are all memoised on the :class:`~repro.symbolic.structure.SymbolicFactor`
+(see ``SymbolicFactor.cache()``), so every engine — CPU and simulated-GPU —
+skips the index bookkeeping on refactorization.
+
 Subpackages
 -----------
 ``repro.sparse``

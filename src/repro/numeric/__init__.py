@@ -1,7 +1,7 @@
 """Numeric factorization engines: RL / RLB (CPU), their GPU-offloaded
 variants, baselines, and factor storage."""
 
-from .storage import FactorStorage
+from .storage import FactorStorage, ScatterPlan
 from .result import CpuCostAccumulator, FactorizeResult
 from .rl import factorize_rl_cpu, assemble_update, update_workspace_entries
 from .rlb import factorize_rlb_cpu, apply_block_pair, block_pair_targets
@@ -37,6 +37,7 @@ from .threshold import (
 
 __all__ = [
     "FactorStorage",
+    "ScatterPlan",
     "CpuCostAccumulator",
     "FactorizeResult",
     "factorize_rl_cpu",

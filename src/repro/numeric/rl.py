@@ -21,7 +21,7 @@ import numpy as np
 
 from ..dense import kernels as dk
 from ..gpu.costmodel import CPU_THREAD_CHOICES, MachineModel
-from ..symbolic.relind import relative_indices
+from ..symbolic.relind import assembly_plan
 from .result import CpuCostAccumulator, FactorizeResult
 from .storage import FactorStorage
 
@@ -44,27 +44,17 @@ def assemble_update(symb, storage, s, U):
     ``U`` is the ``(b, b)`` lower-valid update matrix over the below-diagonal
     rows of ``s``.  Rows are grouped into runs owned by a single ancestor
     supernode; each run becomes one fancy-indexed ``-=`` (this is the loop
-    nest the paper parallelizes with OpenMP).
+    nest the paper parallelizes with OpenMP).  The per-(supernode, ancestor)
+    relative indices come from the cached
+    :func:`~repro.symbolic.relind.assembly_plan`, so repeated factorizations
+    of the same structure do no index recomputation here.
 
     Returns the number of bytes moved (for the assembly cost model).
     """
-    below = symb.snode_below_rows(s)
-    if below.size == 0:
-        return 0
-    col2sn = symb.col2sn
-    owners = col2sn[below]
-    cut = np.flatnonzero(np.diff(owners)) + 1
-    starts = np.concatenate(([0], cut))
-    ends = np.concatenate((cut, [below.size]))
     bytes_moved = 0
-    for k0, k1 in zip(starts, ends):
-        p = int(owners[k0])
-        seg = below[k0:k1]
-        colpos = seg - symb.snptr[p]
-        relrows = relative_indices(symb, below[k0:], p)
-        target = storage.panel(p)
-        target[np.ix_(relrows, colpos)] -= U[k0:, k0:k1]
-        bytes_moved += 2 * 8 * (below.size - k0) * (k1 - k0)
+    for p, k0, k1, relrows, colpos, nbytes in assembly_plan(symb, s):
+        storage.panel(p)[relrows, colpos] -= U[k0:, k0:k1]
+        bytes_moved += nbytes
     return bytes_moved
 
 

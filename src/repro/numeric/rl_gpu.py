@@ -9,7 +9,9 @@ Per offloaded supernode ``J`` the schedule is exactly the paper's:
 4. DSYRK on the GPU producing the full update matrix in device memory —
    this is the allocation that overflows the device for nlpkkt120;
 5. blocking **D2H** of the update matrix;
-6. assembly into ancestor panels on the CPU (OpenMP-parallel).
+6. assembly into ancestor panels on the CPU (OpenMP-parallel), driven by the
+   relative-index runs cached on the symbolic factor
+   (:func:`repro.symbolic.relind.assembly_plan`).
 
 Supernodes with panels below the size threshold take the CPU-only RL path
 (host BLAS + assembly at the configured host thread count).

@@ -35,16 +35,27 @@ def block_pair_targets(symb, bi, bj):
     ``panel[row_off : row_off + len(B_j), col_off : col_off + len(B_i)]``.
     For the diagonal pair (``bi is bj``) ``row_off == col_off`` because the
     panel's first ``w`` rows are its own columns.
+
+    Each pair's single generalized relative index (one ``searchsorted``) is
+    memoised on the symbolic factor — block pairs are pure structure, so
+    repeated factorizations look the offsets up instead of recomputing them.
     """
+    cache = symb.cache().setdefault("block_pair_targets", {})
+    key = (bi, bj)
+    got = cache.get(key)
+    if got is not None:
+        return got
     p = bi.owner
     col_off = bi.first_row - int(symb.snptr[p])
     if bj is bi:
-        return p, col_off, col_off
+        cache[key] = (p, col_off, col_off)
+        return cache[key]
     prows = symb.snode_rows(p)
     row_off = int(np.searchsorted(prows, bj.first_row))
     if row_off + bj.length > prows.size or prows[row_off] != bj.first_row:
         raise ValueError("block rows not contained in ancestor structure")
-    return p, row_off, col_off
+    cache[key] = (p, row_off, col_off)
+    return cache[key]
 
 
 def apply_block_pair(symb, storage, panel, w, bi, bj):

@@ -16,7 +16,10 @@ differ in when those small update matrices come back:
   ever live on the device, so very large matrices (nlpkkt120) still fit.
 
 Small supernodes stay on the CPU with RLB's direct in-place updates (no
-assembly), per the size threshold.
+assembly), per the size threshold.  Block lists and per-pair panel offsets
+are memoised on the symbolic factor (see :func:`repro.symbolic.blocks
+.snode_blocks` and :func:`repro.numeric.rlb.block_pair_targets`), so
+refactorization repeats none of the structural bookkeeping.
 """
 
 from __future__ import annotations

@@ -6,13 +6,76 @@ diagonal block (the strictly-upper part of that square is dead space, never
 read), the rest holds the below-diagonal rows.  This mirrors the paper's
 "a supernode is stored in a dense array" (§II-A) and is the layout all four
 factorization variants mutate in place.
+
+Scattering the input matrix into this layout is a hot path for repeated
+factorizations, so the index arithmetic lives in a reusable
+:class:`ScatterPlan`: one ``searchsorted`` pass over the whole matrix maps
+every stored entry of ``A`` to a flat position inside its supernode panel.
+The plan is memoised on the symbolic factor, so same-pattern refactorization
+(:meth:`repro.solve.driver.CholeskySolver.refactorize`) does no index work
+at all — only a bulk value scatter per panel.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["FactorStorage"]
+__all__ = ["FactorStorage", "ScatterPlan"]
+
+
+class ScatterPlan:
+    """Precomputed scatter of a matrix's values into supernode panels.
+
+    Maps entry ``t`` of ``A.data`` (CSC order) to flat Fortran-order position
+    ``dst[t]`` inside panel ``s`` for ``t`` in ``seg[s]:seg[s+1]``.  Built
+    with a single vectorised ``searchsorted`` over a globally sorted
+    ``(supernode, row)`` key — no per-column Python loop — and validated
+    against the symbolic structure once at build time.
+    """
+
+    __slots__ = ("indptr", "indices", "dst", "seg")
+
+    def __init__(self, symb, A):
+        if A.n != symb.n:
+            raise ValueError("matrix/symbolic dimension mismatch")
+        n = symb.n
+        cols = np.repeat(np.arange(n, dtype=np.int64), np.diff(A.indptr))
+        s_of = symb.col2sn[cols]
+        # (supernode, row) keys: strictly increasing over the concatenated
+        # per-supernode row lists, so one searchsorted locates every entry
+        nsup = symb.nsup
+        sn_of_rowpos = np.repeat(np.arange(nsup, dtype=np.int64),
+                                 np.diff(symb.rowptr))
+        haystack = sn_of_rowpos * n + symb.rows
+        keys = s_of * n + A.indices
+        pos = np.searchsorted(haystack, keys)
+        if pos.size and (pos.max() >= haystack.size
+                         or not np.array_equal(haystack[pos], keys)):
+            raise ValueError("matrix entries outside symbolic structure")
+        m_of = (symb.rowptr[s_of + 1] - symb.rowptr[s_of])
+        self.dst = (pos - symb.rowptr[s_of]) + (cols - symb.snptr[s_of]) * m_of
+        # entries are CSC-ordered, so each supernode's slice is contiguous
+        self.seg = A.indptr[symb.snptr]
+        self.indptr = A.indptr
+        self.indices = A.indices
+
+    def matches(self, A):
+        """True when ``A`` has the sparsity pattern the plan was built for."""
+        if self.indptr is A.indptr and self.indices is A.indices:
+            return True
+        return (np.array_equal(self.indptr, A.indptr)
+                and np.array_equal(self.indices, A.indices))
+
+    @classmethod
+    def get(cls, symb, A):
+        """The cached plan for ``(symb, A)``, building it on first use (or
+        when ``A``'s pattern differs from the cached plan's)."""
+        cache = symb.cache()
+        plan = cache.get("scatter_plan")
+        if plan is None or not plan.matches(A):
+            plan = cls(symb, A)
+            cache["scatter_plan"] = plan
+        return plan
 
 
 class FactorStorage:
@@ -27,29 +90,27 @@ class FactorStorage:
         self.panels = panels
 
     @classmethod
-    def from_matrix(cls, symb, A):
+    def from_matrix(cls, symb, A, *, plan=None):
         """Initialise panels from the permuted matrix ``A`` (which must be
-        the matrix the symbolic factorization was computed for)."""
+        the matrix the symbolic factorization was computed for).
+
+        The positional scatter is driven by a :class:`ScatterPlan` cached on
+        ``symb`` (pass ``plan`` explicitly to bypass the cache), so repeated
+        same-pattern calls perform only one bulk value assignment per panel.
+        """
         if A.n != symb.n:
             raise ValueError("matrix/symbolic dimension mismatch")
+        if plan is None:
+            plan = ScatterPlan.get(symb, A)
+        data = A.data
+        seg = plan.seg
+        dst = plan.dst
         panels = []
         for s in range(symb.nsup):
             m, w = symb.panel_shape(s)
-            panels.append(np.zeros((m, w), order="F"))
-        for s in range(symb.nsup):
-            first, last = symb.snode_cols(s)
-            rows_s = symb.snode_rows(s)
-            panel = panels[s]
-            for j in range(first, last):
-                arows, avals = A.column(j)
-                pos = np.searchsorted(rows_s, arows)
-                if pos.size and (pos.max() >= rows_s.size
-                                 or not np.array_equal(rows_s[pos], arows)):
-                    raise ValueError(
-                        f"column {j}: matrix entries outside symbolic "
-                        "structure"
-                    )
-                panel[pos, j - first] = avals
+            flat = np.zeros(m * w)
+            flat[dst[seg[s]:seg[s + 1]]] = data[seg[s]:seg[s + 1]]
+            panels.append(flat.reshape((m, w), order="F"))
         return cls(symb, panels)
 
     @classmethod

@@ -12,6 +12,19 @@ and permutation-aware triangular solves::
 Engines: ``"rl"``, ``"rlb"`` (CPU); ``"rl_gpu"``, ``"rlb_gpu_v1"``,
 ``"rlb_gpu_v2"``, ``"multifrontal_gpu"`` (simulated-GPU offload);
 ``"left_looking"``, ``"multifrontal"`` (baselines).
+
+When the matrix changes *numerically* but not *structurally* — parameter
+sweeps, time stepping, re-weighted least squares — use the symbolic-reuse
+API instead of building a new solver::
+
+    solver.factorize()                  # symbolic + numeric, once
+    for A_t in matrices_with_same_pattern:
+        solver.refactorize(A_t.data)    # numeric only: no ordering, no
+        x = solver.solve(b)             # symbolic analysis, no index work
+
+``refactorize`` pushes the new values through the cached permutation gather
+and the cached panel :class:`~repro.numeric.storage.ScatterPlan`, so the
+per-iteration cost is the dense BLAS work alone.
 """
 
 from __future__ import annotations
@@ -28,6 +41,8 @@ from ..numeric import (
     factorize_rlb_cpu,
     factorize_rlb_gpu,
 )
+from ..sparse.csc import SymmetricCSC
+from ..sparse.permute import permutation_gather
 from ..symbolic.analyze import analyze
 from .triangular import solve_factored
 
@@ -77,12 +92,14 @@ class CholeskySolver:
         self._factor_kwargs = dict(factor_kwargs or {})
         self.system = None
         self.result = None
+        self._gather = None
 
     # ------------------------------------------------------------------
     def analyze(self):
         """Run (or re-run) the symbolic pipeline; returns the
         :class:`~repro.symbolic.analyze.AnalyzedSystem`."""
         self.system = analyze(self.A, **self._analyze_kwargs)
+        self._gather = None
         return self.system
 
     def factorize(self):
@@ -95,8 +112,73 @@ class CholeskySolver:
                          **fixed, **self._factor_kwargs)
         return self.result
 
+    # ------------------------------------------------------------------
+    # symbolic-reuse API
+    # ------------------------------------------------------------------
+    def update_values(self, values):
+        """Replace ``A``'s numeric values, keeping its sparsity pattern.
+
+        ``values`` is either a :class:`~repro.sparse.csc.SymmetricCSC` with
+        exactly ``A``'s pattern or a flat array of length ``A.nnz_lower``
+        aligned with ``A.data`` (lower-triangle CSC order).  The permuted
+        system matrix is updated through a cached data gather — no
+        reordering, no structural work — and any stale factorization result
+        is dropped.  Raises ``ValueError`` on a pattern mismatch.
+        """
+        A = self.A
+        if isinstance(values, SymmetricCSC):
+            if (values.n != A.n
+                    or not np.array_equal(values.indptr, A.indptr)
+                    or not np.array_equal(values.indices, A.indices)):
+                raise ValueError(
+                    "new matrix does not share A's sparsity pattern; "
+                    "build a fresh CholeskySolver instead"
+                )
+            new_data = values.data
+        else:
+            new_data = np.ascontiguousarray(values, dtype=np.float64)
+            if new_data.shape != A.data.shape:
+                raise ValueError(
+                    f"values must have shape {A.data.shape} "
+                    "(one value per stored lower-triangle entry)"
+                )
+        new_A = SymmetricCSC(A.n, A.indptr, A.indices, new_data,
+                             check=False)
+        new_A._mv_plan = A._mv_plan  # structure unchanged: keep matvec cache
+        self.A = new_A
+        if self.system is not None:
+            if self._gather is None:
+                self._gather = permutation_gather(self.A, self.system.perm)
+            M = self.system.matrix
+            # reuse M's structure arrays so the cached ScatterPlan still
+            # matches by identity
+            new_M = SymmetricCSC(
+                M.n, M.indptr, M.indices, new_data[self._gather],
+                check=False,
+            )
+            new_M._mv_plan = M._mv_plan
+            self.system.matrix = new_M
+        self.result = None
+        return self
+
+    def refactorize(self, values=None):
+        """Numeric re-factorization reusing all symbolic work.
+
+        Optionally installs ``values`` first (see :meth:`update_values`),
+        then re-runs the engine against the existing symbolic factorization.
+        The ordering, supernode structure, relative-index caches and panel
+        scatter plan are all reused, so a same-pattern refactorize costs only
+        the numeric kernels.  Returns the new
+        :class:`~repro.numeric.result.FactorizeResult`.
+        """
+        if values is not None:
+            self.update_values(values)
+        return self.factorize()
+
+    # ------------------------------------------------------------------
     def solve(self, b):
-        """Solve ``A x = b`` (factorizing first if needed)."""
+        """Solve ``A x = b`` (factorizing first if needed); ``b`` may be a
+        single ``(n,)`` vector or an ``(n, k)`` block of right-hand sides."""
         if self.result is None:
             self.factorize()
         b = np.asarray(b, dtype=np.float64)
@@ -107,7 +189,10 @@ class CholeskySolver:
         return x
 
     def residual_norm(self, x, b):
-        """Relative residual ``||b - A x|| / ||b||`` (infinity norm)."""
-        r = np.asarray(b, dtype=np.float64) - self.A.matvec(x)
-        denom = max(np.abs(b).max(), 1e-300)
-        return float(np.abs(r).max() / denom)
+        """Relative residual ``||b - A x|| / ||b||`` (infinity norm; for
+        block right-hand sides the max of the *per-column* relative
+        residuals, so differently scaled columns are judged separately)."""
+        b = np.asarray(b, dtype=np.float64)
+        r = b - self.A.matvec(x)
+        denom = np.maximum(np.abs(b).max(axis=0), 1e-300)
+        return float((np.abs(r).max(axis=0) / denom).max())

@@ -40,7 +40,9 @@ def refine(A, storage, perm, b, *, x0=None, tol=1e-14, max_iter=5):
     perm:
         Permutation used by the factorization.
     b:
-        Right-hand side (original ordering).
+        Right-hand side (original ordering); a single ``(n,)`` vector or an
+        ``(n, k)`` block of right-hand sides refined together (the residual
+        norm is then the max over all columns).
     x0:
         Starting solution; computed from the factor when omitted.
     tol:
@@ -49,7 +51,8 @@ def refine(A, storage, perm, b, *, x0=None, tol=1e-14, max_iter=5):
         Refinement step limit.
     """
     b = np.asarray(b, dtype=np.float64)
-    bnorm = max(np.abs(b).max(), 1e-300)
+    # per-column norms so no small-scale column hides behind a large one
+    bnorm = np.maximum(np.abs(b).max(axis=0), 1e-300)
 
     def direct_solve(rhs):
         y = solve_factored(storage, rhs[perm])
@@ -63,7 +66,7 @@ def refine(A, storage, perm, b, *, x0=None, tol=1e-14, max_iter=5):
     it = 0
     for it in range(1, max_iter + 1):
         r = b - A.matvec(x)
-        rnorm = float(np.abs(r).max() / bnorm)
+        rnorm = float((np.abs(r).max(axis=0) / bnorm).max())
         history.append(rnorm)
         if rnorm <= tol:
             converged = True

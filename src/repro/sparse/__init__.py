@@ -4,6 +4,7 @@ Matrix Market I/O and the 21-matrix benchmark suite."""
 from .csc import SymmetricCSC
 from .permute import (
     symmetric_permute,
+    permutation_gather,
     invert_permutation,
     is_permutation,
     compose_permutations,
@@ -25,6 +26,7 @@ from .collection import SUITE, SuiteEntry, PaperStats, suite_names, build_matrix
 __all__ = [
     "SymmetricCSC",
     "symmetric_permute",
+    "permutation_gather",
     "invert_permutation",
     "is_permutation",
     "compose_permutations",

@@ -41,13 +41,14 @@ class SymmetricCSC:
         ``False`` only from internal code that constructs valid inputs.
     """
 
-    __slots__ = ("n", "indptr", "indices", "data")
+    __slots__ = ("n", "indptr", "indices", "data", "_mv_plan")
 
     def __init__(self, n, indptr, indices, data, *, check=True):
         self.n = int(n)
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
         self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self._mv_plan = None
         if check:
             self._validate()
 
@@ -55,14 +56,32 @@ class SymmetricCSC:
     # construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def from_coo(cls, n, rows, cols, vals, *, sum_duplicates=True):
-        """Build from COO triplets of the *full or lower* symmetric matrix.
+    def from_coo(cls, n, rows, cols, vals, *, sum_duplicates=True,
+                 symmetry="auto"):
+        """Build from COO triplets of a symmetric matrix.
 
-        Entries with ``row < col`` are mirrored to the lower triangle.
-        Duplicate entries are summed when ``sum_duplicates`` is true
-        (the Matrix Market convention), otherwise they raise ``ValueError``.
+        ``symmetry`` states which triangles the triplets cover:
+
+        ``"lower"``
+            Each logical entry appears once, in either triangle; entries with
+            ``row < col`` are mirrored to the lower triangle.  Duplicates are
+            genuine contributions and are summed when ``sum_duplicates`` is
+            true (the Matrix Market assembly convention), otherwise they
+            raise ``ValueError``.
+        ``"full"``
+            Both triangles are present (the scipy full-symmetric convention).
+            The strictly-upper entries must exactly mirror the strictly-lower
+            ones — equal multisets of ``(coordinate, value)`` pairs — and
+            are dropped, so mirrored pairs are *not* double-counted;
+            ``ValueError`` if the two triangles disagree.
+        ``"auto"`` (default)
+            Treated as ``"full"`` when the strictly-upper entries exactly
+            mirror the strictly-lower ones, as ``"lower"`` otherwise.
+
         A structurally missing diagonal entry is inserted with value 0.
         """
+        if symmetry not in ("auto", "full", "lower"):
+            raise ValueError("symmetry must be 'auto', 'full' or 'lower'")
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
         vals = np.asarray(vals, dtype=np.float64)
@@ -71,6 +90,16 @@ class SymmetricCSC:
         if rows.size and (rows.min() < 0 or cols.min() < 0
                           or rows.max() >= n or cols.max() >= n):
             raise ValueError("index out of range for n=%d" % n)
+        if symmetry != "lower":
+            mirrored = cls._mirror_pairs_match(n, rows, cols, vals)
+            if symmetry == "full" and not mirrored:
+                raise ValueError(
+                    "symmetry='full' but the strictly-upper triplets do not "
+                    "mirror the strictly-lower ones"
+                )
+            if mirrored:
+                keep = rows >= cols
+                rows, cols, vals = rows[keep], cols[keep], vals[keep]
         # mirror upper-triangle entries into the lower triangle
         lo = np.where(rows >= cols, rows, cols)
         hi = np.where(rows >= cols, cols, rows)
@@ -101,6 +130,30 @@ class SymmetricCSC:
         np.add.at(indptr, cols + 1, 1)
         np.cumsum(indptr, out=indptr)
         return cls(n, indptr, rows, vals, check=True)
+
+    @staticmethod
+    def _mirror_pairs_match(n, rows, cols, vals):
+        """True when the strictly-upper triplets exactly mirror the
+        strictly-lower ones: equal multisets of ``(coordinate, value)``
+        pairs (i.e. the input stores a full symmetric matrix, one triangle
+        redundant).  Sorting each triangle by coordinate *and* value keeps
+        the comparison order-insensitive — no float summation is involved,
+        so duplicate contributions listed in different orders per triangle
+        still match exactly."""
+        low = rows > cols
+        up = rows < cols
+        lkey = rows[low] * n + cols[low]
+        ukey = cols[up] * n + rows[up]  # mirrored coordinates
+        if lkey.size != ukey.size:
+            return False
+        if lkey.size == 0:
+            return True
+        lvals = vals[low]
+        uvals = vals[up]
+        lorder = np.lexsort((lvals, lkey))
+        uorder = np.lexsort((uvals, ukey))
+        return bool(np.array_equal(lkey[lorder], ukey[uorder])
+                    and np.array_equal(lvals[lorder], uvals[uorder]))
 
     @classmethod
     def from_dense(cls, A, *, drop_tol=0.0):
@@ -208,23 +261,54 @@ class SymmetricCSC:
         data[self.indptr[:-1]] += sigma
         return SymmetricCSC(self.n, self.indptr, self.indices, data, check=False)
 
+    def _matvec_plan(self):
+        """Cached CSR-like expansion of the full symmetric matrix.
+
+        Returns ``(val_idx, col_idx, row_starts)``: the full matrix's entries
+        in row-major order, as gather indices into ``self.data`` (mirrored
+        off-diagonals appear twice) and into the operand, plus ``reduceat``
+        segment starts (every row is non-empty — the diagonal is structurally
+        present — so the segments are well-formed).
+        """
+        plan = self._mv_plan
+        if plan is None:
+            cols = np.repeat(
+                np.arange(self.n, dtype=np.int64), np.diff(self.indptr)
+            )
+            off = np.flatnonzero(self.indices != cols)
+            rows_full = np.concatenate([self.indices, cols[off]])
+            cols_full = np.concatenate([cols, self.indices[off]])
+            val_idx = np.concatenate(
+                [np.arange(self.indices.size, dtype=np.int64), off]
+            )
+            order = np.argsort(rows_full, kind="stable")
+            row_starts = np.zeros(self.n, dtype=np.int64)
+            counts = np.bincount(rows_full, minlength=self.n)
+            np.cumsum(counts[:-1], out=row_starts[1:])
+            plan = (val_idx[order], cols_full[order], row_starts)
+            self._mv_plan = plan
+        return plan
+
     def matvec(self, x):
-        """Full symmetric matrix-vector product ``A @ x`` from the lower
-        triangle, vectorised per the HPC guide (no Python inner loops over
-        nonzeros)."""
+        """Full symmetric matrix product ``A @ x`` from the lower triangle.
+
+        ``x`` may be a single ``(n,)`` vector or an ``(n, k)`` block of
+        operands (matching the multi-RHS triangular solves).  The CSR-like
+        expansion of the full matrix is computed once and cached, so repeated
+        products (iterative refinement, residual checks) are pure gathers
+        plus one segmented ``reduceat`` — no ``np.add.at``, no per-call
+        index rebuild.
+        """
         x = np.asarray(x, dtype=np.float64)
-        if x.shape != (self.n,):
-            raise ValueError("x must have shape (n,)")
-        y = np.zeros(self.n)
-        cols = np.repeat(
-            np.arange(self.n, dtype=np.int64), np.diff(self.indptr)
-        )
-        rows = self.indices
-        vals = self.data
-        np.add.at(y, rows, vals * x[cols])
-        off = rows != cols
-        np.add.at(y, cols[off], vals[off] * x[rows[off]])
-        return y
+        if x.ndim not in (1, 2) or x.shape[0] != self.n:
+            raise ValueError("x must have shape (n,) or (n, k)")
+        val_idx, col_idx, row_starts = self._matvec_plan()
+        vals = self.data[val_idx]
+        if x.ndim == 2:
+            prod = vals[:, None] * x[col_idx]
+        else:
+            prod = vals * x[col_idx]
+        return np.add.reduceat(prod, row_starts, axis=0)
 
     def __repr__(self):  # pragma: no cover - cosmetic
         return (f"SymmetricCSC(n={self.n}, nnz_lower={self.nnz_lower})")

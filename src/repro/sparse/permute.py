@@ -17,6 +17,7 @@ from .csc import SymmetricCSC
 
 __all__ = [
     "symmetric_permute",
+    "permutation_gather",
     "invert_permutation",
     "is_permutation",
     "compose_permutations",
@@ -68,11 +69,11 @@ def random_permutation(n, rng):
     return rng.permutation(n).astype(np.int64)
 
 
-def symmetric_permute(A, perm):
-    """Return ``P A P^T`` as a new :class:`SymmetricCSC`.
+def _permuted_entries(A, perm):
+    """Internal: ``(order, rows, cols)`` of ``P A P^T``'s stored entries.
 
-    ``perm[k]`` is the original index placed at position ``k``; equivalently
-    ``B[i, j] = A[perm[i], perm[j]]``.
+    ``order`` gathers ``A.data`` into the permuted matrix's CSC entry order;
+    ``rows`` / ``cols`` are the already-gathered lower-triangle coordinates.
     """
     perm = np.asarray(perm, dtype=np.int64)
     if not is_permutation(perm, A.n):
@@ -85,7 +86,30 @@ def symmetric_permute(A, perm):
     lo = np.maximum(new_r, new_c)
     hi = np.minimum(new_r, new_c)
     order = np.lexsort((lo, hi))
-    rows, cols2, vals = lo[order], hi[order], A.data[order]
+    return order, lo[order], hi[order]
+
+
+def permutation_gather(A, perm):
+    """Data-gather index of the symmetric permutation.
+
+    Returns ``g`` with ``symmetric_permute(A, perm).data == A.data[g]`` —
+    the permuted matrix's values are a pure gather of the original's.  The
+    solver driver caches this to push new numeric values through a fixed
+    ordering without redoing any structural work
+    (:meth:`repro.solve.driver.CholeskySolver.update_values`).
+    """
+    order, _, _ = _permuted_entries(A, perm)
+    return order
+
+
+def symmetric_permute(A, perm):
+    """Return ``P A P^T`` as a new :class:`SymmetricCSC`.
+
+    ``perm[k]`` is the original index placed at position ``k``; equivalently
+    ``B[i, j] = A[perm[i], perm[j]]``.
+    """
+    order, rows, cols2 = _permuted_entries(A, perm)
+    vals = A.data[order]
     indptr = np.zeros(A.n + 1, dtype=np.int64)
     np.add.at(indptr, cols2 + 1, 1)
     np.cumsum(indptr, out=indptr)

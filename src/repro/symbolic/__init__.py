@@ -15,7 +15,7 @@ from .supernodes import fundamental_supernodes, snode_of_column, validate_snptr
 from .amalgamate import amalgamate, merge_extra_fill
 from .treeviz import render_tree, tree_stats, TreeStats
 from .structure import SymbolicFactor, symbolic_factorization
-from .relind import relative_indices, relative_indices_bottom
+from .relind import assembly_plan, relative_indices, relative_indices_bottom
 from .blocks import Block, snode_blocks, all_blocks, count_blocks
 from .partition_refinement import partition_refinement
 from .analyze import AnalyzedSystem, analyze
@@ -39,6 +39,7 @@ __all__ = [
     "merge_extra_fill",
     "SymbolicFactor",
     "symbolic_factorization",
+    "assembly_plan",
     "relative_indices",
     "relative_indices_bottom",
     "Block",

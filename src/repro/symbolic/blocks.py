@@ -50,36 +50,41 @@ class Block:
 def snode_blocks(symb, s):
     """Blocks of supernode ``s``'s below-diagonal rows.
 
-    Returns a list of :class:`Block` in increasing row order.  Splits occur
+    Returns a tuple of :class:`Block` in increasing row order.  Splits occur
     where row indices stop being consecutive and where the owning supernode
-    changes.
+    changes.  Split points are found with vectorised ``diff`` comparisons and
+    the resulting tuple is memoised on the symbolic factor (the block
+    decomposition is pure structure, reused across numeric factorizations).
     """
-    below = symb.snode_below_rows(s)
-    w = symb.snode_ncols(s)
-    blocks = []
-    if below.size == 0:
+    cache = symb.cache().setdefault("snode_blocks", {})
+    blocks = cache.get(s)
+    if blocks is not None:
         return blocks
-    col2sn = symb.col2sn
-    start = 0
-    for k in range(1, below.size + 1):
-        split = (
-            k == below.size
-            or below[k] != below[k - 1] + 1
-            or col2sn[below[k]] != col2sn[below[start]]
+    below = symb.snode_below_rows(s)
+    if below.size == 0:
+        cache[s] = ()
+        return cache[s]
+    w = symb.snode_ncols(s)
+    owners = symb.col2sn[below]
+    cut = np.flatnonzero((np.diff(below) != 1) | (np.diff(owners) != 0)) + 1
+    starts = np.concatenate(([0], cut))
+    ends = np.concatenate((cut, [below.size]))
+    # an immutable tuple: the cached value is shared across factorizations
+    blocks = tuple(
+        Block(
+            panel_start=w + int(a),
+            length=int(b - a),
+            first_row=int(below[a]),
+            owner=int(owners[a]),
         )
-        if split:
-            blocks.append(Block(
-                panel_start=w + start,
-                length=k - start,
-                first_row=int(below[start]),
-                owner=int(col2sn[below[start]]),
-            ))
-            start = k
+        for a, b in zip(starts, ends)
+    )
+    cache[s] = blocks
     return blocks
 
 
 def all_blocks(symb):
-    """``snode_blocks`` for every supernode (list of lists)."""
+    """``snode_blocks`` for every supernode (list of tuples)."""
     return [snode_blocks(symb, s) for s in range(symb.nsup)]
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["relative_indices", "relative_indices_bottom"]
+__all__ = ["relative_indices", "relative_indices_bottom", "assembly_plan"]
 
 
 def relative_indices(symb, global_rows, ancestor):
@@ -47,6 +47,47 @@ def relative_indices(symb, global_rows, ancestor):
             "symbolic factorization is inconsistent"
         )
     return pos
+
+
+def assembly_plan(symb, s):
+    """Cached per-ancestor scatter runs for RL assembly of supernode ``s``.
+
+    The below-diagonal rows of ``s`` are grouped into maximal runs owned by a
+    single ancestor supernode (the loop nest of
+    :func:`repro.numeric.rl.assemble_update`).  For each run the generalized
+    relative indices of the *remaining tail* of rows w.r.t. that ancestor are
+    precomputed once per symbolic factor, so repeated numeric factorizations
+    pay no ``searchsorted`` cost.
+
+    Returns
+    -------
+    Tuple of ``(ancestor, k0, k1, rel_rows_col, col_positions, nbytes)``
+    runs, where ``rel_rows_col`` is the ``(tail, 1)``-shaped relative row
+    index array (ready for broadcasted fancy indexing against
+    ``col_positions``) and ``nbytes`` is the read+write traffic of the run
+    for the assembly cost model.
+    """
+    cache = symb.cache().setdefault("assembly_plan", {})
+    plan = cache.get(s)
+    if plan is not None:
+        return plan
+    below = symb.snode_below_rows(s)
+    if below.size == 0:
+        cache[s] = ()
+        return cache[s]
+    owners = symb.col2sn[below]
+    cut = np.flatnonzero(np.diff(owners)) + 1
+    starts = np.concatenate(([0], cut))
+    ends = np.concatenate((cut, [below.size]))
+    runs = []
+    for k0, k1 in zip(starts, ends):
+        p = int(owners[k0])
+        colpos = below[k0:k1] - symb.snptr[p]
+        relrows = relative_indices(symb, below[k0:], p)
+        nbytes = 2 * 8 * (below.size - int(k0)) * int(k1 - k0)
+        runs.append((p, int(k0), int(k1), relrows[:, None], colpos, nbytes))
+    cache[s] = tuple(runs)
+    return cache[s]
 
 
 def relative_indices_bottom(symb, global_rows, ancestor):

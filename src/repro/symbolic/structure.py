@@ -56,12 +56,25 @@ class SymbolicFactor:
     rows: np.ndarray
     col2sn: np.ndarray
     _panel_offsets: np.ndarray = field(default=None, repr=False)
+    _cache: dict = field(default=None, repr=False, compare=False)
 
     # -- basic queries ---------------------------------------------------
     @property
     def nsup(self):
         """Number of supernodes."""
         return int(self.snptr.size - 1)
+
+    def cache(self):
+        """Dictionary of derived index structures (scatter plans, relative
+        index maps, block lists) memoised against this symbolic factor.
+
+        The structure arrays are immutable after construction, so cached
+        entries never need invalidation; consumers key their own namespaces
+        (e.g. ``"scatter_plan"``, ``"assembly_plan"``).
+        """
+        if self._cache is None:
+            self._cache = {}
+        return self._cache
 
     def snode_cols(self, s):
         """``(first, last+1)`` column range of supernode ``s``."""

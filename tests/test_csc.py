@@ -61,6 +61,76 @@ class TestFromCoo:
         assert np.array_equal(A.diagonal(), np.zeros(3))
 
 
+class TestFromCooSymmetry:
+    """Regression tests for the full-symmetric mirror double-count bug."""
+
+    def test_full_symmetric_not_double_counted(self):
+        # mirrored (0,1)/(1,0) must collapse to a single off-diagonal, not 2
+        A = SymmetricCSC.from_coo(2, [0, 0, 1, 1], [0, 1, 0, 1],
+                                  [4.0, 1.0, 1.0, 5.0])
+        assert np.allclose(A.to_dense(), [[4.0, 1.0], [1.0, 5.0]])
+
+    def test_full_roundtrip_matches_scipy(self, small_grid):
+        # COO of the *full* symmetric matrix must round-trip with values
+        # matching the scipy.sparse reference
+        S = small_grid.to_scipy(full=True).tocoo()
+        A = SymmetricCSC.from_coo(S.shape[0], S.row, S.col, S.data)
+        assert np.allclose(A.to_dense(), S.toarray())
+        B = SymmetricCSC.from_coo(S.shape[0], S.row, S.col, S.data,
+                                  symmetry="full")
+        assert np.allclose(B.to_dense(), S.toarray())
+
+    def test_lower_mode_still_sums_mirrored_pairs(self):
+        # explicit symmetry="lower": (0,1)/(1,0) are two genuine
+        # contributions (MM assembly convention) and are summed
+        A = SymmetricCSC.from_coo(2, [0, 0, 1, 1], [0, 1, 0, 1],
+                                  [4.0, 1.0, 1.0, 5.0], symmetry="lower")
+        assert np.allclose(A.to_dense(), [[4.0, 2.0], [2.0, 5.0]])
+
+    def test_auto_falls_back_when_values_differ(self):
+        # unequal mirrored values are not an exact mirror: summed as before
+        A = SymmetricCSC.from_coo(2, [0, 0, 1, 1], [0, 1, 0, 1],
+                                  [4.0, 1.0, 3.0, 5.0])
+        assert np.allclose(A.to_dense(), [[4.0, 4.0], [4.0, 5.0]])
+
+    def test_full_rejects_unmirrored_input(self):
+        with pytest.raises(ValueError, match="mirror"):
+            SymmetricCSC.from_coo(2, [1, 0, 1], [0, 0, 1],
+                                  [1.0, 4.0, 5.0], symmetry="full")
+
+    def test_full_with_genuine_duplicates(self):
+        # duplicates within each triangle are summed; mirrors still dropped
+        A = SymmetricCSC.from_coo(
+            2, [0, 1, 1, 0, 0, 1], [0, 0, 0, 1, 1, 1],
+            [4.0, 0.5, 0.5, 0.5, 0.5, 5.0])
+        assert np.allclose(A.to_dense(), [[4.0, 1.0], [1.0, 5.0]])
+
+    def test_mirror_detection_is_order_insensitive(self):
+        # duplicate contributions listed in different orders per triangle
+        # must still be recognised as mirrors (no float-summation rounding)
+        A = SymmetricCSC.from_coo(
+            2, [0, 1, 1, 1, 1, 0, 0, 0], [0, 1, 0, 0, 0, 1, 1, 1],
+            [4.0, 5.0, 0.1, 0.2, 0.3, 0.3, 0.2, 0.1])
+        off = 0.1 + 0.2 + 0.3
+        assert np.allclose(A.to_dense(), [[4.0, off], [off, 5.0]])
+        B = SymmetricCSC.from_coo(
+            2, [0, 1, 1, 1, 1, 0, 0, 0], [0, 1, 0, 0, 0, 1, 1, 1],
+            [4.0, 5.0, 0.1, 0.2, 0.3, 0.3, 0.2, 0.1], symmetry="full")
+        assert np.allclose(B.to_dense(), A.to_dense())
+
+    def test_bad_symmetry_value(self):
+        with pytest.raises(ValueError, match="symmetry"):
+            SymmetricCSC.from_coo(1, [0], [0], [1.0], symmetry="upper")
+
+    def test_from_scipy_unchanged(self, small_grid):
+        # from_scipy reduces to the lower triangle before from_coo; the new
+        # symmetry handling must not alter its result
+        B = SymmetricCSC.from_scipy(small_grid.to_scipy(full=True))
+        assert np.array_equal(B.indptr, small_grid.indptr)
+        assert np.array_equal(B.indices, small_grid.indices)
+        assert np.allclose(B.data, small_grid.data)
+
+
 class TestFromDense:
     def test_roundtrip(self):
         D = np.array([[4.0, 1.0, 0.0], [1.0, 5.0, 2.0], [0.0, 2.0, 6.0]])
@@ -131,6 +201,22 @@ class TestNumericHelpers:
     def test_matvec_shape_check(self, small_grid):
         with pytest.raises(ValueError):
             small_grid.matvec(np.ones(small_grid.n + 1))
+        with pytest.raises(ValueError):
+            small_grid.matvec(np.ones((small_grid.n + 1, 2)))
+        with pytest.raises(ValueError):
+            small_grid.matvec(np.ones((small_grid.n, 2, 2)))
+
+    def test_matvec_block_operand(self, small_grid):
+        # regression: (n, k) operands must work (refine / residual_norm on
+        # block right-hand sides)
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((small_grid.n, 4))
+        Y = small_grid.matvec(X)
+        assert Y.shape == X.shape
+        assert np.allclose(Y, small_grid.to_dense() @ X)
+        # columns agree with single-vector products
+        for k in range(X.shape[1]):
+            assert np.allclose(Y[:, k], small_grid.matvec(X[:, k]))
 
     def test_shift_diagonal(self, small_grid):
         B = small_grid.shift_diagonal(2.5)

@@ -108,4 +108,4 @@ class TestBlocks:
         roots = [s for s in range(symb.nsup) if symb.sn_parent[s] == -1
                  and symb.snode_below_rows(s).size == 0]
         for s in roots:
-            assert snode_blocks(symb, s) == []
+            assert len(snode_blocks(symb, s)) == 0
