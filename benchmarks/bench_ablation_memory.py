@@ -13,8 +13,6 @@ from conftest import suite_names, write_result
 from repro.analysis import format_table
 from repro.gpu import DeviceOutOfMemory
 from repro.numeric import factorize_rl_gpu, factorize_rlb_gpu
-from repro.sparse import get_entry
-from repro.symbolic import analyze
 
 MIB = 1024 * 1024
 CAPACITIES = [64 * MIB, 128 * MIB, 256 * MIB, 400 * MIB, 512 * MIB,

@@ -10,15 +10,12 @@ from __future__ import annotations
 
 from conftest import suite_names, write_result
 from repro.analysis import format_table
-from repro.gpu import DeviceOutOfMemory
 from repro.numeric import (
     DEFAULT_RL_THRESHOLD,
     DEFAULT_RLB_THRESHOLD,
     factorize_rl_gpu,
     factorize_rlb_gpu,
 )
-from repro.sparse import get_entry
-from repro.symbolic import analyze
 
 THRESHOLDS = [0, 50_000, 100_000, 200_000, 400_000, 600_000, 1_000_000,
               10 ** 13]

@@ -8,14 +8,10 @@ barely moves them.
 
 from __future__ import annotations
 
-import dataclasses
-
 from conftest import suite_names, write_result
 from repro.analysis import format_table
-from repro.gpu import CpuModel, GpuModel, MachineModel, TransferModel
+from repro.gpu import MachineModel, TransferModel
 from repro.numeric import factorize_rl_gpu, factorize_rlb_gpu
-from repro.sparse import get_entry
-from repro.symbolic import analyze
 
 BIG_MEM = 10 ** 15
 

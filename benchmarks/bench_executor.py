@@ -1,0 +1,175 @@
+"""Wall-clock benchmark of the threaded task-DAG executor.
+
+Sweeps ``workers x granularity`` of :func:`repro.numeric.executor.
+factorize_executor` against the serial engines on a 3-D grid Laplacian
+(default ``30,30,8``, the acceptance problem), verifying on every run that
+the parallel factors are *bit-identical* to the serial ones (the
+deterministic reduction-order contract).
+
+Exits non-zero when the best parallel speedup falls below ``--min-speedup``
+(default: the ``BENCH_EXECUTOR_MIN_SPEEDUP`` env var, else 1.8 — the PR's
+acceptance threshold), so CI can run it as a loud perf-regression guard and
+relax the bar on noisy shared runners without editing the workflow.
+
+``--determinism-only`` skips the timing sweep and only checks the
+bit-reproducibility contract (twice at ``workers=4``, once at ``workers=1``,
+against serial) — the mode CI's determinism job runs on every PR.
+
+Run:  PYTHONPATH=src python benchmarks/bench_executor.py
+      PYTHONPATH=src python benchmarks/bench_executor.py --workers 1,2,4
+      PYTHONPATH=src python benchmarks/bench_executor.py \\
+          --shape 16,16,6 --determinism-only        # CI determinism gate
+"""
+
+from __future__ import annotations
+
+import os
+
+# Task-level parallelism is the thing being measured: pin the BLAS pool to
+# one thread per call (MA87-style) *before* NumPy/SciPy load the libraries.
+for _var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import argparse
+import pathlib
+import sys
+from functools import partial
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from harness import best_of
+from repro.numeric import factorize_rl_cpu, factorize_rlb_cpu
+from repro.numeric.executor import factorize_executor
+from repro.sparse import grid_laplacian
+from repro.symbolic import analyze
+
+SERIAL = {"coarse": factorize_rl_cpu, "fine": factorize_rlb_cpu}
+
+
+def _identical(res, ref):
+    if len(res.storage.panels) != len(ref.storage.panels):
+        return False
+    pairs = zip(res.storage.panels, ref.storage.panels)
+    return all(np.array_equal(p, q) for p, q in pairs)
+
+
+def check_determinism(symb, M, workers=4):
+    """The CI determinism gate: ``workers=N`` twice and ``workers=1`` must
+    all be bit-identical to the serial engine of the same granularity."""
+    failures = []
+    for granularity in ("coarse", "fine"):
+        ref = SERIAL[granularity](symb, M)
+        runs = {
+            f"workers={workers} run 1": factorize_executor(
+                symb, M, workers=workers, granularity=granularity
+            ),
+            f"workers={workers} run 2": factorize_executor(
+                symb, M, workers=workers, granularity=granularity
+            ),
+            "workers=1": factorize_executor(symb, M, workers=1, granularity=granularity),
+        }
+        for label, res in runs.items():
+            ok = _identical(res, ref)
+            mark = "ok" if ok else "MISMATCH"
+            print(f"  {granularity:>6} {label:<18} vs serial: {mark}")
+            if not ok:
+                failures.append((granularity, label))
+    return failures
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--shape",
+        default="30,30,8",
+        help="grid Laplacian shape, comma separated",
+    )
+    ap.add_argument(
+        "--workers",
+        default="1,2,4",
+        help="comma-separated worker counts to sweep",
+    )
+    ap.add_argument(
+        "--granularity",
+        default="coarse,fine",
+        help="comma-separated granularities to sweep",
+    )
+    ap.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=float(os.environ.get("BENCH_EXECUTOR_MIN_SPEEDUP", "1.8")),
+        help="fail when the best parallel speedup over the serial engine "
+        "is below this (env default: BENCH_EXECUTOR_MIN_SPEEDUP)",
+    )
+    ap.add_argument(
+        "--determinism-only",
+        action="store_true",
+        help="skip timings; only verify the bit-reproducibility contract",
+    )
+    args = ap.parse_args(argv)
+
+    shape = tuple(int(t) for t in args.shape.split(","))
+    A = grid_laplacian(shape)
+    system = analyze(A)
+    symb, M = system.symb, system.matrix
+    print(
+        f"grid_laplacian{shape}: n = {A.n}, nnz_lower = {A.nnz_lower}, "
+        f"{symb.nsup} supernodes, cores = {os.cpu_count()}\n"
+    )
+
+    if args.determinism_only:
+        print("determinism contract (bit-identical factors):")
+        failures = check_determinism(symb, M)
+        if failures:
+            print(f"\nFAIL: {len(failures)} non-deterministic run(s)")
+            return 1
+        print("\nOK: all factors bit-identical to serial")
+        return 0
+
+    workers_list = [int(t) for t in args.workers.split(",")]
+    granularities = [g.strip() for g in args.granularity.split(",")]
+    best_speedup = 0.0
+    ok = True
+    for granularity in granularities:
+        serial_fn = SERIAL[granularity]
+        t_serial, ref = best_of(lambda: serial_fn(symb, M), args.repeats)
+        print(f"{granularity} granularity (serial {t_serial * 1e3:.1f} ms):")
+        for workers in workers_list:
+            run_par = partial(
+                factorize_executor,
+                symb,
+                M,
+                workers=workers,
+                granularity=granularity,
+            )
+            t_par, res = best_of(run_par, args.repeats)
+            bitwise = _identical(res, ref)
+            ok = ok and bitwise
+            speedup = t_serial / t_par
+            if workers > 1:
+                best_speedup = max(best_speedup, speedup)
+            print(
+                f"  workers={workers:<3d} {t_par * 1e3:9.2f} ms "
+                f"({speedup:5.2f}x vs serial, {res.extra['tasks']} tasks, "
+                f"bit-identical: {'yes' if bitwise else 'NO'})"
+            )
+        print()
+
+    if not ok:
+        print("FAIL: parallel factors are not bit-identical to serial")
+        return 1
+    if best_speedup < args.min_speedup:
+        print(f"FAIL: best parallel speedup {best_speedup:.2f}x < {args.min_speedup}x")
+        return 1
+    print(
+        f"OK: best parallel speedup {best_speedup:.2f}x >= {args.min_speedup}x, "
+        "all factors bit-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,22 +13,25 @@ problem):
    time) against one solver driven by ``refactorize`` (numeric only).
 
 Exits non-zero when the from_matrix or cycle speedup falls below
-``--min-speedup`` (default 3.0, the PR's acceptance threshold), so CI can
-run it as a loud perf-regression guard.
+``--min-speedup`` (default: the ``BENCH_MIN_SPEEDUP`` env var, else 3.0 —
+the PR-1 acceptance threshold), so CI can run it as a loud perf-regression
+guard and relax the bar on noisy shared runners without editing the
+workflow.  All timings are best-of-``--repeats`` to reject scheduler noise.
 
 Run:  PYTHONPATH=src python benchmarks/bench_refactorize.py
-      PYTHONPATH=src python benchmarks/bench_refactorize.py \\
-          --shape 12,12,4 --min-speedup 1.0   # CI smoke
+      BENCH_MIN_SPEEDUP=1.2 PYTHONPATH=src \\
+          python benchmarks/bench_refactorize.py --shape 12,12,4  # CI smoke
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-import time
 
 import numpy as np
 
+from harness import best_of
 from repro.numeric.storage import FactorStorage, ScatterPlan
 from repro.solve.driver import CholeskySolver
 from repro.sparse import SymmetricCSC, grid_laplacian
@@ -50,16 +53,6 @@ def _from_matrix_percolumn(symb, A):
     return FactorStorage(symb, panels)
 
 
-def _best_of(fn, repeats):
-    best = np.inf
-    out = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        out = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, out
-
-
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--shape", default="40,40,10",
@@ -69,8 +62,10 @@ def main(argv=None):
     ap.add_argument("--cycles", type=int, default=4,
                     help="factorize+solve cycles per protocol")
     ap.add_argument("--method", default="rl", help="factorization engine")
-    ap.add_argument("--min-speedup", type=float, default=3.0,
-                    help="fail when below this (scatter and cycle)")
+    ap.add_argument("--min-speedup", type=float,
+                    default=float(os.environ.get("BENCH_MIN_SPEEDUP", "3.0")),
+                    help="fail when below this (scatter and cycle; env "
+                         "default: BENCH_MIN_SPEEDUP)")
     args = ap.parse_args(argv)
 
     shape = tuple(int(t) for t in args.shape.split(","))
@@ -81,16 +76,16 @@ def main(argv=None):
           f"{symb.nsup} supernodes\n")
 
     # -- 1. panel scatter --------------------------------------------------
-    t_seed, ref = _best_of(lambda: _from_matrix_percolumn(symb, M),
-                           args.repeats)
+    t_seed, ref = best_of(lambda: _from_matrix_percolumn(symb, M),
+                          args.repeats)
 
     def cold():
         symb.cache().pop("scatter_plan", None)
         return FactorStorage.from_matrix(symb, M)
 
-    t_cold, st_cold = _best_of(cold, args.repeats)
+    t_cold, st_cold = best_of(cold, args.repeats)
     ScatterPlan.get(symb, M)  # ensure cached
-    t_warm, st_warm = _best_of(
+    t_warm, st_warm = best_of(
         lambda: FactorStorage.from_matrix(symb, M), args.repeats)
     for p, q, r in zip(ref.panels, st_cold.panels, st_warm.panels):
         assert np.array_equal(p, q) and np.array_equal(p, r)
@@ -126,8 +121,10 @@ def main(argv=None):
             xs.append(reuse_solver.solve(b))
         return xs
 
-    t_fresh, x_fresh = _best_of(fresh_cycle, max(1, args.repeats // 2))
-    t_reuse, x_reuse = _best_of(reuse_cycle, max(1, args.repeats // 2))
+    # full best-of-N here too: the halved repeat count made the cycle
+    # speedup flaky on loaded shared CI runners
+    t_fresh, x_fresh = best_of(fresh_cycle, args.repeats)
+    t_reuse, x_reuse = best_of(reuse_cycle, args.repeats)
     for u, v in zip(x_fresh, x_reuse):
         assert np.allclose(u, v, atol=1e-10)
     print(f"{args.cycles}-cycle same-pattern factorize+solve "

@@ -10,8 +10,6 @@ but the bandwidth is important."
 
 from __future__ import annotations
 
-import numpy as np
-
 from conftest import suite_names, write_result
 from repro.analysis import format_table
 from repro.numeric import factorize_rlb_gpu

@@ -13,7 +13,6 @@ import pytest
 
 from conftest import suite_names, write_result
 from repro.analysis import format_table
-from repro.gpu import DeviceOutOfMemory
 from repro.numeric import factorize_rl_gpu, factorize_rlb_gpu
 
 BIG_MEM = 10 ** 15  # memory is not the subject of this experiment

@@ -18,8 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.gpu.costmodel import (CPU_THREAD_CHOICES, CpuModel, GpuModel,
-                                 MachineModel, TransferModel)
+from repro.gpu.costmodel import CPU_THREAD_CHOICES, MachineModel
 from repro.sparse import get_entry
 from repro.symbolic import analyze
 from repro.symbolic.blocks import snode_blocks

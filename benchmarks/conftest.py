@@ -18,7 +18,7 @@ import pytest
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-from harness import SUITE_NAMES, run_suite  # noqa: E402
+from harness import SUITE_NAMES  # noqa: E402
 
 #: Representative subset: two small, two 2-D/EM, two mid FEM, the three
 #: largest (including the out-of-memory case).

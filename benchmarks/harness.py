@@ -35,9 +35,21 @@ from repro.numeric import (
 from repro.sparse import SUITE, get_entry
 from repro.symbolic import analyze
 
-__all__ = ["MatrixRun", "run_matrix", "run_suite", "SUITE_NAMES"]
+__all__ = ["MatrixRun", "run_matrix", "run_suite", "best_of", "SUITE_NAMES"]
 
 SUITE_NAMES = [e.name for e in SUITE]
+
+
+def best_of(fn, repeats):
+    """``(best_seconds, last_result)`` of ``fn()`` over ``repeats`` runs —
+    the wall-clock benches' noise-rejecting timing protocol."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
 
 
 @dataclass

@@ -8,8 +8,6 @@ work => better speedup).
 Run:  python examples/ordering_study.py
 """
 
-import numpy as np
-
 from repro.numeric import factorize_rl_cpu, factorize_rl_gpu
 from repro.ordering import evaluate_ordering, order_matrix
 from repro.sparse import grid_laplacian

@@ -104,15 +104,43 @@ def cmd_factorize(args):
     from .numeric import DEFAULT_DEVICE_MEMORY
     from .solve import METHODS
 
-    if args.method not in METHODS:
-        print(f"unknown method {args.method!r}; choose from "
+    par_engine = {"coarse": "rl_par", "fine": "rlb_par"}
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    method = args.method
+    if method is None:
+        # --workers / --granularity select the threaded task-DAG engine;
+        # plain `factorize` keeps the historical rl_gpu default
+        if args.workers is not None or args.granularity is not None:
+            method = par_engine[args.granularity or "coarse"]
+        else:
+            method = "rl_gpu"
+    elif method in par_engine.values():
+        want = par_engine.get(args.granularity)
+        if want is not None and want != method:
+            print(f"--granularity {args.granularity} conflicts with "
+                  f"--method {method} (use {want})", file=sys.stderr)
+            return 2
+    elif args.workers is not None or args.granularity is not None:
+        print("--workers/--granularity apply to the threaded engines only "
+              f"(rl_par, rlb_par), not --method {method}", file=sys.stderr)
+        return 2
+    if method in par_engine.values() and args.threshold is not None:
+        print("--threshold applies to the GPU offload engines, not the "
+              "threaded executor", file=sys.stderr)
+        return 2
+    if method not in METHODS:
+        print(f"unknown method {method!r}; choose from "
               f"{sorted(METHODS)}", file=sys.stderr)
         return 2
     system = _analyzed(args.matrix, args.ordering)
-    fn, fixed = METHODS[args.method]
+    fn, fixed = METHODS[method]
     kwargs = dict(fixed)
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
     tracer = None
-    if "_gpu" in args.method or "gpu" in args.method.split("_"):
+    if "_gpu" in method or "gpu" in method.split("_"):
         if args.threshold is not None:
             kwargs["threshold"] = args.threshold
         machine = MachineModel()
@@ -131,6 +159,12 @@ def cmd_factorize(args):
     ]
     if res.best_threads:
         rows.append(("best MKL threads", str(res.best_threads)))
+    if "wall_seconds" in res.extra:
+        rows.append(("workers (threaded DAG)", str(res.extra["workers"])))
+        rows.append(("task granularity", res.extra["granularity"]))
+        rows.append(("DAG tasks", str(res.extra["tasks"])))
+        rows.append(("measured wall seconds",
+                     f"{res.extra['wall_seconds']:.4f}"))
     if res.gpu_stats is not None:
         rows.append(("peak device memory (MiB)",
                      f"{res.gpu_stats.peak_memory / 2 ** 20:.1f}"))
@@ -251,11 +285,22 @@ def build_parser():
 
     sp = sub.add_parser("factorize", help="run one engine")
     sp.add_argument("matrix")
-    sp.add_argument("--method", default="rl_gpu")
+    sp.add_argument("--method", default=None,
+                    help="factorization engine (default: rl_gpu, or the "
+                         "threaded executor when --workers/--granularity "
+                         "are given)")
     sp.add_argument("--threshold", type=int, default=None,
                     help="CPU/GPU supernode-size threshold (dilated entries)")
     sp.add_argument("--device-memory", type=int, default=None,
                     help="simulated device capacity in bytes")
+    sp.add_argument("--workers", type=int, default=None,
+                    help="run the threaded task-DAG executor with this many "
+                         "worker threads (real wall-clock parallelism)")
+    sp.add_argument("--granularity", default=None,
+                    choices=["coarse", "fine"],
+                    help="task granularity for the threaded executor: "
+                         "coarse = one task per supernode (RL), "
+                         "fine = per block pair (RLB)")
     sp.add_argument("--gantt", action="store_true",
                     help="print an ASCII Gantt chart of the timeline")
     sp.add_argument("--trace", metavar="FILE",

@@ -3,8 +3,26 @@ variants, baselines, and factor storage."""
 
 from .storage import FactorStorage, ScatterPlan
 from .result import CpuCostAccumulator, FactorizeResult
-from .rl import factorize_rl_cpu, assemble_update, update_workspace_entries
-from .rlb import factorize_rlb_cpu, apply_block_pair, block_pair_targets
+from .rl import (
+    factorize_rl_cpu,
+    factor_snode,
+    snode_update,
+    assemble_update,
+    update_workspace_entries,
+)
+from .rlb import (
+    factorize_rlb_cpu,
+    apply_block_pair,
+    compute_block_pair,
+    commit_block_pair,
+    block_pair_targets,
+)
+from .executor import (
+    factorize_executor,
+    OrderedCommitter,
+    GRANULARITIES,
+    default_workers,
+)
 from .rl_gpu import factorize_rl_gpu
 from .rlb_gpu import factorize_rlb_gpu
 from .left_looking import factorize_left_looking
@@ -61,8 +79,16 @@ __all__ = [
     "list_schedule",
     "assemble_update",
     "update_workspace_entries",
+    "factor_snode",
+    "snode_update",
     "apply_block_pair",
+    "compute_block_pair",
+    "commit_block_pair",
     "block_pair_targets",
+    "factorize_executor",
+    "OrderedCommitter",
+    "GRANULARITIES",
+    "default_workers",
     "DEFAULT_RL_THRESHOLD",
     "DEFAULT_RLB_THRESHOLD",
     "DEFAULT_DEVICE_MEMORY",

@@ -1,0 +1,400 @@
+"""Threaded task-DAG execution of the *real* numeric kernels.
+
+Where :mod:`repro.numeric.schedule` only *simulates* list scheduling of the
+coarse (RL-style) and fine (RLB-style) task DAGs on a machine model, this
+module actually executes them: a shared-ready-queue worker pool (the
+MA87-style DAG runtime of the paper's ref [9]) runs the per-supernode and
+per-block-pair task bodies of :mod:`repro.numeric.rl` /
+:mod:`repro.numeric.rlb` on ``workers`` Python threads.  The dense kernels
+release the GIL inside BLAS, so coarse tasks (one POTRF + TRSM + SYRK per
+supernode) and fine tasks (one SYRK/GEMM per block pair) overlap on real
+cores.
+
+Two properties are load-bearing:
+
+* **Safety** — a supernode's panel is only mutated by (a) its own factor
+  task and (b) committed updates from descendants; commits into a panel are
+  serialised by a per-target lock and the panel's factor task only becomes
+  ready once every expected contribution has been committed.
+* **Determinism** — floating-point accumulation is not associative, so
+  commits into each target panel are applied in *ascending source-supernode
+  order* (the serial engines' order), buffering out-of-order contributions
+  until their turn.  Factors are therefore bit-identical for any worker
+  count, including ``workers=1`` and the serial engines themselves.
+
+The task DAG and all index structures (assembly plans, block lists, block
+pair offsets) are memoised on :meth:`SymbolicFactor.cache`, so repeated
+same-pattern refactorization (``CholeskySolver.refactorize``) re-executes
+only the numeric kernels — the parallel path stays on the PR-1 fast path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+
+from ..gpu.costmodel import CPU_THREAD_CHOICES, MachineModel
+from ..symbolic.blocks import snode_blocks
+from ..symbolic.relind import assembly_plan
+from .result import CpuCostAccumulator, FactorizeResult
+from .rl import factor_snode, snode_update
+from .rlb import block_pair_targets, commit_block_pair, compute_block_pair
+from .storage import FactorStorage
+
+__all__ = [
+    "factorize_executor",
+    "OrderedCommitter",
+    "GRANULARITIES",
+    "default_workers",
+]
+
+GRANULARITIES = ("coarse", "fine")
+
+
+def default_workers():
+    """Default worker count: the machine's cores, capped at 4 (the paper's
+    CPU baselines sweep small MKL thread counts; beyond that the Python
+    dispatch layer, not BLAS, becomes the bottleneck)."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+class _KernelLog:
+    """Per-task record of BLAS/assembly charges.
+
+    Duck-typed like :class:`~repro.numeric.result.CpuCostAccumulator` so the
+    shared task bodies accept either; logs are replayed into one accumulator
+    in task-id order after the run, keeping the modeled-cost report
+    deterministic no matter how the threads interleaved.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self):
+        self.events = []
+
+    def kernel(self, kind, m=0, n=0, k=0):
+        self.events.append(("kernel", kind, m, n, k))
+
+    def assembly(self, nbytes):
+        self.events.append(("assembly", nbytes))
+
+    def replay(self, acc):
+        for ev in self.events:
+            if ev[0] == "kernel":
+                acc.kernel(ev[1], m=ev[2], n=ev[3], k=ev[4])
+            else:
+                acc.assembly(ev[1])
+
+
+class _TargetState:
+    __slots__ = ("lock", "order", "head", "expected", "received")
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.order = ()
+        self.head = 0
+        self.expected = {}
+        self.received = {}
+
+
+class OrderedCommitter:
+    """Deterministic reduction of panel updates.
+
+    Each *target* supernode panel receives updates from several *source*
+    supernodes.  ``expect(target, src, nparts)`` registers (at plan-build
+    time) that ``src`` will deliver ``nparts`` update closures for
+    ``target``; ``submit(target, src, fn)`` hands one closure over.  Under
+    the target's lock, closures are applied strictly in ascending ``src``
+    order — a source's closures run only once every lower-numbered source
+    has fully committed — which reproduces the serial engines' accumulation
+    order bit-for-bit.  Closures of a single source touch pairwise-disjoint
+    panel regions, so their relative order is free.
+
+    ``submit`` returns the list of targets (0 or 1 here) whose final
+    contribution was just applied; the runtime uses that to release the
+    target's own factor task.
+    """
+
+    def __init__(self):
+        self._targets = {}
+
+    def expect(self, target, src, nparts=1):
+        state = self._targets.get(target)
+        if state is None:
+            state = self._targets[target] = _TargetState()
+        state.expected[src] = state.expected.get(src, 0) + nparts
+
+    def finalize(self):
+        """Freeze the per-target source order; call once after ``expect``."""
+        for state in self._targets.values():
+            state.order = tuple(sorted(state.expected))
+
+    def targets(self):
+        """Registered target ids (supernodes that receive updates)."""
+        return self._targets.keys()
+
+    def submit(self, target, src, fn):
+        state = self._targets[target]
+        with state.lock:
+            state.received.setdefault(src, []).append(fn)
+            while state.head < len(state.order):
+                nxt = state.order[state.head]
+                fns = state.received.get(nxt)
+                if fns is None or len(fns) != state.expected[nxt]:
+                    break
+                for f in fns:
+                    f()
+                del state.received[nxt]
+                state.head += 1
+            done = state.head == len(state.order)
+        return [target] if done else []
+
+
+class _ReadyQueue:
+    """Shared ready queue + completion/error bookkeeping for the pool."""
+
+    def __init__(self, ntasks):
+        self.cv = threading.Condition()
+        self.ready = deque()
+        self.outstanding = ntasks
+        self.error = None
+        self.stop = False
+
+    def seed(self, task_ids):
+        self.ready.extend(task_ids)
+
+    def worker(self, run_task):
+        while True:
+            with self.cv:
+                while not self.ready and not self.stop and self.outstanding:
+                    self.cv.wait()
+                if self.stop or not self.outstanding:
+                    return
+                tid = self.ready.popleft()
+            try:
+                newly = run_task(tid)
+            except BaseException as exc:
+                with self.cv:
+                    if self.error is None:
+                        self.error = exc
+                    self.stop = True
+                    self.cv.notify_all()
+                return
+            with self.cv:
+                self.outstanding -= 1
+                if newly:
+                    self.ready.extend(newly)
+                    self.cv.notify(len(newly))
+                if not self.outstanding:
+                    self.cv.notify_all()
+
+    def run(self, run_task, workers):
+        if self.outstanding:
+            threads = [
+                threading.Thread(
+                    target=self.worker,
+                    args=(run_task,),
+                    name=f"repro-exec-{i}",
+                    daemon=True,
+                )
+                for i in range(workers)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        if self.error is not None:
+            raise self.error
+
+
+def _coarse_plan(symb):
+    """Static coarse-DAG plan, memoised on the symbolic factor.
+
+    Returns ``(expected, roots)`` where ``expected[p]`` maps each source
+    supernode updating ``p`` to its contribution-part count (always 1: RL
+    assembly delivers one run per (source, ancestor)), and ``roots`` are the
+    supernodes with no incoming updates (initially ready).  Building the
+    plan also pre-warms every ``assembly_plan`` so worker threads never
+    mutate the symbolic cache concurrently.
+    """
+    cache = symb.cache()
+    plan = cache.get("executor_coarse")
+    if plan is not None:
+        return plan
+    expected = {}
+    for s in range(symb.nsup):
+        for run in assembly_plan(symb, s):
+            expected.setdefault(run[0], {})[s] = 1
+    roots = tuple(s for s in range(symb.nsup) if s not in expected)
+    cache["executor_coarse"] = (expected, roots)
+    return cache["executor_coarse"]
+
+
+def _fine_plan(symb):
+    """Static fine-DAG plan, memoised on the symbolic factor.
+
+    Task ids: ``0..nsup-1`` are factor tasks, ``nsup..`` are block-pair
+    tasks.  Returns ``(pairs, pair_ids, expected, roots)`` — the pair list
+    ``(s, bi, bj)``, the pair-task ids of each supernode, the per-target
+    expected contribution counts per source, and the initially ready factor
+    tasks.  Pre-warms the block lists and every pair's relative-index
+    offset (``block_pair_targets``) for thread-safe cache reads.
+    """
+    cache = symb.cache()
+    plan = cache.get("executor_fine")
+    if plan is not None:
+        return plan
+    nsup = symb.nsup
+    pairs = []
+    pair_ids = []
+    expected = {}
+    for s in range(nsup):
+        blocks = snode_blocks(symb, s)
+        ids = []
+        for i, bi in enumerate(blocks):
+            per_target = expected.setdefault(bi.owner, {})
+            for bj in blocks[i:]:
+                ids.append(nsup + len(pairs))
+                pairs.append((s, bi, bj))
+                per_target[s] = per_target.get(s, 0) + 1
+                block_pair_targets(symb, bi, bj)
+        pair_ids.append(tuple(ids))
+    roots = tuple(s for s in range(nsup) if s not in expected)
+    cache["executor_fine"] = (tuple(pairs), tuple(pair_ids), expected, roots)
+    return cache["executor_fine"]
+
+
+def _build_committer(expected):
+    committer = OrderedCommitter()
+    for target, sources in expected.items():
+        for src, nparts in sources.items():
+            committer.expect(target, src, nparts)
+    committer.finalize()
+    return committer
+
+
+def _assembly_closure(target_panel, relrows, colpos, U, k0, k1):
+    def fn():
+        target_panel[relrows, colpos] -= U[k0:, k0:k1]
+
+    return fn
+
+
+def _pair_closure(symb, storage, bi, bj, u):
+    def fn():
+        commit_block_pair(symb, storage, bi, bj, u)
+
+    return fn
+
+
+def _run_coarse(symb, storage, committer, logs):
+    def run_task(s):
+        log = logs[s]
+        _, _, b = factor_snode(symb, storage, s, acc=log)
+        newly = []
+        if b:
+            U = snode_update(symb, storage, s, acc=log)
+            moved = 0
+            for p, k0, k1, relrows, colpos, nbytes in assembly_plan(symb, s):
+                moved += nbytes
+                fn = _assembly_closure(storage.panel(p), relrows, colpos, U, k0, k1)
+                newly.extend(committer.submit(p, s, fn))
+            # one charge for the whole scatter pass, as the serial engine does
+            log.assembly(moved)
+        return newly
+
+    return run_task
+
+
+def _run_fine(symb, storage, committer, logs, pairs, pair_ids):
+    nsup = symb.nsup
+
+    def run_task(tid):
+        log = logs[tid]
+        if tid < nsup:
+            factor_snode(symb, storage, tid, acc=log)
+            return pair_ids[tid]
+        s, bi, bj = pairs[tid - nsup]
+        panel = storage.panel(s)
+        w = symb.snode_ncols(s)
+        u = compute_block_pair(panel, w, bi, bj, acc=log)
+        return committer.submit(bi.owner, s, _pair_closure(symb, storage, bi, bj, u))
+
+    return run_task
+
+
+def factorize_executor(
+    symb,
+    A,
+    *,
+    workers=None,
+    granularity="coarse",
+    machine=None,
+    thread_choices=CPU_THREAD_CHOICES,
+):
+    """Factorize with the threaded task-DAG runtime.
+
+    Parameters
+    ----------
+    workers:
+        Thread count (``None``: :func:`default_workers`).  Results are
+        bit-identical for every value — see :class:`OrderedCommitter`.
+    granularity:
+        ``"coarse"`` — one task per supernode (RL-style: POTRF + TRSM +
+        SYRK + ordered assembly); ``"fine"`` — one factor task per
+        supernode plus one task per block pair (RLB-style).
+    machine / thread_choices:
+        Machine model for the modeled-cost report (the numerics themselves
+        run on real BLAS; ``extra["wall_seconds"]`` holds measured time).
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError(
+            f"unknown granularity {granularity!r}; choose from {GRANULARITIES}",
+        )
+    workers = default_workers() if workers is None else int(workers)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    machine = machine or MachineModel()
+    storage = FactorStorage.from_matrix(symb, A)
+    nsup = symb.nsup
+    t0 = time.perf_counter()
+    if granularity == "coarse":
+        expected, roots = _coarse_plan(symb)
+        committer = _build_committer(expected)
+        ntasks = nsup
+        logs = [_KernelLog() for _ in range(ntasks)]
+        run_task = _run_coarse(symb, storage, committer, logs)
+    else:
+        pairs, pair_ids, expected, roots = _fine_plan(symb)
+        committer = _build_committer(expected)
+        ntasks = nsup + len(pairs)
+        logs = [_KernelLog() for _ in range(ntasks)]
+        run_task = _run_fine(symb, storage, committer, logs, pairs, pair_ids)
+    queue = _ReadyQueue(ntasks)
+    queue.seed(roots)
+    # more threads than tasks can never help; don't pay their startup
+    queue.run(run_task, max(1, min(workers, ntasks)))
+    wall = time.perf_counter() - t0
+    acc = CpuCostAccumulator(machine, thread_choices, assembly_threads=None)
+    for log in logs:
+        log.replay(acc)
+    threads, seconds = acc.best()
+    return FactorizeResult(
+        method="rl_par" if granularity == "coarse" else "rlb_par",
+        storage=storage,
+        modeled_seconds=seconds,
+        total_snodes=nsup,
+        cpu_times_by_threads=dict(acc.times),
+        best_threads=threads,
+        flops=acc.flops,
+        kernel_count=acc.kernel_count,
+        assembly_bytes=acc.assembly_bytes,
+        extra={
+            "workers": workers,
+            "granularity": granularity,
+            "wall_seconds": wall,
+            "tasks": ntasks,
+        },
+    )

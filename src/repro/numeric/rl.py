@@ -25,7 +25,13 @@ from ..symbolic.relind import assembly_plan
 from .result import CpuCostAccumulator, FactorizeResult
 from .storage import FactorStorage
 
-__all__ = ["factorize_rl_cpu", "assemble_update", "update_workspace_entries"]
+__all__ = [
+    "factorize_rl_cpu",
+    "factor_snode",
+    "snode_update",
+    "assemble_update",
+    "update_workspace_entries",
+]
 
 
 def update_workspace_entries(symb):
@@ -36,6 +42,53 @@ def update_workspace_entries(symb):
         m, w = symb.panel_shape(s)
         best = max(best, (m - w) ** 2)
     return best
+
+
+def factor_snode(symb, storage, s, acc=None):
+    """Factorize supernode ``s``'s panel in place: DPOTRF on the diagonal
+    block, DTRSM on the rectangle below.
+
+    This is the per-supernode *factor body* shared by the serial engines
+    (:func:`factorize_rl_cpu`, :func:`repro.numeric.rlb.factorize_rlb_cpu`)
+    and the threaded task-DAG runtime
+    (:mod:`repro.numeric.executor`) — the kernels exist exactly once.
+    ``acc`` is any object with a ``kernel(kind, m=, n=, k=)`` method
+    (a :class:`~repro.numeric.result.CpuCostAccumulator` or the executor's
+    per-task log).  Returns ``(panel, w, b)``.
+    """
+    panel = storage.panel(s)
+    m, w = symb.panel_shape(s)
+    b = m - w
+    dk.potrf(panel[:w, :w])
+    if acc is not None:
+        acc.kernel("potrf", n=w)
+    if b:
+        dk.trsm_right(panel[w:, :w], panel[:w, :w])
+        if acc is not None:
+            acc.kernel("trsm", m=b, n=w)
+    return panel, w, b
+
+
+def snode_update(symb, storage, s, W=None, acc=None):
+    """DSYRK body: the update matrix ``U_J = L_{R,J} L_{R,J}^T`` of the
+    (already factorized) supernode ``s``.
+
+    ``W`` is an optional preallocated workspace (the serial engine's single
+    reusable buffer); when ``None`` a fresh ``(b, b)`` buffer is allocated —
+    the parallel runtime needs one live buffer per in-flight task.  Returns
+    the lower-valid ``(b, b)`` update matrix, or ``None`` when ``s`` has no
+    below-diagonal rows.
+    """
+    panel = storage.panel(s)
+    m, w = symb.panel_shape(s)
+    b = m - w
+    if not b:
+        return None
+    U = W[:b, :b] if W is not None else np.zeros((b, b), order="F")
+    dk.syrk_lower(panel[w:, :w], out=U)
+    if acc is not None:
+        acc.kernel("syrk", n=b, k=w)
+    return U
 
 
 def assemble_update(symb, storage, s, U):
@@ -72,17 +125,9 @@ def factorize_rl_cpu(symb, A, *, machine=None,
     bmax = int(np.sqrt(update_workspace_entries(symb))) if symb.nsup else 0
     W = np.zeros((bmax, bmax), order="F") if bmax else None
     for s in range(symb.nsup):
-        panel = storage.panel(s)
-        m, w = symb.panel_shape(s)
-        b = m - w
-        dk.potrf(panel[:w, :w])
-        acc.kernel("potrf", n=w)
+        _, _, b = factor_snode(symb, storage, s, acc=acc)
         if b:
-            dk.trsm_right(panel[w:, :w], panel[:w, :w])
-            acc.kernel("trsm", m=b, n=w)
-            U = W[:b, :b]
-            dk.syrk_lower(panel[w:, :w], out=U)
-            acc.kernel("syrk", n=b, k=w)
+            U = snode_update(symb, storage, s, W=W, acc=acc)
             moved = assemble_update(symb, storage, s, U)
             acc.assembly(moved)
     threads, seconds = acc.best()

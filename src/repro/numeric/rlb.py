@@ -22,9 +22,16 @@ from ..dense import kernels as dk
 from ..gpu.costmodel import CPU_THREAD_CHOICES, MachineModel
 from ..symbolic.blocks import snode_blocks
 from .result import CpuCostAccumulator, FactorizeResult
+from .rl import factor_snode
 from .storage import FactorStorage
 
-__all__ = ["factorize_rlb_cpu", "apply_block_pair", "block_pair_targets"]
+__all__ = [
+    "factorize_rlb_cpu",
+    "apply_block_pair",
+    "compute_block_pair",
+    "commit_block_pair",
+    "block_pair_targets",
+]
 
 
 def block_pair_targets(symb, bi, bj):
@@ -58,22 +65,46 @@ def block_pair_targets(symb, bi, bj):
     return cache[key]
 
 
+def compute_block_pair(panel, w, bi, bj, acc=None):
+    """DSYRK/DGEMM body of one block pair: the update contribution of
+    ``(B_i, B_j)`` from the factorized ``panel`` of the descendant
+    supernode.
+
+    This is the per-pair *compute half* shared by the serial engine and the
+    threaded task-DAG runtime (:mod:`repro.numeric.executor`), which must
+    separate computing a pair's update (parallel) from committing it into
+    the ancestor's panel (ordered, see :func:`commit_block_pair`).  Returns
+    the dense update block ``u`` — ``(len(B_i), len(B_i))`` lower-valid for
+    the diagonal pair, ``(len(B_j), len(B_i))`` otherwise.
+    """
+    rows_i = panel[bi.panel_start:bi.panel_start + bi.length, :w]
+    if bj is bi:
+        if acc is not None:
+            acc.kernel("syrk", n=bi.length, k=w)
+        return dk.syrk_lower(rows_i)
+    rows_j = panel[bj.panel_start:bj.panel_start + bj.length, :w]
+    if acc is not None:
+        acc.kernel("gemm", m=bj.length, n=bi.length, k=w)
+    return dk.gemm_nt(rows_j, rows_i)
+
+
+def commit_block_pair(symb, storage, bi, bj, u):
+    """Commit half: subtract a computed pair update ``u`` from the owning
+    ancestor's panel (one contiguous generalized relative index)."""
+    p, row_off, col_off = block_pair_targets(symb, bi, bj)
+    target = storage.panel(p)
+    target[row_off:row_off + u.shape[0],
+           col_off:col_off + u.shape[1]] -= u
+
+
 def apply_block_pair(symb, storage, panel, w, bi, bj):
     """Compute and apply the update of one block pair directly into the
     owning ancestor's panel.  Returns ``(kind, m, n, k)`` describing the
     BLAS call for cost accounting."""
-    p, row_off, col_off = block_pair_targets(symb, bi, bj)
-    target = storage.panel(p)
-    rows_i = panel[bi.panel_start:bi.panel_start + bi.length, :w]
+    u = compute_block_pair(panel, w, bi, bj)
+    commit_block_pair(symb, storage, bi, bj, u)
     if bj is bi:
-        u = dk.syrk_lower(rows_i)
-        target[row_off:row_off + bi.length,
-               col_off:col_off + bi.length] -= u
         return ("syrk", 0, bi.length, w)
-    rows_j = panel[bj.panel_start:bj.panel_start + bj.length, :w]
-    u = dk.gemm_nt(rows_j, rows_i)
-    target[row_off:row_off + bj.length,
-           col_off:col_off + bi.length] -= u
     return ("gemm", bj.length, bi.length, w)
 
 
@@ -90,22 +121,14 @@ def factorize_rlb_cpu(symb, A, *, machine=None,
     acc = CpuCostAccumulator(machine, thread_choices, assembly_threads=None)
     total_pairs = 0
     for s in range(symb.nsup):
-        panel = storage.panel(s)
-        m, w = symb.panel_shape(s)
-        b = m - w
-        dk.potrf(panel[:w, :w])
-        acc.kernel("potrf", n=w)
+        panel, w, b = factor_snode(symb, storage, s, acc=acc)
         if not b:
             continue
-        dk.trsm_right(panel[w:, :w], panel[:w, :w])
-        acc.kernel("trsm", m=b, n=w)
         blocks = snode_blocks(symb, s)
         for i, bi in enumerate(blocks):
             for bj in blocks[i:]:
-                kind, km, kn, kk = apply_block_pair(
-                    symb, storage, panel, w, bi, bj
-                )
-                acc.kernel(kind, m=km, n=kn, k=kk)
+                u = compute_block_pair(panel, w, bi, bj, acc=acc)
+                commit_block_pair(symb, storage, bi, bj, u)
                 total_pairs += 1
     threads, seconds = acc.best()
     return FactorizeResult(

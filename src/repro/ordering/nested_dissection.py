@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .graph import bfs_levels, connected_components, pseudo_peripheral_vertex
+from .graph import connected_components, pseudo_peripheral_vertex
 from .mindeg import minimum_degree
 
 __all__ = ["nested_dissection"]

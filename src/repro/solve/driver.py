@@ -9,9 +9,13 @@ and permutation-aware triangular solves::
     solver.factorize()
     x = solver.solve(b)
 
-Engines: ``"rl"``, ``"rlb"`` (CPU); ``"rl_gpu"``, ``"rlb_gpu_v1"``,
-``"rlb_gpu_v2"``, ``"multifrontal_gpu"`` (simulated-GPU offload);
-``"left_looking"``, ``"multifrontal"`` (baselines).
+Engines: ``"rl"``, ``"rlb"`` (CPU); ``"rl_par"``, ``"rlb_par"`` (the
+threaded task-DAG runtime of :mod:`repro.numeric.executor` at coarse /
+fine granularity — pass ``factor_kwargs={"workers": N}``); ``"rl_gpu"``,
+``"rlb_gpu_v1"``, ``"rlb_gpu_v2"``, ``"multifrontal_gpu"``
+(simulated-GPU offload); ``"left_looking"``, ``"multifrontal"``
+(baselines).  The parallel engines produce bit-identical factors for any
+worker count (deterministic commit ordering).
 
 When the matrix changes *numerically* but not *structurally* — parameter
 sweeps, time stepping, re-weighted least squares — use the symbolic-reuse
@@ -32,6 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..numeric import (
+    factorize_executor,
     factorize_left_looking,
     factorize_left_looking_gpu,
     factorize_multifrontal,
@@ -52,6 +57,8 @@ __all__ = ["CholeskySolver", "METHODS"]
 METHODS = {
     "rl": (factorize_rl_cpu, {}),
     "rlb": (factorize_rlb_cpu, {}),
+    "rl_par": (factorize_executor, {"granularity": "coarse"}),
+    "rlb_par": (factorize_executor, {"granularity": "fine"}),
     "rl_gpu": (factorize_rl_gpu, {}),
     "rlb_gpu_v1": (factorize_rlb_gpu, {"version": 1}),
     "rlb_gpu_v2": (factorize_rlb_gpu, {"version": 2}),

@@ -7,7 +7,6 @@ import pytest
 import scipy.linalg as sla
 
 from repro.sparse import (
-    SymmetricCSC,
     grid_laplacian,
     random_spd,
     tridiagonal,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sparse import grid_laplacian, vector_stencil
+from repro.sparse import grid_laplacian
 from repro.symbolic import (
     amalgamate,
     analyze,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sparse import is_permutation, vector_stencil
+from repro.sparse import is_permutation
 from repro.symbolic import analyze
 from repro.symbolic.etree import elimination_tree, is_postordered
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.analysis import COST_CLASSES, breakdown, render_breakdowns
@@ -51,6 +50,41 @@ class TestCommands:
         assert main(["factorize", SMALL, "--method", "rl"]) == 0
         out = capsys.readouterr().out
         assert "modeled seconds" in out and "best MKL threads" in out
+
+    def test_factorize_workers_selects_executor(self, capsys):
+        # --workers routes to the threaded task-DAG engine, overriding the
+        # GPU-default --method
+        assert main(["factorize", SMALL, "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rl_par" in out
+        assert "workers (threaded DAG)" in out
+        assert "measured wall seconds" in out
+
+    def test_factorize_workers_fine_granularity(self, capsys):
+        assert main(["factorize", SMALL, "--workers", "2",
+                     "--granularity", "fine"]) == 0
+        out = capsys.readouterr().out
+        assert "rlb_par" in out and "fine" in out
+
+    def test_factorize_granularity_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["factorize", "x",
+                                       "--granularity", "huge"])
+
+    def test_factorize_flag_conflicts_rejected(self, capsys):
+        # clean exit 2 (no traceback) for every invalid flag combination
+        assert main(["factorize", SMALL, "--workers", "0"]) == 2
+        assert main(["factorize", SMALL, "--method", "rl",
+                     "--workers", "2"]) == 2
+        assert main(["factorize", SMALL, "--method", "rl_par",
+                     "--granularity", "fine"]) == 2
+        assert main(["factorize", SMALL, "--workers", "2",
+                     "--threshold", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--workers must be >= 1" in err
+        assert "threaded engines" in err
+        assert "conflicts" in err
+        assert "--threshold" in err
 
     def test_factorize_gpu_with_gantt_and_trace(self, tmp_path, capsys):
         trace = tmp_path / "t.json"

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.sparse import SUITE, build_matrix, get_entry, suite_names
-from repro.sparse.collection import PaperStats
 
 
 class TestSuiteDefinition:

@@ -1,12 +1,10 @@
 """Unit tests for SymmetricCSC construction, validation and operations."""
 
-import io
-
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.sparse import SymmetricCSC, grid_laplacian, random_spd
+from repro.sparse import SymmetricCSC, random_spd
 
 
 class TestFromCoo:

@@ -2,7 +2,6 @@
 pair targeting, and degenerate inputs through the whole pipeline."""
 
 import numpy as np
-import pytest
 
 from repro.numeric import (
     FactorStorage,
@@ -12,7 +11,7 @@ from repro.numeric import (
     factorize_rl_cpu,
     update_workspace_entries,
 )
-from repro.sparse import SymmetricCSC, random_spd, tridiagonal
+from repro.sparse import SymmetricCSC, tridiagonal
 from repro.symbolic import analyze, snode_blocks
 
 

@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.sparse import (
     compose_permutations,
-    grid_laplacian,
     invert_permutation,
     is_permutation,
     random_permutation,

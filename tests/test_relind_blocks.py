@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.symbolic import (
-    analyze,
     relative_indices,
     relative_indices_bottom,
     snode_blocks,

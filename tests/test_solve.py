@@ -13,7 +13,7 @@ from repro.solve import (
     refine,
     solve_factored,
 )
-from repro.sparse import grid_laplacian, random_spd, vector_stencil
+from repro.sparse import grid_laplacian, vector_stencil
 from repro.symbolic import analyze
 
 

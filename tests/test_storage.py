@@ -5,7 +5,6 @@ import pytest
 
 from repro.numeric import FactorStorage, ScatterPlan, update_workspace_entries
 from repro.sparse import SymmetricCSC
-from repro.symbolic import analyze
 
 
 class TestFromMatrix:

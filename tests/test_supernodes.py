@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 import scipy.linalg as sla
 
-from repro.sparse import SymmetricCSC, random_spd, tridiagonal
+from repro.sparse import SymmetricCSC, tridiagonal
 from repro.symbolic import (
     column_counts,
     elimination_tree,

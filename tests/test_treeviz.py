@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.sparse import grid_laplacian, random_spd, tridiagonal
+from repro.sparse import grid_laplacian, tridiagonal
 from repro.symbolic import analyze, render_tree, tree_stats
 
 
