@@ -17,6 +17,9 @@ refactorizing, this example
    :meth:`repro.solve.driver.CholeskySolver.refactorize` — the symbolic
    analysis, relative-index caches and panel scatter plan are computed once
    and every subsequent factorization pays only for the numeric kernels.
+   (When the whole sweep is known up front, prefer
+   :meth:`repro.api.SymbolicPlan.factorize_batch` — the batched serving
+   mode demonstrated in ``examples/batched_serving.py``.)
 
 Run:  python examples/incremental_updates.py
 """

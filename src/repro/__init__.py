@@ -5,35 +5,48 @@ Right-looking supernodal sparse Cholesky in two variants — **RL** (full
 update matrix + relative-index assembly) and **RLB** (blocked, in-place
 updates) — with GPU offload of the large dense BLAS calls on a *simulated*
 device (memory-capacity accounting, async transfers, calibrated cost model;
-see DESIGN.md).
+see DESIGN.md), plus a threaded task-DAG runtime executing the real kernels.
 
-Quickstart::
+Quickstart — the staged ``plan → Factor`` pipeline::
 
     import numpy as np
-    from repro import CholeskySolver
+    import repro
     from repro.sparse import grid_laplacian
 
     A = grid_laplacian((20, 20, 10))
-    solver = CholeskySolver(A, method="rl_gpu")
-    x = solver.solve(np.ones(A.n))
+    plan = repro.plan(A)                        # symbolic analysis, once
+    factor = plan.factorize(engine="rl_gpu")    # numeric factorization
+    x = factor.solve(np.ones(A.n))              # triangular solves
 
-Symbolic reuse
---------------
+Symbolic reuse and batched serving
+----------------------------------
 Symbolic analysis (ordering, supernodes, relative indices) and the panel
 scatter plan depend only on the sparsity pattern, so a sequence of
 factorizations with fixed structure and changing values — time stepping,
-parameter sweeps, re-weighted least squares — should reuse them::
+parameter sweeps, re-weighted least squares — reuses one plan::
 
-    solver = CholeskySolver(A, method="rl")
-    solver.factorize()                 # ordering + symbolic + numeric
-    for data_t in value_stream:        # same pattern, new values
-        solver.refactorize(data_t)     # numeric kernels only
-        x = solver.solve(b)
+    plan = repro.plan(A)
+    for data_t in value_stream:                 # same pattern, new values
+        x = plan.factorize(data_t).solve(b)     # numeric kernels only
 
-Under the hood the relative-index runs, block lists and value-scatter plan
-are all memoised on the :class:`~repro.symbolic.structure.SymbolicFactor`
-(see ``SymbolicFactor.cache()``), so every engine — CPU and simulated-GPU —
-skips the index bookkeeping on refactorization.
+and a whole *batch* of same-pattern matrices can be fanned out over the
+threaded task-DAG worker pool in one call — the high-throughput serving
+mode::
+
+    batch = plan.factorize_batch(list_of_values, engine="rlb_par",
+                                 workers=4)
+    xs = batch.solve_all(b)
+
+Under the hood the relative-index runs, block lists, task DAGs and
+value-scatter plan are all memoised on the
+:class:`~repro.symbolic.structure.SymbolicFactor` (see
+``SymbolicFactor.cache()``), so every engine — CPU, threaded and
+simulated-GPU — skips the index bookkeeping on refactorization.
+
+The legacy mutable :class:`~repro.solve.driver.CholeskySolver`
+(``analyze`` / ``factorize`` / ``refactorize`` / ``solve``) remains as a
+thin facade over the staged objects; see ``docs/api.md`` for the migration
+table.
 
 Subpackages
 -----------
@@ -49,9 +62,10 @@ Subpackages
 ``repro.gpu``
     Simulated device, timeline, transfer engine, cost models.
 ``repro.numeric``
-    The factorization engines (RL, RLB, GPU variants, baselines).
+    The factorization engines (RL, RLB, threaded DAG, GPU variants,
+    baselines) and the unified engine registry.
 ``repro.solve``
-    Triangular solves, solver driver, iterative refinement.
+    Triangular solves, the legacy solver facade, iterative refinement.
 ``repro.analysis``
     Performance profiles (Dolan–Moré) and report tables.
 """
@@ -67,16 +81,27 @@ from .numeric import (
     factorize_rl_multigpu,
     factorize_multifrontal,
     rank1_update,
-    plan,
 )
+from .numeric import plan as memory_plan
+from .numeric.registry import ENGINES, engine_names, get_engine
+from .dense import NotPositiveDefiniteError
 from .gpu import SimulatedGpu, MachineModel, DeviceOutOfMemory, Tracer
+from .api import plan, SymbolicPlan, Factor, FactorBatch
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SymmetricCSC",
     "analyze",
+    "plan",
+    "SymbolicPlan",
+    "Factor",
+    "FactorBatch",
     "CholeskySolver",
+    "ENGINES",
+    "engine_names",
+    "get_engine",
+    "NotPositiveDefiniteError",
     "factorize_rl_cpu",
     "factorize_rlb_cpu",
     "factorize_rl_gpu",
@@ -84,7 +109,7 @@ __all__ = [
     "factorize_rl_multigpu",
     "factorize_multifrontal",
     "rank1_update",
-    "plan",
+    "memory_plan",
     "SimulatedGpu",
     "MachineModel",
     "DeviceOutOfMemory",

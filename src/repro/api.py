@@ -1,0 +1,507 @@
+"""Staged ``plan → Factor`` pipeline API.
+
+The paper's pipeline is inherently staged: one *symbolic* analysis
+(ordering, supernodes, relative indices — pattern-only work) is amortized
+over many *numeric* factorizations, each of which serves many solves.  This
+module exposes those stages as explicit, immutable objects::
+
+    import repro
+
+    plan = repro.plan(A)                       # symbolic work, once
+    factor = plan.factorize(engine="rlb_par")  # numeric work
+    x = factor.solve(b)                        # triangular solves
+
+    for values_t in value_stream:              # same pattern, new values
+        f_t = plan.factorize(values_t)         # numeric kernels only
+        x_t = f_t.solve(b)
+
+and builds high-throughput *batched* serving on top — one shared symbolic
+plan fanning a whole batch of same-pattern matrices out over the threaded
+task-DAG worker pool (:func:`repro.numeric.executor.factorize_executor_batch`)::
+
+    batch = plan.factorize_batch(values_list, engine="rlb_par", workers=4)
+    xs = batch.solve_all(b)                    # one solution per matrix
+
+Separation of concerns:
+
+:class:`SymbolicPlan`
+    Owns the pattern-only state: the analyzed system, the permutation
+    data-gather, the panel scatter plan and (lazily, per engine) the
+    relative-index caches and task DAGs.  Stateless with respect to values —
+    calling ``factorize`` never mutates the plan's numeric inputs.
+:class:`Factor`
+    One immutable numeric factorization: ``solve``, ``solve_refined``,
+    ``logdet``, ``diag``, ``residual_norm``.  A new set of values makes a
+    new ``Factor``; nothing is re-analyzed and nothing is invalidated
+    behind your back.
+:class:`FactorBatch`
+    A sequence of same-pattern ``Factor`` objects produced on one worker
+    pool, with vectorized ``solve_all``.
+
+The legacy mutable :class:`~repro.solve.driver.CholeskySolver` remains as a
+thin facade over these objects (see ``docs/api.md`` for the migration
+table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dense.kernels import NotPositiveDefiniteError
+from .numeric.executor import factorize_executor_batch
+from .numeric.registry import get_engine
+from .numeric.storage import ScatterPlan
+from .solve.refine import refine, relative_residual
+from .solve.triangular import solve_factored
+from .sparse.csc import SymmetricCSC
+from .sparse.permute import permutation_gather
+from .symbolic.analyze import analyze
+
+__all__ = ["plan", "SymbolicPlan", "Factor", "FactorBatch",
+           "same_pattern_values"]
+
+
+def same_pattern_values(A, values, *,
+                        hint="build a new plan with repro.plan(...)"):
+    """Validate same-pattern ``values`` against the pattern host ``A``.
+
+    ``values`` is ``None`` (use ``A``'s own values), a flat array aligned
+    with ``A.data`` (lower-triangle CSC order), or a full same-pattern
+    :class:`~repro.sparse.csc.SymmetricCSC`; returns the flat float64 data
+    array.  Raises ``ValueError`` on a pattern or shape mismatch, with
+    ``hint`` appended to the pattern message.  This is the one definition
+    of "same pattern" shared by :class:`SymbolicPlan` and the legacy
+    :class:`~repro.solve.driver.CholeskySolver` facade.
+    """
+    if values is None:
+        return A.data
+    if isinstance(values, SymmetricCSC):
+        if (values.n != A.n
+                or not np.array_equal(values.indptr, A.indptr)
+                or not np.array_equal(values.indices, A.indices)):
+            raise ValueError(
+                f"matrix does not share the sparsity pattern; {hint}"
+            )
+        return values.data
+    data = np.ascontiguousarray(values, dtype=np.float64)
+    if data.shape != A.data.shape:
+        raise ValueError(
+            f"values must have shape {A.data.shape} "
+            "(one value per stored lower-triangle entry)"
+        )
+    return data
+
+
+def plan(A, *, ordering="nd", **analyze_kwargs):
+    """Run the symbolic pipeline on ``A``; returns a :class:`SymbolicPlan`.
+
+    ``A`` is a :class:`~repro.sparse.csc.SymmetricCSC`; ``ordering`` and
+    any extra keyword arguments are forwarded to
+    :func:`repro.symbolic.analyze` (merge/refine toggles, growth cap, ...).
+    Everything computed here depends only on ``A``'s sparsity pattern, so
+    one plan serves every same-pattern matrix.
+    """
+    # fail loudly for pre-1.2 callers of the *memory* planner, which used
+    # to own the top-level name: repro.plan(symb, device_memory=...)
+    if "device_memory" in analyze_kwargs or not hasattr(A, "data"):
+        raise TypeError(
+            "repro.plan(A, ...) is the staged-pipeline entry point since "
+            "v1.2 and takes a SymmetricCSC; the device-memory planner "
+            "moved to repro.memory_plan(symb, device_memory=...)"
+        )
+    system = analyze(A, ordering=ordering, **analyze_kwargs)
+    return SymbolicPlan(A, system)
+
+
+class SymbolicPlan:
+    """Reusable symbolic stage: pattern-only analysis plus every cache the
+    numeric engines need (permutation gather, panel scatter plan,
+    relative-index runs, block lists, task-DAG plans).
+
+    Build with :func:`plan`.  The plan treats the matrix it was built from
+    as the *pattern host*; any same-pattern values (a flat array aligned
+    with ``A.data`` or a full same-pattern ``SymmetricCSC``) can then be
+    pushed through :meth:`factorize` / :meth:`factorize_batch` without any
+    structural work.
+    """
+
+    def __init__(self, A, system):
+        self._A = A
+        self._system = system
+        self._gather = None  # values → permuted values; computed on demand
+        # pre-warm the panel scatter plan so every factorize is index-free
+        ScatterPlan.get(system.symb, system.matrix)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def system(self):
+        """The underlying :class:`~repro.symbolic.analyze.AnalyzedSystem`."""
+        return self._system
+
+    @property
+    def symb(self):
+        """The supernodal symbolic factorization."""
+        return self._system.symb
+
+    @property
+    def perm(self):
+        """Composed fill-reducing permutation (original index at slot k)."""
+        return self._system.perm
+
+    @property
+    def matrix(self):
+        """The pattern-host matrix the plan was built from (original
+        ordering, original values)."""
+        return self._A
+
+    @property
+    def n(self):
+        return self._system.symb.n
+
+    @property
+    def nsup(self):
+        return self._system.symb.nsup
+
+    @property
+    def gather(self):
+        """Data-gather index: ``permuted.data == original.data[gather]``
+        (pattern-only; computed once on first use and shared with the
+        legacy facade)."""
+        if self._gather is None:
+            self._gather = permutation_gather(self._A, self._system.perm)
+        return self._gather
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return (f"SymbolicPlan(n={self.n}, nsup={self.nsup}, "
+                f"factor_nnz={self.symb.factor_nnz_dense()})")
+
+    # ------------------------------------------------------------------
+    # values plumbing
+    # ------------------------------------------------------------------
+    def _values_of(self, values):
+        """Validate same-pattern ``values`` (flat data array or full
+        ``SymmetricCSC``); returns the flat data in ``A.data`` order."""
+        return same_pattern_values(self._A, values)
+
+    def _original_matrix(self, data):
+        """Same-pattern ``SymmetricCSC`` in the original ordering holding
+        ``data`` (structure arrays and matvec cache shared with the host).
+
+        The data is *copied*: a ``Factor`` documents immutability, so the
+        caller mutating its values buffer afterwards (buffer-reusing time
+        stepping) must not corrupt the factor's matrix, ``residual_norm``
+        or ``solve_refined``.
+        """
+        A = self._A
+        if data is A.data:
+            return A
+        M = SymmetricCSC(A.n, A.indptr, A.indices, data.copy(), check=False)
+        M._mv_plan = A._mv_plan  # same structure: share the matvec cache
+        return M
+
+    def _permuted_matrix(self, data):
+        """The permuted system matrix for ``data`` — a pure gather through
+        the cached permutation, sharing the analyzed matrix's structure
+        arrays so the memoised :class:`ScatterPlan` matches by identity."""
+        B = self._system.matrix
+        if data is self._A.data:
+            return B
+        M = SymmetricCSC(B.n, B.indptr, B.indices, data[self.gather],
+                         check=False)
+        M._mv_plan = B._mv_plan
+        return M
+
+    def _install_values(self, A, M):
+        """Facade support (:class:`~repro.solve.driver.CholeskySolver`):
+        swap same-pattern values into the plan — ``A`` replaces the pattern
+        host, ``M`` the analyzed (permuted) matrix.  Both must share the
+        previous matrices' structure arrays; pattern-only state (gather,
+        scatter plan, DAG plans) stays valid by construction."""
+        self._A = A
+        self._system.matrix = M
+
+    # ------------------------------------------------------------------
+    # numeric stage
+    # ------------------------------------------------------------------
+    def factorize(self, values=None, *, engine="rl", workers=None,
+                  **engine_kwargs):
+        """Numeric factorization of same-pattern ``values``; returns an
+        immutable :class:`Factor`.
+
+        Parameters
+        ----------
+        values:
+            ``None`` (factor the plan's own matrix), a flat array aligned
+            with the pattern host's ``data`` (lower-triangle CSC order), or
+            a full same-pattern :class:`~repro.sparse.csc.SymmetricCSC`.
+            Raises ``ValueError`` on a pattern mismatch.
+        engine:
+            Engine name from :mod:`repro.numeric.registry` (``"rl"``,
+            ``"rlb"``, ``"rl_par"``, ``"rlb_par"``, ``"rl_gpu"``, ...).
+        workers:
+            Worker-thread count for the threaded engines; rejected for
+            serial/GPU engines.
+        engine_kwargs:
+            Forwarded to the engine (``machine=``, ``device=``,
+            ``threshold=``, ...).
+        """
+        spec = get_engine(engine)
+        if workers is not None:
+            if not spec.is_threaded:
+                raise ValueError(
+                    f"workers= applies to the threaded engines only "
+                    f"(rl_par, rlb_par), not {engine!r}"
+                )
+            engine_kwargs = dict(engine_kwargs, workers=workers)
+        data = self._values_of(values)
+        M = self._permuted_matrix(data)
+        result = spec.fn(self._system.symb, M, **spec.fixed, **engine_kwargs)
+        return Factor(self, result, self._original_matrix(data))
+
+    def factorize_batch(self, values_list, *, engine="rlb_par", workers=None,
+                        **engine_kwargs):
+        """Factorize a batch of same-pattern matrices; returns a
+        :class:`FactorBatch`.
+
+        For the threaded engines (``rl_par`` / ``rlb_par``) all matrices run
+        as independent task-DAG instances on ONE shared worker pool
+        (:func:`repro.numeric.executor.factorize_executor_batch`), so the
+        pool stays saturated across matrix boundaries — this is the
+        high-throughput serving mode for parameter sweeps, time stepping
+        and many concurrent users on one pattern.  Serial and GPU engines
+        fall back to an amortized loop over :meth:`factorize` (symbolic
+        work still shared).
+
+        Every factor is bit-identical to a serial ``factorize`` of that
+        matrix alone.  A non-SPD matrix anywhere in the batch raises
+        :class:`~repro.dense.kernels.NotPositiveDefiniteError` with
+        ``batch_index`` set to its position in ``values_list``.
+        """
+        spec = get_engine(engine)
+        datas = [self._values_of(v) for v in values_list]
+        if not spec.is_threaded:
+            if workers is not None:
+                raise ValueError(
+                    f"workers= applies to the threaded engines only "
+                    f"(rl_par, rlb_par), not {engine!r}"
+                )
+            factors = []
+            for b, data in enumerate(datas):
+                try:
+                    factors.append(self.factorize(data, engine=engine,
+                                                  **engine_kwargs))
+                except NotPositiveDefiniteError as exc:
+                    raise NotPositiveDefiniteError.for_batch(exc, b) from exc
+            return FactorBatch(self, tuple(factors))
+        matrices = [self._permuted_matrix(data) for data in datas]
+        results = factorize_executor_batch(
+            self._system.symb, matrices, workers=workers,
+            granularity=spec.granularity, **engine_kwargs,
+        )
+        factors = tuple(
+            Factor(self, res, self._original_matrix(data))
+            for res, data in zip(results, datas)
+        )
+        return FactorBatch(self, factors)
+
+
+class Factor:
+    """One immutable numeric Cholesky factorization ``P A P^T = L L^T``.
+
+    Produced by :meth:`SymbolicPlan.factorize`; never mutated afterwards —
+    new values mean a new ``Factor`` from the same plan.  All solve methods
+    accept a single ``(n,)`` vector or an ``(n, k)`` block of right-hand
+    sides.
+    """
+
+    __slots__ = ("_plan", "_result", "_matrix")
+
+    def __init__(self, plan, result, matrix):
+        self._plan = plan
+        self._result = result
+        self._matrix = matrix
+
+    # ------------------------------------------------------------------
+    @property
+    def plan(self):
+        """The :class:`SymbolicPlan` this factor was produced from."""
+        return self._plan
+
+    @property
+    def result(self):
+        """The engine's :class:`~repro.numeric.result.FactorizeResult`
+        (modeled seconds, kernel counts, executor wall time, ...)."""
+        return self._result
+
+    @property
+    def storage(self):
+        """The numeric factor panels
+        (:class:`~repro.numeric.storage.FactorStorage`)."""
+        return self._result.storage
+
+    @property
+    def matrix(self):
+        """The factored matrix, original ordering."""
+        return self._matrix
+
+    @property
+    def engine(self):
+        """Name of the engine that produced this factor."""
+        return self._result.method
+
+    @property
+    def n(self):
+        return self._plan.n
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return f"Factor(n={self.n}, engine={self.engine!r})"
+
+    # ------------------------------------------------------------------
+    def solve(self, b):
+        """Solve ``A x = b``."""
+        b = np.asarray(b, dtype=np.float64)
+        # validate BEFORE the permutation gather: b[perm] would silently
+        # truncate an oversized right-hand side
+        if b.ndim not in (1, 2) or b.shape[0] != self.n:
+            raise ValueError("b must have shape (n,) or (n, k)")
+        perm = self._plan.perm
+        # b[perm] is a fresh gather; both sweeps run in place on it
+        y = solve_factored(self.storage, b[perm], overwrite_b=True)
+        x = np.empty_like(y)
+        x[perm] = y
+        return x
+
+    def solve_refined(self, b, *, tol=1e-14, max_iter=5, return_info=False):
+        """Solve ``A x = b`` with iterative refinement.
+
+        Runs classical fixed-precision refinement
+        (:func:`repro.solve.refine.refine`) until the relative residual
+        reaches ``tol`` or ``max_iter`` correction steps were taken.
+        Returns the refined ``x``; with ``return_info=True`` returns the
+        full :class:`~repro.solve.refine.RefinementResult` (residual
+        history, iteration count, convergence flag).
+        """
+        out = refine(self._matrix, self.storage, self._plan.perm, b,
+                     tol=tol, max_iter=max_iter)
+        return out if return_info else out.x
+
+    def residual_norm(self, x, b):
+        """Relative residual ``||b - A x|| / ||b||``
+        (:func:`repro.solve.refine.relative_residual`)."""
+        return relative_residual(self._matrix, x, b)
+
+    # ------------------------------------------------------------------
+    def _diag_permuted(self):
+        """Diagonal of ``L`` in the factor's (permuted) ordering."""
+        symb = self.storage.symb
+        d = np.empty(symb.n)
+        for s in range(symb.nsup):
+            first, last = symb.snode_cols(s)
+            w = last - first
+            d[first:last] = np.diagonal(self.storage.panel(s)[:w, :w])
+        return d
+
+    def diag(self):
+        """Diagonal entries of the Cholesky factor ``L``, mapped back to
+        the original ordering (entry ``i`` corresponds to row/column ``i``
+        of ``A``)."""
+        d = self._diag_permuted()
+        out = np.empty_like(d)
+        out[self._plan.perm] = d
+        return out
+
+    def logdet(self):
+        """``log det(A)`` — numerically stable via
+        ``2 * sum(log(diag(L)))`` (the determinant is permutation
+        invariant)."""
+        return 2.0 * float(np.sum(np.log(self._diag_permuted())))
+
+
+class FactorBatch:
+    """Factors of a batch of same-pattern matrices (one shared
+    :class:`SymbolicPlan`), produced by :meth:`SymbolicPlan.factorize_batch`.
+
+    Sequence-like: ``len(batch)``, ``batch[i]``, iteration.  ``batch[i]``
+    is the :class:`Factor` of ``values_list[i]``.
+    """
+
+    __slots__ = ("_plan", "_factors")
+
+    def __init__(self, plan, factors):
+        self._plan = plan
+        self._factors = tuple(factors)
+
+    @property
+    def plan(self):
+        return self._plan
+
+    @property
+    def factors(self):
+        return self._factors
+
+    def __len__(self):
+        return len(self._factors)
+
+    def __getitem__(self, i):
+        return self._factors[i]
+
+    def __iter__(self):
+        return iter(self._factors)
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return f"FactorBatch(B={len(self._factors)}, n={self._plan.n})"
+
+    # ------------------------------------------------------------------
+    @property
+    def wall_seconds(self):
+        """Measured wall-clock of the whole batch (threaded engines; the
+        run is shared, so this is NOT a per-matrix time — see
+        :attr:`amortized_seconds`).  ``None`` whenever there is no
+        measurement: an empty batch, or serial/GPU engines (consistent
+        with :attr:`repro.numeric.result.FactorizeResult.wall_seconds`)."""
+        if not self._factors:
+            return None
+        return self._factors[0].result.extra.get("wall_seconds")
+
+    @property
+    def amortized_seconds(self):
+        """Batch wall-clock divided by the batch size — the per-matrix
+        throughput cost of batched serving."""
+        wall = self.wall_seconds
+        if wall is None or not self._factors:
+            return wall
+        return wall / len(self._factors)
+
+    # ------------------------------------------------------------------
+    def solve_all(self, rhs):
+        """Solve every system of the batch; returns a list of solutions.
+
+        ``rhs`` is either one shared right-hand side (an ``(n,)`` vector —
+        ndarray or plain numeric list — or an ``(n, k)`` block applied to
+        every matrix, the parameter-sweep shape) or a ``list``/``tuple`` of
+        ``len(batch)`` per-matrix right-hand sides (each ``(n,)`` or
+        ``(n, k)``).
+        """
+        nfac = len(self._factors)
+        if not isinstance(rhs, (list, tuple)):
+            # one shared RHS: an ndarray or any array-like
+            shared = np.asarray(rhs, dtype=np.float64)
+            rhs_list = [shared] * nfac
+        elif rhs and all(np.ndim(r) == 0 for r in rhs):
+            # a flat numeric vector like [1.0] * n: also one shared RHS
+            shared = np.asarray(rhs, dtype=np.float64)
+            rhs_list = [shared] * nfac
+        else:
+            rhs_list = list(rhs)
+            if len(rhs_list) != nfac:
+                raise ValueError(
+                    f"expected {nfac} right-hand sides, "
+                    f"got {len(rhs_list)}"
+                )
+        return [f.solve(b) for f, b in zip(self._factors, rhs_list)]
+
+    def logdets(self):
+        """``log det`` of every matrix in the batch, as one array."""
+        return np.array([f.logdet() for f in self._factors])

@@ -10,7 +10,12 @@ Commands
     Run one factorization engine; print the modeled-time report, optionally
     an event-trace Gantt chart (``--gantt``) or Chrome trace (``--trace``).
 ``solve MATRIX``
-    Factorize, solve against a random right-hand side, report the residual.
+    Factorize, solve against a random right-hand side (``--rhs K`` for a
+    block of K right-hand sides), report the residual.
+``batch MATRIX``
+    Batched same-pattern serving: push ``--batch B`` value sets through
+    ``plan.factorize_batch`` on one worker pool and compare against a
+    looped serial ``refactorize`` (per-matrix vs amortized timings).
 ``suite [MATRIX ...]``
     The paper's Tables I/II protocol over (a subset of) the suite.
 ``breakdown MATRIX``
@@ -102,7 +107,7 @@ def cmd_factorize(args):
     from .gpu import MachineModel, SimulatedGpu, Tracer
     from .gpu.device import Timeline
     from .numeric import DEFAULT_DEVICE_MEMORY
-    from .solve import METHODS
+    from .numeric.registry import ENGINES, METHODS
 
     par_engine = {"coarse": "rl_par", "fine": "rlb_par"}
     if args.workers is not None and args.workers < 1:
@@ -140,7 +145,7 @@ def cmd_factorize(args):
     if args.workers is not None:
         kwargs["workers"] = args.workers
     tracer = None
-    if "_gpu" in method or "gpu" in method.split("_"):
+    if ENGINES[method].is_gpu:
         if args.threshold is not None:
             kwargs["threshold"] = args.threshold
         machine = MachineModel()
@@ -182,19 +187,103 @@ def cmd_factorize(args):
 
 
 def cmd_solve(args):
-    from .solve import CholeskySolver
+    from .api import plan as make_plan
 
+    if args.rhs < 1:
+        print("--rhs must be >= 1", file=sys.stderr)
+        return 2
     A = _load_matrix(args.matrix)
     rng = np.random.default_rng(args.seed)
-    b = rng.standard_normal(A.n)
-    solver = CholeskySolver(A, method=args.method,
-                            analyze_kwargs={"ordering": args.ordering})
-    x = solver.solve(b)
-    rel = solver.residual_norm(x, b)
+    shape = A.n if args.rhs == 1 else (A.n, args.rhs)
+    b = rng.standard_normal(shape)
+    try:
+        factor = make_plan(A, ordering=args.ordering).factorize(
+            engine=args.method)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    x = factor.solve(b)
+    rel = factor.residual_norm(x, b)
     print(f"n = {A.n}, method = {args.method}, "
-          f"modeled factor time = {solver.result.modeled_seconds:.4f}s")
+          f"modeled factor time = {factor.result.modeled_seconds:.4f}s")
+    if args.rhs > 1:
+        print(f"right-hand sides = {args.rhs} (one block solve)")
     print(f"relative residual = {rel:.3e}")
     return 0 if rel < 1e-8 else 1
+
+
+def cmd_batch(args):
+    import time
+
+    from .analysis import format_table
+    from .api import plan as make_plan
+    from .numeric.registry import get_engine, serial_twin
+    from .solve import CholeskySolver
+    from .sparse import spd_value_sweep
+
+    try:
+        spec = get_engine(args.engine)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.batch < 1:
+        print("--batch must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers is not None and not spec.is_threaded:
+        print("--workers applies to the threaded engines only "
+              f"(rl_par, rlb_par), not --engine {args.engine}",
+              file=sys.stderr)
+        return 2
+    if args.rhs < 1:
+        print("--rhs must be >= 1", file=sys.stderr)
+        return 2
+    A = _load_matrix(args.matrix)
+    rng = np.random.default_rng(args.seed)
+    datas = spd_value_sweep(A, args.batch, seed=args.seed)
+    kwargs = {"workers": args.workers} if spec.is_threaded else {}
+
+    plan = make_plan(A, ordering=args.ordering)
+    plan.factorize(datas[0], engine=args.engine, **kwargs)  # warm caches
+    t0 = time.perf_counter()
+    batch = plan.factorize_batch(datas, engine=args.engine, **kwargs)
+    t_batch = time.perf_counter() - t0
+
+    # the pre-batching protocol: one serial refactorize after another
+    loop_engine = serial_twin(args.engine)
+    solver = CholeskySolver(A, method=loop_engine,
+                            analyze_kwargs={"ordering": args.ordering})
+    solver.factorize()  # symbolic + cache warm-up outside the loop
+    t0 = time.perf_counter()
+    for data in datas:
+        solver.refactorize(data)
+    t_loop = time.perf_counter() - t0
+
+    shape = A.n if args.rhs == 1 else (A.n, args.rhs)
+    b = rng.standard_normal(shape)
+    xs = batch.solve_all(b)
+    worst = max(f.residual_norm(x, b) for f, x in zip(batch, xs))
+
+    workers = batch[0].result.extra.get("workers", 1)
+    rows = [
+        ("engine (batched)", args.engine),
+        ("engine (looped)", loop_engine),
+        ("batch size", str(args.batch)),
+        ("workers", str(workers)),
+        ("looped refactorize total", f"{t_loop * 1e3:.2f} ms"),
+        ("looped per matrix", f"{t_loop / args.batch * 1e3:.2f} ms"),
+        ("batched total", f"{t_batch * 1e3:.2f} ms"),
+        ("batched per matrix (amortized)",
+         f"{t_batch / args.batch * 1e3:.2f} ms"),
+        ("batch speedup", f"{t_loop / t_batch:.2f}x"),
+        ("right-hand sides per matrix", str(args.rhs)),
+        ("worst relative residual", f"{worst:.3e}"),
+    ]
+    print(format_table(["field", "value"], rows,
+                       title=f"Batched same-pattern serving: {args.matrix}"))
+    return 0 if worst < 1e-8 else 1
 
 
 def cmd_suite(args):
@@ -311,6 +400,26 @@ def build_parser():
     sp.add_argument("matrix")
     sp.add_argument("--method", default="rl")
     sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--rhs", type=int, default=1,
+                    help="number of right-hand sides (K > 1 solves one "
+                         "(n, K) block with level-3 BLAS)")
+    common(sp)
+
+    sp = sub.add_parser("batch",
+                        help="batched same-pattern serving vs looped "
+                             "refactorize")
+    sp.add_argument("matrix")
+    sp.add_argument("--engine", default="rlb_par",
+                    help="factorization engine for the batch (threaded "
+                         "engines run the whole batch on one worker pool; "
+                         "default: rlb_par)")
+    sp.add_argument("--workers", type=int, default=None,
+                    help="worker threads for the threaded engines")
+    sp.add_argument("--batch", type=int, default=8,
+                    help="number of same-pattern matrices (default: 8)")
+    sp.add_argument("--rhs", type=int, default=1,
+                    help="right-hand sides per matrix for solve_all")
+    sp.add_argument("--seed", type=int, default=0)
     common(sp)
 
     sp = sub.add_parser("suite", help="Tables I/II over the suite")
@@ -335,6 +444,7 @@ _COMMANDS = {
     "analyze": cmd_analyze,
     "factorize": cmd_factorize,
     "solve": cmd_solve,
+    "batch": cmd_batch,
     "suite": cmd_suite,
     "breakdown": cmd_breakdown,
     "plan": cmd_plan,

@@ -29,11 +29,26 @@ __all__ = [
 
 class NotPositiveDefiniteError(np.linalg.LinAlgError):
     """Raised when a diagonal block fails dense Cholesky — the matrix is not
-    (numerically) positive definite at the offending pivot."""
+    (numerically) positive definite at the offending pivot.
+
+    Batched factorizations (:mod:`repro.api`,
+    :func:`repro.numeric.executor.factorize_executor_batch`) re-raise via
+    :meth:`for_batch`, which adds a ``batch_index`` attribute naming the
+    offending matrix's position in the batch.
+    """
 
     def __init__(self, pivot):
         super().__init__(f"matrix is not positive definite (pivot {pivot})")
         self.pivot = int(pivot)
+
+    @classmethod
+    def for_batch(cls, exc, batch_index):
+        """A copy of ``exc`` annotated with the batch position it came
+        from — the one place the batched-error contract is defined."""
+        err = cls(exc.pivot)
+        err.args = (f"batch matrix {batch_index}: {err.args[0]}",)
+        err.batch_index = int(batch_index)
+        return err
 
 
 def potrf(block):

@@ -19,6 +19,7 @@ from .rlb import (
 )
 from .executor import (
     factorize_executor,
+    factorize_executor_batch,
     OrderedCommitter,
     GRANULARITIES,
     default_workers,
@@ -51,6 +52,13 @@ from .threshold import (
     DEFAULT_RLB_THRESHOLD,
     DEFAULT_DEVICE_MEMORY,
     gpu_snode_mask,
+)
+from .registry import (
+    ENGINES,
+    EngineSpec,
+    engine_names,
+    get_engine,
+    serial_twin,
 )
 
 __all__ = [
@@ -86,9 +94,15 @@ __all__ = [
     "commit_block_pair",
     "block_pair_targets",
     "factorize_executor",
+    "factorize_executor_batch",
     "OrderedCommitter",
     "GRANULARITIES",
     "default_workers",
+    "ENGINES",
+    "EngineSpec",
+    "engine_names",
+    "get_engine",
+    "serial_twin",
     "DEFAULT_RL_THRESHOLD",
     "DEFAULT_RLB_THRESHOLD",
     "DEFAULT_DEVICE_MEMORY",

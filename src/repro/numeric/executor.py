@@ -24,8 +24,14 @@ Two properties are load-bearing:
 
 The task DAG and all index structures (assembly plans, block lists, block
 pair offsets) are memoised on :meth:`SymbolicFactor.cache`, so repeated
-same-pattern refactorization (``CholeskySolver.refactorize``) re-executes
-only the numeric kernels — the parallel path stays on the PR-1 fast path.
+same-pattern refactorization (``SymbolicPlan.factorize`` /
+``CholeskySolver.refactorize``) re-executes only the numeric kernels — the
+parallel path stays on the PR-1 fast path.
+
+:func:`factorize_executor_batch` extends the runtime to batched
+multi-matrix serving: B same-pattern matrices run as B independent DAG
+instances (per-matrix storage and committer) draining one shared ready
+queue — the backend of :meth:`repro.api.SymbolicPlan.factorize_batch`.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ import threading
 import time
 from collections import deque
 
+from ..dense.kernels import NotPositiveDefiniteError
 from ..gpu.costmodel import CPU_THREAD_CHOICES, MachineModel
 from ..symbolic.blocks import snode_blocks
 from ..symbolic.relind import assembly_plan
@@ -45,6 +52,7 @@ from .storage import FactorStorage
 
 __all__ = [
     "factorize_executor",
+    "factorize_executor_batch",
     "OrderedCommitter",
     "GRANULARITIES",
     "default_workers",
@@ -325,6 +333,49 @@ def _run_fine(symb, storage, committer, logs, pairs, pair_ids):
     return run_task
 
 
+def _matrix_tasks(symb, storage, granularity):
+    """Per-matrix task-set of one DAG instance: ``(ntasks, roots, logs,
+    run_task)``.  The static plan is shared (memoised on ``symb``); the
+    committer, kernel logs and task closures are per-matrix state, so any
+    number of same-pattern instances can run concurrently on one pool while
+    each keeps the serial engines' deterministic commit order."""
+    nsup = symb.nsup
+    if granularity == "coarse":
+        expected, roots = _coarse_plan(symb)
+        committer = _build_committer(expected)
+        ntasks = nsup
+        logs = [_KernelLog() for _ in range(ntasks)]
+        run_task = _run_coarse(symb, storage, committer, logs)
+    else:
+        pairs, pair_ids, expected, roots = _fine_plan(symb)
+        committer = _build_committer(expected)
+        ntasks = nsup + len(pairs)
+        logs = [_KernelLog() for _ in range(ntasks)]
+        run_task = _run_fine(symb, storage, committer, logs, pairs, pair_ids)
+    return ntasks, roots, logs, run_task
+
+
+def _replayed_result(method, storage, logs, machine, thread_choices, extra):
+    """Replay per-task kernel logs into one deterministic accumulator and
+    wrap the modeled-cost report in a :class:`FactorizeResult`."""
+    acc = CpuCostAccumulator(machine, thread_choices, assembly_threads=None)
+    for log in logs:
+        log.replay(acc)
+    threads, seconds = acc.best()
+    return FactorizeResult(
+        method=method,
+        storage=storage,
+        modeled_seconds=seconds,
+        total_snodes=storage.symb.nsup,
+        cpu_times_by_threads=dict(acc.times),
+        best_threads=threads,
+        flops=acc.flops,
+        kernel_count=acc.kernel_count,
+        assembly_bytes=acc.assembly_bytes,
+        extra=extra,
+    )
+
+
 def factorize_executor(
     symb,
     A,
@@ -358,39 +409,19 @@ def factorize_executor(
         raise ValueError("workers must be >= 1")
     machine = machine or MachineModel()
     storage = FactorStorage.from_matrix(symb, A)
-    nsup = symb.nsup
     t0 = time.perf_counter()
-    if granularity == "coarse":
-        expected, roots = _coarse_plan(symb)
-        committer = _build_committer(expected)
-        ntasks = nsup
-        logs = [_KernelLog() for _ in range(ntasks)]
-        run_task = _run_coarse(symb, storage, committer, logs)
-    else:
-        pairs, pair_ids, expected, roots = _fine_plan(symb)
-        committer = _build_committer(expected)
-        ntasks = nsup + len(pairs)
-        logs = [_KernelLog() for _ in range(ntasks)]
-        run_task = _run_fine(symb, storage, committer, logs, pairs, pair_ids)
+    ntasks, roots, logs, run_task = _matrix_tasks(symb, storage, granularity)
     queue = _ReadyQueue(ntasks)
     queue.seed(roots)
     # more threads than tasks can never help; don't pay their startup
     queue.run(run_task, max(1, min(workers, ntasks)))
     wall = time.perf_counter() - t0
-    acc = CpuCostAccumulator(machine, thread_choices, assembly_threads=None)
-    for log in logs:
-        log.replay(acc)
-    threads, seconds = acc.best()
-    return FactorizeResult(
-        method="rl_par" if granularity == "coarse" else "rlb_par",
-        storage=storage,
-        modeled_seconds=seconds,
-        total_snodes=nsup,
-        cpu_times_by_threads=dict(acc.times),
-        best_threads=threads,
-        flops=acc.flops,
-        kernel_count=acc.kernel_count,
-        assembly_bytes=acc.assembly_bytes,
+    return _replayed_result(
+        "rl_par" if granularity == "coarse" else "rlb_par",
+        storage,
+        logs,
+        machine,
+        thread_choices,
         extra={
             "workers": workers,
             "granularity": granularity,
@@ -398,3 +429,95 @@ def factorize_executor(
             "tasks": ntasks,
         },
     )
+
+
+def factorize_executor_batch(
+    symb,
+    matrices,
+    *,
+    workers=None,
+    granularity="fine",
+    machine=None,
+    thread_choices=CPU_THREAD_CHOICES,
+):
+    """Factorize a batch of same-pattern matrices on ONE worker pool.
+
+    The batched multi-matrix serving runtime: every matrix of ``matrices``
+    (all sharing the sparsity pattern ``symb`` was computed for — typically
+    a parameter sweep or time-stepping sequence) gets its own
+    :class:`~repro.numeric.storage.FactorStorage`, its own
+    :class:`OrderedCommitter` and its own task-DAG *instance*, but all
+    ``B x ntasks`` tasks drain through a single shared ready queue, so the
+    pool stays busy across matrix boundaries — the scheduling slack at the
+    top of one elimination tree is filled with work from the others.  The
+    static DAG plan, relative-index caches and panel scatter plan are
+    built once (memoised on ``symb``) and shared by every instance.
+
+    Determinism is per matrix: each matrix's commits retain the serial
+    engines' ascending source order, so every returned factor is
+    bit-identical to a serial ``factorize``/``refactorize`` of that matrix
+    alone, for any worker count and any batch size.
+
+    A non-SPD matrix anywhere in the batch aborts the whole run with the
+    serial engines' :class:`~repro.dense.kernels.NotPositiveDefiniteError`,
+    annotated with the offending position: ``exc.batch_index`` holds the
+    index into ``matrices`` and ``exc.pivot`` the failing pivot.
+
+    Returns a list of :class:`~repro.numeric.result.FactorizeResult`, one
+    per matrix in input order; ``extra`` carries ``batch_size``,
+    ``batch_index`` and the whole-batch ``wall_seconds`` (shared — divide by
+    ``batch_size`` for the amortized per-matrix cost).
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError(
+            f"unknown granularity {granularity!r}; choose from {GRANULARITIES}",
+        )
+    workers = default_workers() if workers is None else int(workers)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    machine = machine or MachineModel()
+    matrices = list(matrices)
+    nbatch = len(matrices)
+    if nbatch == 0:
+        return []
+    storages = [FactorStorage.from_matrix(symb, A) for A in matrices]
+    t0 = time.perf_counter()
+    instances = [_matrix_tasks(symb, st, granularity) for st in storages]
+    ntasks = instances[0][0]
+    run_tasks = [inst[3] for inst in instances]
+
+    def run_flat(gid):
+        b, tid = divmod(gid, ntasks)
+        try:
+            newly = run_tasks[b](tid)
+        except NotPositiveDefiniteError as exc:
+            raise NotPositiveDefiniteError.for_batch(exc, b) from exc
+        base = b * ntasks
+        return [base + t for t in newly]
+
+    queue = _ReadyQueue(ntasks * nbatch)
+    for b, (_, roots, _, _) in enumerate(instances):
+        queue.seed([b * ntasks + r for r in roots])
+    queue.run(run_flat, max(1, min(workers, ntasks * nbatch)))
+    wall = time.perf_counter() - t0
+    method = "rl_par" if granularity == "coarse" else "rlb_par"
+    return [
+        _replayed_result(
+            method,
+            storages[b],
+            inst[2],
+            machine,
+            thread_choices,
+            extra={
+                "workers": workers,
+                "granularity": granularity,
+                "wall_seconds": wall,
+                # per-matrix DAG size, consistent with factorize_executor;
+                # the pool drained batch_size * tasks tasks in total
+                "tasks": ntasks,
+                "batch_size": nbatch,
+                "batch_index": b,
+            },
+        )
+        for b, inst in enumerate(instances)
+    ]

@@ -1,0 +1,140 @@
+"""Unified factorization-engine registry.
+
+One table maps every public engine name to its callable, its fixed keyword
+arguments and a coarse *kind* tag.  Historically the same mapping lived as a
+``METHODS`` dict in :mod:`repro.solve.driver` with ad-hoc name tests
+sprinkled through :mod:`repro.cli` (``"_gpu" in method`` ...); the staged
+``plan → Factor`` API (:mod:`repro.api`), the legacy
+:class:`~repro.solve.driver.CholeskySolver` facade and the CLI all resolve
+engines here now, so a new engine is registered exactly once.
+
+Kinds
+-----
+``"cpu"``
+    Serial CPU engines (``rl``, ``rlb``, baselines).  Modeled
+    best-over-threads timing; real BLAS numerics.
+``"threaded"``
+    The task-DAG worker-pool engines (``rl_par``, ``rlb_par``) of
+    :mod:`repro.numeric.executor`.  Accept ``workers=``; also the engines
+    that power batched same-pattern serving
+    (:meth:`repro.api.SymbolicPlan.factorize_batch`).
+``"gpu"``
+    Simulated-device offload engines.  Accept ``threshold=`` /
+    ``device=`` / ``machine=``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .executor import factorize_executor
+from .left_looking import factorize_left_looking
+from .left_looking_gpu import factorize_left_looking_gpu
+from .multifrontal import factorize_multifrontal, factorize_multifrontal_gpu
+from .rl import factorize_rl_cpu
+from .rl_gpu import factorize_rl_gpu
+from .rlb import factorize_rlb_cpu
+from .rlb_gpu import factorize_rlb_gpu
+
+__all__ = [
+    "EngineSpec",
+    "ENGINES",
+    "METHODS",
+    "engine_names",
+    "get_engine",
+    "serial_twin",
+]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered factorization engine.
+
+    ``fn(symb, A, **fixed, **user_kwargs)`` runs the engine; ``kind`` is
+    ``"cpu"`` | ``"threaded"`` | ``"gpu"`` (see module docstring);
+    ``granularity`` is set for threaded engines only and names the task-DAG
+    granularity the executor uses for it.
+    """
+
+    name: str
+    fn: Callable
+    kind: str
+    fixed: dict = field(default_factory=dict)
+    granularity: str | None = None
+    description: str = ""
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind == "gpu"
+
+    @property
+    def is_threaded(self) -> bool:
+        return self.kind == "threaded"
+
+
+def _spec(name, fn, kind, fixed=None, granularity=None, description=""):
+    return EngineSpec(name=name, fn=fn, kind=kind, fixed=dict(fixed or {}),
+                      granularity=granularity, description=description)
+
+
+#: Engine name -> :class:`EngineSpec`; the single source of truth.
+ENGINES = {
+    spec.name: spec
+    for spec in (
+        _spec("rl", factorize_rl_cpu, "cpu",
+              description="right-looking, full update matrix (serial)"),
+        _spec("rlb", factorize_rlb_cpu, "cpu",
+              description="right-looking blocked, in-place updates (serial)"),
+        _spec("rl_par", factorize_executor, "threaded",
+              fixed={"granularity": "coarse"}, granularity="coarse",
+              description="threaded task-DAG, one task per supernode"),
+        _spec("rlb_par", factorize_executor, "threaded",
+              fixed={"granularity": "fine"}, granularity="fine",
+              description="threaded task-DAG, one task per block pair"),
+        _spec("rl_gpu", factorize_rl_gpu, "gpu",
+              description="RL with large-supernode GPU offload"),
+        _spec("rlb_gpu_v1", factorize_rlb_gpu, "gpu", fixed={"version": 1},
+              description="blocked GPU offload, per-pair transfers"),
+        _spec("rlb_gpu_v2", factorize_rlb_gpu, "gpu", fixed={"version": 2},
+              description="blocked GPU offload, batched transfers"),
+        _spec("left_looking", factorize_left_looking, "cpu",
+              description="left-looking baseline (serial)"),
+        _spec("left_looking_gpu", factorize_left_looking_gpu, "gpu",
+              description="left-looking baseline with GPU offload"),
+        _spec("multifrontal", factorize_multifrontal, "cpu",
+              description="multifrontal baseline (serial)"),
+        _spec("multifrontal_gpu", factorize_multifrontal_gpu, "gpu",
+              description="multifrontal baseline with GPU offload"),
+    )
+}
+
+#: Legacy view — engine name -> ``(callable, fixed_kwargs)``.  Kept for the
+#: historical ``CholeskySolver.METHODS`` consumers; same keys as ``ENGINES``.
+METHODS = {name: (spec.fn, spec.fixed) for name, spec in ENGINES.items()}
+
+#: Threaded engine of each granularity <-> its serial bit-identity twin.
+_SERIAL_TWIN = {"rl_par": "rl", "rlb_par": "rlb"}
+
+
+def engine_names():
+    """Sorted names of every registered engine."""
+    return sorted(ENGINES)
+
+
+def get_engine(name):
+    """The :class:`EngineSpec` for ``name``; raises ``ValueError`` (listing
+    the valid names) when unknown."""
+    spec = ENGINES.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown engine {name!r}; choose from {engine_names()}"
+        )
+    return spec
+
+
+def serial_twin(name):
+    """The serial engine producing bit-identical factors to threaded engine
+    ``name`` (``rl_par -> rl``, ``rlb_par -> rlb``); other engines map to
+    themselves."""
+    return _SERIAL_TWIN.get(name, name)

@@ -84,6 +84,13 @@ class FactorizeResult:
     flops / kernel_count / assembly_bytes:
         Work statistics at the machine model's dilated scale (flops × σ³,
         bytes × σ²) — the scale the modeled seconds correspond to.
+    extra:
+        Engine-specific measurements.  The threaded executor records
+        ``workers``, ``granularity``, ``tasks`` and measured
+        ``wall_seconds``; batched runs
+        (:func:`~repro.numeric.executor.factorize_executor_batch`) add
+        ``batch_size`` and ``batch_index`` (``wall_seconds`` is then the
+        whole batch's shared wall time).
     """
 
     method: str
@@ -98,3 +105,9 @@ class FactorizeResult:
     kernel_count: int = 0
     assembly_bytes: int = 0
     extra: dict = field(default_factory=dict)
+
+    @property
+    def wall_seconds(self):
+        """Measured wall-clock seconds, when the engine records one (the
+        threaded executor does; modeled-only engines return ``None``)."""
+        return self.extra.get("wall_seconds")

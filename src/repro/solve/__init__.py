@@ -5,7 +5,7 @@ from .triangular import forward_solve, backward_solve, solve_factored
 from .gpu_solve import solve_factored_cpu, solve_factored_gpu, solve_flops
 from .sparse_rhs import solve_reach, forward_solve_sparse
 from .driver import CholeskySolver, METHODS
-from .refine import RefinementResult, refine
+from .refine import RefinementResult, refine, relative_residual
 
 __all__ = [
     "forward_solve",
@@ -20,4 +20,5 @@ __all__ = [
     "METHODS",
     "RefinementResult",
     "refine",
+    "relative_residual",
 ]

@@ -1,21 +1,35 @@
-"""High-level solver driver: the library's main entry point.
+"""Legacy high-level solver driver — now a facade over the staged API.
 
-``CholeskySolver`` bundles the whole pipeline — symbolic analysis (ordering,
-merging, refinement), numeric factorization by any of the paper's engines,
-and permutation-aware triangular solves::
+.. deprecated::
+    ``CholeskySolver`` remains fully supported for existing code, but new
+    code should use the staged ``plan → Factor`` pipeline of
+    :mod:`repro.api` — explicit, immutable stage objects that also unlock
+    batched same-pattern serving (see ``docs/api.md`` for the old→new
+    migration table)::
+
+        plan = repro.plan(A)                        # symbolic, once
+        factor = plan.factorize(engine="rl_gpu")    # numeric
+        x = factor.solve(b)
+        batch = plan.factorize_batch(values_list, engine="rlb_par")
+
+``CholeskySolver`` bundles the whole pipeline — symbolic analysis
+(ordering, merging, refinement), numeric factorization by any of the
+paper's engines, and permutation-aware triangular solves::
 
     from repro import CholeskySolver
     solver = CholeskySolver(A, method="rl_gpu")
     solver.factorize()
     x = solver.solve(b)
 
-Engines: ``"rl"``, ``"rlb"`` (CPU); ``"rl_par"``, ``"rlb_par"`` (the
-threaded task-DAG runtime of :mod:`repro.numeric.executor` at coarse /
-fine granularity — pass ``factor_kwargs={"workers": N}``); ``"rl_gpu"``,
-``"rlb_gpu_v1"``, ``"rlb_gpu_v2"``, ``"multifrontal_gpu"``
-(simulated-GPU offload); ``"left_looking"``, ``"multifrontal"``
-(baselines).  The parallel engines produce bit-identical factors for any
-worker count (deterministic commit ordering).
+Engines come from the unified registry
+(:mod:`repro.numeric.registry`): ``"rl"``, ``"rlb"`` (CPU); ``"rl_par"``,
+``"rlb_par"`` (the threaded task-DAG runtime of
+:mod:`repro.numeric.executor` at coarse / fine granularity — pass
+``factor_kwargs={"workers": N}``); ``"rl_gpu"``, ``"rlb_gpu_v1"``,
+``"rlb_gpu_v2"``, ``"multifrontal_gpu"`` (simulated-GPU offload);
+``"left_looking"``, ``"multifrontal"`` (baselines).  The parallel engines
+produce bit-identical factors for any worker count (deterministic commit
+ordering).
 
 When the matrix changes *numerically* but not *structurally* — parameter
 sweeps, time stepping, re-weighted least squares — use the symbolic-reuse
@@ -28,49 +42,30 @@ API instead of building a new solver::
 
 ``refactorize`` pushes the new values through the cached permutation gather
 and the cached panel :class:`~repro.numeric.storage.ScatterPlan`, so the
-per-iteration cost is the dense BLAS work alone.
+per-iteration cost is the dense BLAS work alone.  (For *throughput* over a
+whole batch of same-pattern matrices, prefer
+:meth:`repro.api.SymbolicPlan.factorize_batch`, which overlaps the
+factorizations on one worker pool instead of running them back to back.)
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..numeric import (
-    factorize_executor,
-    factorize_left_looking,
-    factorize_left_looking_gpu,
-    factorize_multifrontal,
-    factorize_multifrontal_gpu,
-    factorize_rl_cpu,
-    factorize_rl_gpu,
-    factorize_rlb_cpu,
-    factorize_rlb_gpu,
-)
+from ..numeric.registry import METHODS
 from ..sparse.csc import SymmetricCSC
-from ..sparse.permute import permutation_gather
-from ..symbolic.analyze import analyze
-from .triangular import solve_factored
+from .refine import relative_residual
 
 __all__ = ["CholeskySolver", "METHODS"]
-
-#: Engine name -> (callable, fixed kwargs)
-METHODS = {
-    "rl": (factorize_rl_cpu, {}),
-    "rlb": (factorize_rlb_cpu, {}),
-    "rl_par": (factorize_executor, {"granularity": "coarse"}),
-    "rlb_par": (factorize_executor, {"granularity": "fine"}),
-    "rl_gpu": (factorize_rl_gpu, {}),
-    "rlb_gpu_v1": (factorize_rlb_gpu, {"version": 1}),
-    "rlb_gpu_v2": (factorize_rlb_gpu, {"version": 2}),
-    "left_looking": (factorize_left_looking, {}),
-    "left_looking_gpu": (factorize_left_looking_gpu, {}),
-    "multifrontal": (factorize_multifrontal, {}),
-    "multifrontal_gpu": (factorize_multifrontal_gpu, {}),
-}
 
 
 class CholeskySolver:
     """Sparse SPD direct solver with a choice of factorization engine.
+
+    A thin stateful facade over the staged objects of :mod:`repro.api`:
+    :meth:`analyze` builds a :class:`~repro.api.SymbolicPlan`,
+    :meth:`factorize` asks it for a :class:`~repro.api.Factor`, and the
+    mutating methods (:meth:`update_values` / :meth:`refactorize`) swap
+    same-pattern values into the plan.  Kept for backwards compatibility;
+    see the module docstring for the migration path.
 
     Parameters
     ----------
@@ -78,7 +73,8 @@ class CholeskySolver:
         :class:`~repro.sparse.csc.SymmetricCSC` (or anything
         ``SymmetricCSC.from_scipy`` accepts via the ``from_any`` helper).
     method:
-        Factorization engine (see :data:`METHODS`).
+        Factorization engine (see
+        :data:`repro.numeric.registry.METHODS`).
     analyze_kwargs:
         Options forwarded to :func:`repro.symbolic.analyze` (ordering,
         merge/refine toggles, growth cap, ...).
@@ -99,14 +95,19 @@ class CholeskySolver:
         self._factor_kwargs = dict(factor_kwargs or {})
         self.system = None
         self.result = None
-        self._gather = None
+        self._plan = None
+        self._factor = None
 
     # ------------------------------------------------------------------
     def analyze(self):
         """Run (or re-run) the symbolic pipeline; returns the
         :class:`~repro.symbolic.analyze.AnalyzedSystem`."""
-        self.system = analyze(self.A, **self._analyze_kwargs)
-        self._gather = None
+        from ..api import SymbolicPlan
+        from ..symbolic.analyze import analyze
+
+        self._plan = SymbolicPlan(self.A, analyze(self.A,
+                                                  **self._analyze_kwargs))
+        self.system = self._plan.system
         return self.system
 
     def factorize(self):
@@ -114,10 +115,17 @@ class CholeskySolver:
         :class:`~repro.numeric.result.FactorizeResult`."""
         if self.system is None:
             self.analyze()
-        fn, fixed = METHODS[self.method]
-        self.result = fn(self.system.symb, self.system.matrix,
-                         **fixed, **self._factor_kwargs)
+        self._factor = self._plan.factorize(engine=self.method,
+                                            **self._factor_kwargs)
+        self.result = self._factor.result
         return self.result
+
+    @property
+    def factor(self):
+        """The current :class:`~repro.api.Factor` (``None`` before
+        :meth:`factorize` / after :meth:`update_values`) — the staged-API
+        object behind :attr:`result`."""
+        return self._factor
 
     # ------------------------------------------------------------------
     # symbolic-reuse API
@@ -132,40 +140,27 @@ class CholeskySolver:
         reordering, no structural work — and any stale factorization result
         is dropped.  Raises ``ValueError`` on a pattern mismatch.
         """
+        from ..api import same_pattern_values
+
         A = self.A
-        if isinstance(values, SymmetricCSC):
-            if (values.n != A.n
-                    or not np.array_equal(values.indptr, A.indptr)
-                    or not np.array_equal(values.indices, A.indices)):
-                raise ValueError(
-                    "new matrix does not share A's sparsity pattern; "
-                    "build a fresh CholeskySolver instead"
-                )
-            new_data = values.data
-        else:
-            new_data = np.ascontiguousarray(values, dtype=np.float64)
-            if new_data.shape != A.data.shape:
-                raise ValueError(
-                    f"values must have shape {A.data.shape} "
-                    "(one value per stored lower-triangle entry)"
-                )
+        new_data = same_pattern_values(
+            A, values, hint="build a fresh CholeskySolver instead")
         new_A = SymmetricCSC(A.n, A.indptr, A.indices, new_data,
                              check=False)
         new_A._mv_plan = A._mv_plan  # structure unchanged: keep matvec cache
         self.A = new_A
         if self.system is not None:
-            if self._gather is None:
-                self._gather = permutation_gather(self.A, self.system.perm)
             M = self.system.matrix
             # reuse M's structure arrays so the cached ScatterPlan still
-            # matches by identity
+            # matches by identity; the plan owns the one gather cache
             new_M = SymmetricCSC(
-                M.n, M.indptr, M.indices, new_data[self._gather],
+                M.n, M.indptr, M.indices, new_data[self._plan.gather],
                 check=False,
             )
             new_M._mv_plan = M._mv_plan
-            self.system.matrix = new_M
+            self._plan._install_values(new_A, new_M)
         self.result = None
+        self._factor = None
         return self
 
     def refactorize(self, values=None):
@@ -188,18 +183,10 @@ class CholeskySolver:
         single ``(n,)`` vector or an ``(n, k)`` block of right-hand sides."""
         if self.result is None:
             self.factorize()
-        b = np.asarray(b, dtype=np.float64)
-        perm = self.system.perm
-        y = solve_factored(self.result.storage, b[perm])
-        x = np.empty_like(y)
-        x[perm] = y
-        return x
+        return self._factor.solve(b)
 
     def residual_norm(self, x, b):
         """Relative residual ``||b - A x|| / ||b||`` (infinity norm; for
         block right-hand sides the max of the *per-column* relative
         residuals, so differently scaled columns are judged separately)."""
-        b = np.asarray(b, dtype=np.float64)
-        r = b - self.A.matvec(x)
-        denom = np.maximum(np.abs(b).max(axis=0), 1e-300)
-        return float((np.abs(r).max(axis=0) / denom).max())
+        return relative_residual(self.A, x, b)

@@ -15,7 +15,26 @@ import numpy as np
 
 from .triangular import solve_factored
 
-__all__ = ["RefinementResult", "refine"]
+__all__ = ["RefinementResult", "refine", "relative_residual"]
+
+
+def _relative_residual_norm(b, r):
+    """Max over columns of ``||r||_inf / ||b||_inf`` (per-column norms so
+    no small-scale column hides behind a large one)."""
+    denom = np.maximum(np.abs(b).max(axis=0), 1e-300)
+    return float((np.abs(r).max(axis=0) / denom).max())
+
+
+def relative_residual(A, x, b):
+    """Relative residual ``||b - A x|| / ||b||`` (infinity norm; for block
+    right-hand sides the max of the *per-column* relative residuals).
+
+    The one residual convention shared by :func:`refine`,
+    :meth:`repro.api.Factor.residual_norm` and the legacy
+    :meth:`~repro.solve.driver.CholeskySolver.residual_norm`.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    return _relative_residual_norm(b, b - A.matvec(x))
 
 
 @dataclass
@@ -51,11 +70,10 @@ def refine(A, storage, perm, b, *, x0=None, tol=1e-14, max_iter=5):
         Refinement step limit.
     """
     b = np.asarray(b, dtype=np.float64)
-    # per-column norms so no small-scale column hides behind a large one
-    bnorm = np.maximum(np.abs(b).max(axis=0), 1e-300)
 
     def direct_solve(rhs):
-        y = solve_factored(storage, rhs[perm])
+        # rhs[perm] is already a fresh gather: solve it in place, one copy
+        y = solve_factored(storage, rhs[perm], overwrite_b=True)
         out = np.empty_like(y)
         out[perm] = y
         return out
@@ -66,7 +84,7 @@ def refine(A, storage, perm, b, *, x0=None, tol=1e-14, max_iter=5):
     it = 0
     for it in range(1, max_iter + 1):
         r = b - A.matvec(x)
-        rnorm = float((np.abs(r).max(axis=0) / bnorm).max())
+        rnorm = _relative_residual_norm(b, r)
         history.append(rnorm)
         if rnorm <= tol:
             converged = True

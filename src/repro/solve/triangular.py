@@ -17,22 +17,34 @@ __all__ = ["forward_solve", "backward_solve", "solve_factored"]
 
 
 
-def _check_rhs(n, b, name):
-    """Validate an ``(n,)`` or ``(n, k)`` right-hand side; returns a copy."""
-    out = np.array(b, dtype=np.float64, copy=True)
+def _check_rhs(n, b, name, *, copy=True):
+    """Validate an ``(n,)`` or ``(n, k)`` right-hand side.
+
+    Returns a float64 array safe to solve in place: a copy of ``b`` by
+    default, or ``b`` itself (when it already is a float64 ndarray) with
+    ``copy=False`` — the caller has declared it owns the buffer.
+    """
+    out = np.asarray(b, dtype=np.float64)
     if out.ndim not in (1, 2) or out.shape[0] != n:
         raise ValueError(f"{name} must have shape (n,) or (n, k)")
+    # identity alone is not enough: a subclass view or buffer-protocol
+    # object converts to a *different* array sharing the caller's memory
+    if copy and np.may_share_memory(out, b):
+        out = out.copy()
     return out
 
 
-def forward_solve(storage, b):
-    """Solve ``L Y = B`` in place on a copy of ``b``; returns ``y``.
+def forward_solve(storage, b, *, overwrite_b=False):
+    """Solve ``L Y = B``; returns ``y``.
 
     ``b`` may be a single ``(n,)`` vector or an ``(n, k)`` block of
-    right-hand sides (solved together with level-3 BLAS).
+    right-hand sides (solved together with level-3 BLAS).  By default the
+    solve runs on a copy; ``overwrite_b=True`` solves in place on ``b``
+    (callers handing over a scratch buffer, e.g. :func:`solve_factored`,
+    skip the extra copy — measurable for many-RHS blocks).
     """
     symb = storage.symb
-    y = _check_rhs(symb.n, b, "b")
+    y = _check_rhs(symb.n, b, "b", copy=not overwrite_b)
     for s in range(symb.nsup):
         first, last = symb.snode_cols(s)
         w = last - first
@@ -46,10 +58,11 @@ def forward_solve(storage, b):
     return y
 
 
-def backward_solve(storage, y):
-    """Solve ``L^T X = Y``; accepts ``(n,)`` or ``(n, k)``; returns ``x``."""
+def backward_solve(storage, y, *, overwrite_y=False):
+    """Solve ``L^T X = Y``; accepts ``(n,)`` or ``(n, k)``; returns ``x``.
+    ``overwrite_y=True`` solves in place on ``y`` instead of a copy."""
     symb = storage.symb
-    x = _check_rhs(symb.n, y, "y")
+    x = _check_rhs(symb.n, y, "y", copy=not overwrite_y)
     for s in range(symb.nsup - 1, -1, -1):
         first, last = symb.snode_cols(s)
         w = last - first
@@ -64,6 +77,15 @@ def backward_solve(storage, y):
     return x
 
 
-def solve_factored(storage, b):
-    """Full solve ``L L^T x = b`` with an existing factor."""
-    return backward_solve(storage, forward_solve(storage, b))
+def solve_factored(storage, b, *, overwrite_b=False):
+    """Full solve ``L L^T x = b`` with an existing factor.
+
+    The right-hand side is validated and copied exactly once at the top
+    (not once per sweep); both triangular sweeps then run in place on that
+    buffer.  ``overwrite_b=True`` skips even the initial copy and clobbers
+    ``b`` — the natural mode when ``b`` is already a temporary (a permuted
+    gather like ``b[perm]``).
+    """
+    y = _check_rhs(storage.symb.n, b, "b", copy=not overwrite_b)
+    forward_solve(storage, y, overwrite_b=True)
+    return backward_solve(storage, y, overwrite_y=True)

@@ -18,6 +18,7 @@ from .generators import (
     random_spd,
     arrow_matrix,
     tridiagonal,
+    spd_value_sweep,
 )
 from .io import read_matrix_market, write_matrix_market
 from .rb import read_rutherford_boeing, write_rutherford_boeing
@@ -38,6 +39,7 @@ __all__ = [
     "random_spd",
     "arrow_matrix",
     "tridiagonal",
+    "spd_value_sweep",
     "read_matrix_market",
     "read_rutherford_boeing",
     "write_matrix_market",

@@ -35,6 +35,7 @@ __all__ = [
     "random_spd",
     "arrow_matrix",
     "tridiagonal",
+    "spd_value_sweep",
 ]
 
 
@@ -302,3 +303,24 @@ def tridiagonal(n, *, off=-1.0, diag=2.1):
         np.concatenate([cols, drows]),
         np.concatenate([vals, np.full(n, float(diag))]),
     )
+
+
+def spd_value_sweep(A, nbatch, *, seed=0, jitter=0.01):
+    """``nbatch`` same-pattern SPD value perturbations of ``A``.
+
+    The batched-serving workload shape (parameter sweeps, time stepping):
+    every member jitters the off-diagonal values multiplicatively and bumps
+    the diagonal enough to stay safely positive definite.  Returns a list
+    of flat data arrays aligned with ``A.data`` (lower-triangle CSC order)
+    — exactly what :meth:`repro.api.SymbolicPlan.factorize_batch` consumes.
+    Shared by the CLI ``batch`` command and ``benchmarks/bench_batch.py``
+    so both measure the same protocol.
+    """
+    rng = np.random.default_rng(seed)
+    diag_pos = A.indptr[:-1]  # first stored entry of each column = diagonal
+    datas = []
+    for _ in range(int(nbatch)):
+        d = A.data * (1.0 + jitter * rng.random(A.data.size))
+        d[diag_pos] += 2.0 * jitter * np.abs(A.data[diag_pos])
+        datas.append(d)
+    return datas

@@ -7,6 +7,12 @@ cap) → partition refinement of columns within supernodes → final supernodal
 symbolic factorization.  The result bundles the composed permutation, the
 permuted matrix and the :class:`~repro.symbolic.structure.SymbolicFactor`
 that every numeric factorization consumes.
+
+This is the *symbolic stage* of the staged pipeline API: ``repro.plan(A)``
+wraps the :class:`AnalyzedSystem` returned here in a
+:class:`~repro.api.SymbolicPlan` that additionally owns the numeric-side
+pattern caches (permutation gather, panel scatter plan, task DAGs) and
+serves any number of same-pattern factorizations.
 """
 
 from __future__ import annotations
@@ -44,6 +50,11 @@ class AnalyzedSystem:
     perm: np.ndarray
     matrix: "object"
     symb: SymbolicFactor
+
+    @property
+    def n(self):
+        """Matrix dimension."""
+        return self.symb.n
 
     @property
     def nsup(self):

@@ -1,0 +1,338 @@
+"""Staged ``plan → Factor`` pipeline API tests.
+
+Covers the :mod:`repro.api` redesign: stage-object equivalence with the
+legacy ``CholeskySolver`` facade, error paths (pattern mismatch, unknown
+engine, workers on serial engines), ``Factor`` conveniences (``logdet``,
+``diag``, ``solve_refined``, ``residual_norm``) and batched same-pattern
+serving — bit-identity of :meth:`SymbolicPlan.factorize_batch` factors
+against a serial ``refactorize`` loop, and non-SPD propagation with the
+offending batch index.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import Factor, FactorBatch, SymbolicPlan
+from repro.dense.kernels import NotPositiveDefiniteError
+from repro.solve.driver import CholeskySolver
+from repro.sparse import SymmetricCSC, grid_laplacian
+
+
+@pytest.fixture(scope="module")
+def base_matrix():
+    return grid_laplacian((6, 5, 3))
+
+
+@pytest.fixture(scope="module")
+def base_plan(base_matrix):
+    return repro.plan(base_matrix)
+
+
+@pytest.fixture(scope="module")
+def value_batch(base_matrix):
+    """8 same-pattern SPD value perturbations (a parameter sweep)."""
+    rng = np.random.default_rng(11)
+    datas = []
+    for _ in range(8):
+        d = base_matrix.data * (1.0 + 0.02 * rng.random(base_matrix.data.size))
+        d[base_matrix.indptr[:-1]] += 0.5
+        datas.append(d)
+    return datas
+
+
+class TestPlan:
+    def test_plan_returns_symbolic_plan(self, base_plan, base_matrix):
+        assert isinstance(base_plan, SymbolicPlan)
+        assert base_plan.n == base_matrix.n
+        assert base_plan.nsup == base_plan.symb.nsup
+        assert base_plan.matrix is base_matrix
+
+    def test_plan_forwards_analyze_kwargs(self, base_matrix):
+        p_nd = repro.plan(base_matrix, ordering="nd")
+        p_amd = repro.plan(base_matrix, ordering="amd")
+        assert not np.array_equal(p_nd.perm, p_amd.perm)
+
+    def test_factorize_does_not_mutate_plan(self, base_plan, value_batch):
+        data_before = base_plan.matrix.data.copy()
+        symb_before = base_plan.symb
+        base_plan.factorize(value_batch[0], engine="rl")
+        assert np.array_equal(base_plan.matrix.data, data_before)
+        assert base_plan.symb is symb_before
+
+    def test_symbolic_reused_across_factorizations(self, base_plan,
+                                                   value_batch):
+        f1 = base_plan.factorize(value_batch[0], engine="rl")
+        f2 = base_plan.factorize(value_batch[1], engine="rl")
+        assert f1.storage.symb is f2.storage.symb is base_plan.symb
+
+
+class TestFactor:
+    def test_solve_matches_truth(self, base_plan, base_matrix):
+        rng = np.random.default_rng(0)
+        x_true = rng.standard_normal(base_matrix.n)
+        b = base_matrix.matvec(x_true)
+        factor = base_plan.factorize(engine="rlb")
+        x = factor.solve(b)
+        assert np.allclose(x, x_true, atol=1e-8)
+        assert factor.residual_norm(x, b) < 1e-10
+
+    def test_block_solve(self, base_plan, base_matrix):
+        rng = np.random.default_rng(1)
+        X_true = rng.standard_normal((base_matrix.n, 4))
+        B = base_matrix.matvec(X_true)
+        factor = base_plan.factorize(engine="rl")
+        X = factor.solve(B)
+        assert X.shape == B.shape
+        assert np.allclose(X, X_true, atol=1e-7)
+
+    def test_oversized_rhs_rejected(self, base_plan, base_matrix):
+        # b[perm] fancy-indexing must not silently truncate a long RHS
+        factor = base_plan.factorize(engine="rl")
+        with pytest.raises(ValueError, match="shape"):
+            factor.solve(np.ones(base_matrix.n + 7))
+        with pytest.raises(ValueError, match="shape"):
+            factor.solve(np.ones(3))
+
+    def test_factor_survives_caller_buffer_mutation(self, base_plan,
+                                                    base_matrix,
+                                                    value_batch):
+        # buffer-reusing time stepping: mutating the values array after
+        # factorize must not corrupt the (immutable) factor
+        vals = value_batch[0].copy()
+        factor = base_plan.factorize(vals, engine="rl")
+        x_true = np.arange(1, base_matrix.n + 1, dtype=np.float64)
+        b = factor.matrix.matvec(x_true)
+        vals *= 10.0
+        x = factor.solve_refined(b, tol=1e-12)
+        assert np.allclose(x, x_true, atol=1e-7)
+        assert factor.residual_norm(x, b) < 1e-10
+
+    def test_solve_does_not_clobber_rhs(self, base_plan, base_matrix):
+        b = np.ones(base_matrix.n)
+        keep = b.copy()
+        base_plan.factorize(engine="rl").solve(b)
+        assert np.array_equal(b, keep)
+
+    def test_solve_refined(self, base_plan, base_matrix):
+        rng = np.random.default_rng(2)
+        x_true = rng.standard_normal(base_matrix.n)
+        b = base_matrix.matvec(x_true)
+        factor = base_plan.factorize(engine="rl")
+        x = factor.solve_refined(b, tol=1e-14)
+        assert np.allclose(x, x_true, atol=1e-9)
+        info = factor.solve_refined(b, tol=1e-14, return_info=True)
+        assert info.residual_norms[-1] <= 1e-12 or info.converged
+
+    def test_logdet_and_diag(self, base_plan, base_matrix):
+        factor = base_plan.factorize(engine="rl")
+        dense = base_matrix.to_dense()
+        sign, ref = np.linalg.slogdet(dense)
+        assert sign > 0
+        assert abs(factor.logdet() - ref) < 1e-8 * abs(ref)
+        # diag() is diag(L) mapped to the original ordering; squared and
+        # assembled it must reproduce det through the permuted factor
+        d = factor.diag()
+        assert d.shape == (base_matrix.n,)
+        assert np.all(d > 0)
+        assert abs(2.0 * np.log(d).sum() - ref) < 1e-8 * abs(ref)
+
+    def test_factor_values_used(self, base_plan, value_batch):
+        """The factor matrix carries the values it was factored from."""
+        factor = base_plan.factorize(value_batch[0], engine="rl")
+        assert np.array_equal(factor.matrix.data, value_batch[0])
+
+    def test_matches_legacy_solver_bitwise(self, base_matrix, value_batch):
+        plan = repro.plan(base_matrix)
+        factor = plan.factorize(value_batch[0], engine="rlb")
+        solver = CholeskySolver(base_matrix, method="rlb")
+        res = solver.refactorize(value_batch[0])
+        for p, q in zip(factor.storage.panels, res.storage.panels):
+            assert np.array_equal(p, q)
+
+
+class TestErrorPaths:
+    def test_pattern_mismatch_rejected(self, base_plan):
+        other = grid_laplacian((5, 6, 3))
+        with pytest.raises(ValueError, match="pattern"):
+            base_plan.factorize(other)
+
+    def test_wrong_length_rejected(self, base_plan):
+        with pytest.raises(ValueError, match="shape"):
+            base_plan.factorize(np.ones(3))
+
+    def test_unknown_engine(self, base_plan):
+        with pytest.raises(ValueError, match="unknown engine"):
+            base_plan.factorize(engine="lu")
+
+    def test_unknown_engine_in_batch(self, base_plan, value_batch):
+        with pytest.raises(ValueError, match="unknown engine"):
+            base_plan.factorize_batch(value_batch, engine="lu")
+
+    def test_workers_rejected_for_serial_engine(self, base_plan):
+        with pytest.raises(ValueError, match="threaded"):
+            base_plan.factorize(engine="rl", workers=2)
+        with pytest.raises(ValueError, match="threaded"):
+            base_plan.factorize_batch([None], engine="rl", workers=2)
+
+    def test_batch_pattern_mismatch_rejected(self, base_plan, value_batch):
+        bad = list(value_batch) + [grid_laplacian((5, 6, 3))]
+        with pytest.raises(ValueError, match="pattern"):
+            base_plan.factorize_batch(bad, engine="rlb_par")
+
+    def test_legacy_memory_planner_call_shape_fails_loudly(self,
+                                                           base_plan,
+                                                           base_matrix):
+        # pre-1.2 repro.plan was the device-memory planner; those call
+        # shapes must hit a pointed migration error, not die deep inside
+        # the symbolic pipeline
+        with pytest.raises(TypeError, match="memory_plan"):
+            repro.plan(base_plan.symb)
+        with pytest.raises(TypeError, match="memory_plan"):
+            repro.plan(base_matrix, device_memory=1 << 20)
+
+
+class TestFactorizeBatch:
+    @pytest.mark.parametrize("engine", ["rl_par", "rlb_par"])
+    def test_bit_identical_to_serial_refactorize_loop(self, base_matrix,
+                                                      value_batch, engine):
+        """The acceptance contract: batched factors == a serial
+        ``refactorize`` loop, bit for bit, for every batch member."""
+        plan = repro.plan(base_matrix)
+        batch = plan.factorize_batch(value_batch, engine=engine, workers=4)
+        assert isinstance(batch, FactorBatch)
+        assert len(batch) == len(value_batch)
+        solver = CholeskySolver(base_matrix,
+                                method="rl" if engine == "rl_par" else "rlb")
+        solver.factorize()
+        for i, data in enumerate(value_batch):
+            ref = solver.refactorize(data)
+            assert len(batch[i].storage.panels) == len(ref.storage.panels)
+            for p, q in zip(batch[i].storage.panels, ref.storage.panels):
+                assert np.array_equal(p, q)
+
+    def test_batch_accepts_matrices_and_none(self, base_plan, base_matrix,
+                                             value_batch):
+        B = SymmetricCSC(base_matrix.n, base_matrix.indptr,
+                         base_matrix.indices, value_batch[0], check=False)
+        batch = base_plan.factorize_batch([None, B, value_batch[1]],
+                                          engine="rlb_par", workers=2)
+        assert np.array_equal(batch[0].matrix.data, base_matrix.data)
+        assert np.array_equal(batch[1].matrix.data, value_batch[0])
+        assert np.array_equal(batch[2].matrix.data, value_batch[1])
+
+    def test_serial_engine_fallback_loop(self, base_plan, value_batch):
+        batch = base_plan.factorize_batch(value_batch[:3], engine="rl")
+        ref = base_plan.factorize(value_batch[1], engine="rl")
+        for p, q in zip(batch[1].storage.panels, ref.storage.panels):
+            assert np.array_equal(p, q)
+
+    def test_empty_batch(self, base_plan):
+        batch = base_plan.factorize_batch([], engine="rlb_par")
+        assert len(batch) == 0
+        assert batch.solve_all([]) == []
+        # "no measurement" is None, consistent with serial/GPU batches and
+        # FactorizeResult.wall_seconds — never a fake 0.0
+        assert batch.wall_seconds is None
+        assert batch.amortized_seconds is None
+
+    def test_serial_batch_wall_seconds_is_none(self, base_plan, value_batch):
+        batch = base_plan.factorize_batch(value_batch[:2], engine="rl")
+        assert batch.wall_seconds is None
+        assert batch.amortized_seconds is None
+
+    def test_solve_all_shared_rhs(self, base_plan, base_matrix, value_batch):
+        batch = base_plan.factorize_batch(value_batch[:4], engine="rlb_par",
+                                          workers=2)
+        rng = np.random.default_rng(3)
+        b = rng.standard_normal(base_matrix.n)
+        xs = batch.solve_all(b)
+        assert len(xs) == 4
+        for f, x in zip(batch, xs):
+            assert f.residual_norm(x, b) < 1e-10
+
+    def test_solve_all_plain_list_is_shared_rhs(self, base_plan,
+                                                base_matrix, value_batch):
+        batch = base_plan.factorize_batch(value_batch[:3], engine="rl_par",
+                                          workers=2)
+        xs = batch.solve_all([1.0] * base_matrix.n)
+        assert len(xs) == 3
+        b = np.ones(base_matrix.n)
+        for f, x in zip(batch, xs):
+            assert f.residual_norm(x, b) < 1e-10
+
+    def test_solve_all_per_matrix_rhs_and_blocks(self, base_plan,
+                                                 base_matrix, value_batch):
+        batch = base_plan.factorize_batch(value_batch[:3], engine="rlb_par",
+                                          workers=2)
+        rng = np.random.default_rng(4)
+        bs = [rng.standard_normal((base_matrix.n, 2)) for _ in range(3)]
+        xs = batch.solve_all(bs)
+        for f, x, b in zip(batch, xs, bs):
+            assert x.shape == b.shape
+            assert f.residual_norm(x, b) < 1e-10
+        with pytest.raises(ValueError, match="right-hand sides"):
+            batch.solve_all(bs[:2])
+
+    def test_batch_results_metadata(self, base_plan, value_batch):
+        batch = base_plan.factorize_batch(value_batch[:4], engine="rlb_par",
+                                          workers=2)
+        for i, f in enumerate(batch):
+            assert f.result.extra["batch_size"] == 4
+            assert f.result.extra["batch_index"] == i
+        assert batch.wall_seconds > 0
+        assert batch.amortized_seconds == pytest.approx(
+            batch.wall_seconds / 4)
+
+    def test_logdets(self, base_plan, value_batch):
+        batch = base_plan.factorize_batch(value_batch[:3], engine="rl_par",
+                                          workers=2)
+        lds = batch.logdets()
+        assert lds.shape == (3,)
+        for f, ld in zip(batch, lds):
+            sign, ref = np.linalg.slogdet(f.matrix.to_dense())
+            assert sign > 0
+            assert abs(ld - ref) < 1e-8 * abs(ref)
+
+
+class TestBatchNotSpd:
+    @pytest.mark.parametrize("engine", ["rl_par", "rlb_par", "rl"])
+    def test_non_spd_surfaces_batch_index(self, base_plan, value_batch,
+                                          engine):
+        bad = [d.copy() for d in value_batch[:5]]
+        bad[3][:] = 0.0  # singular at batch position 3
+        kwargs = {"workers": 2} if engine.endswith("_par") else {}
+        with pytest.raises(NotPositiveDefiniteError) as exc_info:
+            base_plan.factorize_batch(bad, engine=engine, **kwargs)
+        assert exc_info.value.batch_index == 3
+        assert "batch matrix 3" in str(exc_info.value)
+
+
+class TestImmutability:
+    def test_factor_has_no_mutators(self, base_plan):
+        factor = base_plan.factorize(engine="rl")
+        assert not hasattr(factor, "update_values")
+        assert not hasattr(factor, "refactorize")
+        with pytest.raises(AttributeError):
+            factor.result = None  # __slots__ + property: read-only
+
+    def test_facade_exposes_staged_factor(self, base_matrix):
+        solver = CholeskySolver(base_matrix, method="rl")
+        assert solver.factor is None
+        solver.factorize()
+        assert isinstance(solver.factor, Factor)
+        assert solver.factor.result is solver.result
+        solver.update_values(base_matrix.data.copy())
+        assert solver.factor is None  # stale factor dropped with result
+
+
+class TestBatchTaskCount:
+    def test_tasks_is_per_matrix_dag_size(self, base_plan, value_batch):
+        # extra["tasks"] must mean the same thing as in a single
+        # factorize_executor run: one matrix's DAG size, not the pool total
+        single = base_plan.factorize(value_batch[0], engine="rlb_par",
+                                     workers=1)
+        batch = base_plan.factorize_batch(value_batch[:4], engine="rlb_par",
+                                          workers=2)
+        for f in batch:
+            assert f.result.extra["tasks"] == single.result.extra["tasks"]

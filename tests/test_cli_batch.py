@@ -1,0 +1,80 @@
+"""CLI tests for the ``batch`` subcommand and ``solve --rhs``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = "Fault_639"  # smallest-ish suite member keeps CLI tests quick
+
+
+class TestSolveRhs:
+    def test_block_rhs(self, capsys):
+        assert main(["solve", SMALL, "--method", "rlb", "--rhs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "right-hand sides = 3" in out
+        assert "relative residual" in out
+
+    def test_single_rhs_output_unchanged(self, capsys):
+        assert main(["solve", SMALL, "--method", "rl"]) == 0
+        out = capsys.readouterr().out
+        assert "right-hand sides" not in out
+        assert "relative residual" in out
+
+    def test_rhs_must_be_positive(self, capsys):
+        assert main(["solve", SMALL, "--rhs", "0"]) == 2
+        assert "--rhs must be >= 1" in capsys.readouterr().err
+
+    def test_unknown_method_clean_exit(self, capsys):
+        assert main(["solve", SMALL, "--method", "nope"]) == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+
+class TestBatchCommand:
+    def test_batch_threaded_engine(self, capsys):
+        assert main(["batch", SMALL, "--engine", "rlb_par", "--workers", "2",
+                     "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Batched same-pattern serving" in out
+        assert "batched per matrix (amortized)" in out
+        assert "looped per matrix" in out
+        assert "batch speedup" in out
+        assert "worst relative residual" in out
+
+    def test_batch_with_block_rhs(self, capsys):
+        assert main(["batch", SMALL, "--engine", "rl_par", "--batch", "3",
+                     "--rhs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "right-hand sides per matrix" in out
+
+    def test_batch_serial_engine_fallback(self, capsys):
+        assert main(["batch", SMALL, "--engine", "rl", "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "engine (batched)" in out
+
+    def test_batch_flag_validation(self, capsys):
+        assert main(["batch", SMALL, "--batch", "0"]) == 2
+        assert main(["batch", SMALL, "--workers", "0"]) == 2
+        assert main(["batch", SMALL, "--rhs", "0"]) == 2
+        assert main(["batch", SMALL, "--engine", "nope"]) == 2
+        # workers must not be silently dropped for non-threaded engines
+        assert main(["batch", SMALL, "--engine", "rl", "--workers", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "--batch must be >= 1" in err
+        assert "--workers must be >= 1" in err
+        assert "--rhs must be >= 1" in err
+        assert "unknown engine" in err
+        assert "threaded engines" in err
+
+    def test_batch_parser_defaults(self):
+        args = build_parser().parse_args(["batch", "x"])
+        assert args.engine == "rlb_par"
+        assert args.batch == 8
+        assert args.rhs == 1
+        assert args.workers is None
+
+
+def test_batch_command_registered():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["batch"])  # matrix argument required

@@ -132,3 +132,66 @@ class TestRefinement:
                      np.ones(small_grid.n), tol=0.0, max_iter=3)
         assert len(out.residual_norms) == 3
         assert not out.converged
+
+
+class TestSolveInPlace:
+    """The single-copy RHS path: solve_factored validates/copies once at
+    the top; overwrite flags let callers hand over scratch buffers."""
+
+    def test_default_does_not_clobber_rhs(self, factored):
+        _, res = factored
+        b = np.ones(res.storage.symb.n)
+        keep = b.copy()
+        solve_factored(res.storage, b)
+        forward_solve(res.storage, b)
+        backward_solve(res.storage, b)
+        assert np.array_equal(b, keep)
+
+    def test_overwrite_solves_in_place(self, factored):
+        system, res = factored
+        rng = np.random.default_rng(8)
+        b = rng.standard_normal(system.matrix.n)
+        expect = solve_factored(res.storage, b)
+        buf = b.copy()
+        out = solve_factored(res.storage, buf, overwrite_b=True)
+        assert out is buf  # no hidden copies anywhere in the sweep
+        assert np.array_equal(out, expect)
+        assert not np.array_equal(buf, b)  # input really was consumed
+
+    def test_overwrite_forward_backward(self, factored):
+        system, res = factored
+        rng = np.random.default_rng(9)
+        b = rng.standard_normal((system.matrix.n, 3))
+        expect = backward_solve(res.storage, forward_solve(res.storage, b))
+        buf = b.copy()
+        y = forward_solve(res.storage, buf, overwrite_b=True)
+        assert y is buf
+        x = backward_solve(res.storage, y, overwrite_y=True)
+        assert x is y
+        assert np.array_equal(x, expect)
+
+    def test_overwrite_non_float_input_still_works(self, factored):
+        _, res = factored
+        n = res.storage.symb.n
+        b = [1.0] * n  # not an ndarray: conversion already makes it fresh
+        out = solve_factored(res.storage, b, overwrite_b=True)
+        assert out.shape == (n,)
+
+    def test_shape_check_still_enforced_in_overwrite_mode(self, factored):
+        _, res = factored
+        with pytest.raises(ValueError):
+            solve_factored(res.storage, np.ones(3), overwrite_b=True)
+
+    def test_default_copy_protects_subclass_views(self, factored):
+        # np.asarray on an ndarray subclass returns a *different* object
+        # sharing memory; the default path must still copy (regression:
+        # identity check alone let the solve clobber the caller's buffer)
+        class Tagged(np.ndarray):
+            pass
+
+        _, res = factored
+        n = res.storage.symb.n
+        base = np.ones(n)
+        b = base.view(Tagged)
+        solve_factored(res.storage, b)
+        assert np.array_equal(base, np.ones(n))
