@@ -86,7 +86,14 @@ from .numeric import plan as memory_plan
 from .numeric.registry import ENGINES, engine_names, get_engine
 from .dense import NotPositiveDefiniteError
 from .gpu import SimulatedGpu, MachineModel, DeviceOutOfMemory, Tracer
-from .api import plan, SymbolicPlan, Factor, FactorBatch
+from .api import (
+    plan,
+    SymbolicPlan,
+    SolvePlan,
+    Factor,
+    FactorBatch,
+    ServingSession,
+)
 
 __version__ = "1.2.0"
 
@@ -95,8 +102,10 @@ __all__ = [
     "analyze",
     "plan",
     "SymbolicPlan",
+    "SolvePlan",
     "Factor",
     "FactorBatch",
+    "ServingSession",
     "CholeskySolver",
     "ENGINES",
     "engine_names",

@@ -22,6 +22,19 @@ task-DAG worker pool (:func:`repro.numeric.executor.factorize_executor_batch`)::
     batch = plan.factorize_batch(values_list, engine="rlb_par", workers=4)
     xs = batch.solve_all(b)                    # one solution per matrix
 
+The *solve* side is staged the same way.  ``plan.solve_plan()`` exposes the
+pattern-only elimination-tree level schedule as a :class:`SolvePlan`;
+``factor.solve(b, workers=N)`` / ``batch.solve_all(b, workers=N)`` execute
+the level-scheduled forward/backward sweeps on the same task-graph runtime
+(bit-identical to the serial sweeps for every worker count).  And when
+same-pattern matrices arrive *one at a time* instead of as a closed batch,
+:meth:`SymbolicPlan.serve` opens a streaming :class:`ServingSession` — one
+persistent worker pool, ``submit``/``submit_solve`` returning futures::
+
+    with plan.serve(engine="rlb_par", workers=4) as session:
+        futures = [session.submit_solve(vals, b) for vals in value_stream]
+        xs = [f.result() for f in futures]     # per-matrix solutions
+
 Separation of concerns:
 
 :class:`SymbolicPlan`
@@ -45,20 +58,31 @@ table).
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import Future
+
 import numpy as np
 
 from .dense.kernels import NotPositiveDefiniteError
-from .numeric.executor import factorize_executor_batch
-from .numeric.registry import get_engine
+from .gpu.costmodel import CPU_THREAD_CHOICES, MachineModel
+from .numeric.executor import (
+    StreamPool,
+    default_workers,
+    factorize_executor_batch,
+    stream_factorize_job,
+    warm_executor_plan,
+)
+from .numeric.registry import get_engine, get_solve_mode
 from .numeric.storage import ScatterPlan
 from .solve.refine import refine, relative_residual
-from .solve.triangular import solve_factored
+from .solve.triangular import check_rhs, solve_factored, solve_graph
 from .sparse.csc import SymmetricCSC
 from .sparse.permute import permutation_gather
 from .symbolic.analyze import analyze
+from .symbolic.levels import solve_schedule
 
-__all__ = ["plan", "SymbolicPlan", "Factor", "FactorBatch",
-           "same_pattern_values"]
+__all__ = ["plan", "SymbolicPlan", "SolvePlan", "Factor", "FactorBatch",
+           "ServingSession", "same_pattern_values"]
 
 
 def same_pattern_values(A, values, *,
@@ -306,6 +330,162 @@ class SymbolicPlan:
         )
         return FactorBatch(self, factors)
 
+    # ------------------------------------------------------------------
+    # solve stage
+    # ------------------------------------------------------------------
+    def solve_plan(self):
+        """The pattern-only :class:`SolvePlan` of this pattern: the
+        elimination-tree level schedule both triangular sweeps follow when
+        run with ``workers=N``.  Computed once and memoised on
+        :meth:`SymbolicFactor.cache()
+        <repro.symbolic.structure.SymbolicFactor.cache>` (like the
+        factorization DAG plans), so every factor and serving session of
+        this plan shares it."""
+        return SolvePlan(self, solve_schedule(self._system.symb))
+
+    def serve(self, *, engine="rlb_par", workers=None, machine=None):
+        """Open a streaming :class:`ServingSession` on this pattern.
+
+        Where :meth:`factorize_batch` needs the whole batch up front, a
+        serving session owns ONE persistent worker pool and accepts
+        same-pattern matrices *as they arrive*: ``session.submit(values)``
+        returns a future resolving to a :class:`Factor`,
+        ``session.submit_solve(values, b)`` one resolving to the solution
+        array, and a non-SPD matrix fails only its own future — the pool
+        keeps serving.  Use as a context manager::
+
+            with plan.serve(engine="rlb_par", workers=4) as session:
+                futs = [session.submit_solve(v, b) for v in value_stream]
+                xs = [f.result() for f in futs]
+
+        ``engine`` must be one of the threaded engines (``rl_par`` /
+        ``rlb_par``); every produced factor and solution is bit-identical
+        to its serial counterpart (same ordered-commit contract as the
+        batch path).
+        """
+        return ServingSession(self, engine=engine, workers=workers,
+                              machine=machine)
+
+
+class SolvePlan:
+    """Pattern-only plan of the level-scheduled triangular solves.
+
+    Wraps the memoised :class:`~repro.symbolic.levels.SolveSchedule` of one
+    :class:`SymbolicPlan` with the introspection a capacity planner wants:
+    how many dependency *levels* each sweep has (the critical-path length)
+    and how wide they are (the exploitable task parallelism).  Purely
+    informational — :meth:`Factor.solve` consults the same cached schedule
+    internally; build it via :meth:`SymbolicPlan.solve_plan`.
+    """
+
+    __slots__ = ("_plan", "_schedule")
+
+    def __init__(self, plan, schedule):
+        self._plan = plan
+        self._schedule = schedule
+
+    @property
+    def plan(self):
+        """The :class:`SymbolicPlan` this solve plan belongs to."""
+        return self._plan
+
+    @property
+    def schedule(self):
+        """The underlying :class:`~repro.symbolic.levels.SolveSchedule`."""
+        return self._schedule
+
+    @property
+    def nsup(self):
+        return self._plan.nsup
+
+    @property
+    def nlevels(self):
+        """Dependency levels per sweep — the level schedule's round count
+        (the backward sweep runs the same levels in reverse)."""
+        return self._schedule.nlevels
+
+    @property
+    def max_parallelism(self):
+        """Peak number of independent per-supernode solve tasks."""
+        return self._schedule.max_width
+
+    @property
+    def avg_parallelism(self):
+        """Mean level width (supernodes / levels)."""
+        return self._schedule.avg_width
+
+    def level_widths(self):
+        """Supernodes per level, leaves first (``np.ndarray``)."""
+        return self._schedule.level_widths()
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return (f"SolvePlan(nsup={self.nsup}, nlevels={self.nlevels}, "
+                f"max_parallelism={self.max_parallelism})")
+
+
+def _guarded(fn, future):
+    """Run a completion callback, routing its failure to ``future`` so a
+    broken callback can never strand a streaming submission unresolved."""
+
+    def run():
+        try:
+            fn()
+        except BaseException as exc:  # pragma: no cover - defensive
+            if not future.done():
+                future.set_exception(exc)
+
+    return run
+
+
+def _unpermute(perm):
+    """``finish`` closure of a solve chain: scatter the solved (permuted)
+    buffer back to the original ordering."""
+
+    def finish(buf):
+        x = np.empty_like(buf)
+        x[perm] = buf
+        return x
+
+    return finish
+
+
+def _submit_solve_chain(pool, storage, y, future, finish):
+    """Submit the fused level-scheduled solve of one factor on a
+    persistent pool.  ``y`` is the already-permuted right-hand side
+    (solved in place by :func:`repro.solve.triangular.solve_graph` — both
+    sweeps, one task graph); when it drains, ``finish(y)`` produces the
+    future's result (``finish`` owns the un-permutation).  The graph
+    preserves the serial accumulation order, so the resolved solution is
+    bit-identical to :meth:`Factor.solve` of the same factor."""
+
+    def done():
+        future.set_result(finish(y))
+
+    ntasks, roots, run_task = solve_graph(storage, y)
+    pool.submit_graph(ntasks, roots, run_task,
+                      on_complete=_guarded(done, future),
+                      on_error=future.set_exception)
+
+
+def _pooled_solves(storage_rhs_pairs, perm, n, workers, name):
+    """Run many independent level-scheduled solves on ONE transient pool.
+
+    ``storage_rhs_pairs`` yields ``(FactorStorage, rhs)`` — the same
+    storage repeated for many-RHS serving (:meth:`Factor.solve_many`) or
+    one per factor (:meth:`FactorBatch.solve_all`).  Each right-hand side
+    is validated and gathered through ``perm`` up front; all fused solve
+    graphs drain one shared ready queue, and the solutions come back in
+    submission order, bit-identical to the serial path."""
+    finish = _unpermute(perm)
+    futures = []
+    with StreamPool(workers, name=name) as pool:
+        for storage, b in storage_rhs_pairs:
+            b = check_rhs(n, b, "b", copy=False)
+            future = Future()
+            _submit_solve_chain(pool, storage, b[perm], future, finish)
+            futures.append(future)
+    return [f.result() for f in futures]
+
 
 class Factor:
     """One immutable numeric Cholesky factorization ``P A P^T = L L^T``.
@@ -358,20 +538,63 @@ class Factor:
     def __repr__(self):  # pragma: no cover - cosmetic
         return f"Factor(n={self.n}, engine={self.engine!r})"
 
+    def solve_plan(self):
+        """The pattern's :class:`SolvePlan` (shared, memoised) — what
+        ``workers=N`` executes."""
+        return self._plan.solve_plan()
+
     # ------------------------------------------------------------------
-    def solve(self, b):
-        """Solve ``A x = b``."""
-        b = np.asarray(b, dtype=np.float64)
+    def solve(self, b, *, workers=None, mode=None):
+        """Solve ``A x = b``.
+
+        ``mode`` picks the triangular-solve schedule from
+        :data:`repro.numeric.registry.SOLVE_MODES`: ``"serial"`` (one
+        supernode after another) or ``"level"`` (the elimination-tree
+        level schedule of :meth:`solve_plan` on the threaded task-graph
+        runtime; accepts ``workers=``).  ``mode=None`` infers ``"level"``
+        when ``workers`` is given, else ``"serial"``.  Solutions are
+        **bit-identical** across modes and worker counts — the parallel
+        sweeps preserve the serial accumulation order.
+        """
+        spec = get_solve_mode(
+            mode if mode is not None
+            else ("level" if workers is not None else "serial")
+        )
+        if workers is not None and not spec.parallel:
+            raise ValueError(
+                f"workers= applies to the parallel solve modes only "
+                f"(level), not {spec.name!r}"
+            )
         # validate BEFORE the permutation gather: b[perm] would silently
         # truncate an oversized right-hand side
-        if b.ndim not in (1, 2) or b.shape[0] != self.n:
-            raise ValueError("b must have shape (n,) or (n, k)")
+        b = check_rhs(self.n, b, "b", copy=False)
         perm = self._plan.perm
+        if spec.parallel:
+            workers = default_workers() if workers is None else int(workers)
+        else:
+            workers = None
         # b[perm] is a fresh gather; both sweeps run in place on it
-        y = solve_factored(self.storage, b[perm], overwrite_b=True)
+        y = solve_factored(self.storage, b[perm], overwrite_b=True,
+                           workers=workers)
         x = np.empty_like(y)
         x[perm] = y
         return x
+
+    def solve_many(self, rhs_list, *, workers=None):
+        """Solve ``A x_i = b_i`` for a list of independent right-hand sides;
+        returns one solution per entry (each ``(n,)`` or ``(n, k)``).
+
+        With ``workers=N`` every solve's level-scheduled forward/backward
+        sweeps run as chained task graphs on ONE shared worker pool — the
+        many-RHS serving mode: cross-solve parallelism fills the dependency
+        stalls near the elimination tree's root exactly as batched
+        factorization does.  Bit-identical to looping :meth:`solve`.
+        """
+        if workers is None:
+            return [self.solve(b) for b in rhs_list]
+        return _pooled_solves(((self.storage, b) for b in rhs_list),
+                              self._plan.perm, self.n, workers,
+                              "repro-manysolve")
 
     def solve_refined(self, b, *, tol=1e-14, max_iter=5, return_info=False):
         """Solve ``A x = b`` with iterative refinement.
@@ -475,7 +698,7 @@ class FactorBatch:
         return wall / len(self._factors)
 
     # ------------------------------------------------------------------
-    def solve_all(self, rhs):
+    def solve_all(self, rhs, *, workers=None):
         """Solve every system of the batch; returns a list of solutions.
 
         ``rhs`` is either one shared right-hand side (an ``(n,)`` vector —
@@ -483,6 +706,12 @@ class FactorBatch:
         every matrix, the parameter-sweep shape) or a ``list``/``tuple`` of
         ``len(batch)`` per-matrix right-hand sides (each ``(n,)`` or
         ``(n, k)``).
+
+        ``workers=N`` runs ALL of the batch's level-scheduled solve sweeps
+        on one shared worker pool (the solve-side analogue of
+        :meth:`SymbolicPlan.factorize_batch`: cross-matrix task parallelism
+        fills the dependency stalls near each elimination tree's root).
+        Every solution is bit-identical to the serial ``solve_all``.
         """
         nfac = len(self._factors)
         if not isinstance(rhs, (list, tuple)):
@@ -500,8 +729,176 @@ class FactorBatch:
                     f"expected {nfac} right-hand sides, "
                     f"got {len(rhs_list)}"
                 )
-        return [f.solve(b) for f, b in zip(self._factors, rhs_list)]
+        if workers is None:
+            return [f.solve(b) for f, b in zip(self._factors, rhs_list)]
+        return _pooled_solves(
+            ((f.storage, b) for f, b in zip(self._factors, rhs_list)),
+            self._plan.perm, self._plan.n, workers, "repro-batchsolve")
 
     def logdets(self):
         """``log det`` of every matrix in the batch, as one array."""
         return np.array([f.logdet() for f in self._factors])
+
+
+class ServingSession:
+    """Streaming same-pattern serving: one persistent worker pool, matrices
+    submitted as they arrive.
+
+    Produced by :meth:`SymbolicPlan.serve`.  Each :meth:`submit` /
+    :meth:`submit_solve` call enqueues one task-DAG instance (and, for
+    ``submit_solve``, the chained level-scheduled forward/backward solve
+    graphs) on the session's :class:`~repro.numeric.executor.StreamPool`
+    and immediately returns a :class:`concurrent.futures.Future` — there is
+    no closed batch, and the pool stays saturated across submissions
+    exactly as :meth:`SymbolicPlan.factorize_batch` keeps it busy within
+    one batch.
+
+    Contracts:
+
+    * **Determinism** — every factor and solution is bit-identical to the
+      serial path (``plan.factorize(values)`` / ``factor.solve(b)``), for
+      any worker count and any interleaving of submissions (per-matrix
+      ordered commits, as everywhere else in the runtime).
+    * **Failure isolation** — a non-SPD matrix raises
+      :class:`~repro.dense.kernels.NotPositiveDefiniteError` (annotated
+      with ``stream_index``) on *its own* future only; the pool and every
+      other submission keep running.
+    * **Lifecycle** — ``close()`` (or leaving the ``with`` block) drains
+      all in-flight submissions, then stops the pool; submitting to a
+      closed session raises ``RuntimeError``.  Submission is
+      single-producer: call ``submit``/``submit_solve`` from one thread
+      (results may be consumed anywhere).
+    """
+
+    def __init__(self, plan, *, engine="rlb_par", workers=None,
+                 machine=None, thread_choices=CPU_THREAD_CHOICES):
+        spec = get_engine(engine)
+        if not spec.is_threaded:
+            raise ValueError(
+                f"serve() runs on the threaded engines only "
+                f"(rl_par, rlb_par), not {engine!r}"
+            )
+        workers = default_workers() if workers is None else int(workers)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._plan = plan
+        self._engine = engine
+        self._granularity = spec.granularity
+        self._machine = machine or MachineModel()
+        self._thread_choices = thread_choices
+        self.workers = workers
+        # pre-build every memoised pattern structure on this (caller)
+        # thread: worker-thread callbacks may then only *read* the symbolic
+        # cache (DAG plan, solve schedule, scatter plan, block offsets)
+        warm_executor_plan(plan.symb, self._granularity)
+        solve_schedule(plan.symb)
+        self._pool = StreamPool(workers, name="repro-serve")
+        self._submitted = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def plan(self):
+        """The shared :class:`SymbolicPlan`."""
+        return self._plan
+
+    @property
+    def engine(self):
+        """Name of the threaded engine factorizing the submissions."""
+        return self._engine
+
+    @property
+    def submitted(self):
+        """Number of submissions accepted so far."""
+        return self._submitted
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (f"ServingSession(engine={self._engine!r}, "
+                f"workers={self.workers}, submitted={self._submitted}, "
+                f"{state})")
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def close(self):
+        """Drain every in-flight submission, then stop the worker pool.
+        Futures already handed out keep resolving during the drain."""
+        self._closed = True
+        self._pool.close()
+
+    # ------------------------------------------------------------------
+    def _factor_job(self, values, future, on_factor):
+        """Build one submission's factorize graph (on the caller thread —
+        values validation, permutation gather, panel scatter) and enqueue
+        it; ``on_factor(factor, storage)`` runs on a worker thread once the
+        DAG drains."""
+        if self._closed:
+            raise RuntimeError("serving session is closed")
+        plan = self._plan
+        index = self._submitted
+        data = plan._values_of(values)
+        matrix = plan._original_matrix(data)  # copies: the Factor owns it
+        storage, ntasks, roots, run_task, finish = stream_factorize_job(
+            plan.symb, plan._permuted_matrix(data), self._granularity,
+            self._machine, self._thread_choices,
+            extra={"workers": self.workers,
+                   "granularity": self._granularity,
+                   "stream_index": index},
+        )
+        t0 = time.perf_counter()
+
+        def done():
+            result = finish(time.perf_counter() - t0)
+            on_factor(Factor(plan, result, matrix), storage)
+
+        def err(exc):
+            if isinstance(exc, NotPositiveDefiniteError):
+                exc = NotPositiveDefiniteError.for_stream(exc, index)
+            future.set_exception(exc)
+
+        self._pool.submit_graph(ntasks, roots, run_task,
+                                on_complete=_guarded(done, future),
+                                on_error=err)
+        self._submitted += 1
+
+    def submit(self, values=None):
+        """Enqueue one same-pattern factorization; returns a future
+        resolving to its immutable :class:`Factor`.
+
+        ``values`` is anything :meth:`SymbolicPlan.factorize` accepts
+        (``None``, a flat data array, or a same-pattern ``SymmetricCSC``);
+        pattern mismatches raise ``ValueError`` immediately, numeric
+        failures (non-SPD) resolve the future with the annotated
+        exception.
+        """
+        future = Future()
+        self._factor_job(values, future,
+                         lambda factor, storage: future.set_result(factor))
+        return future
+
+    def submit_solve(self, values, b):
+        """Enqueue factorize + level-scheduled solve; returns a future
+        resolving to the solution ``x`` of ``A(values) x = b``.
+
+        The solve sweeps run as chained task graphs on the same pool, so a
+        stream of ``submit_solve`` calls keeps every worker busy across
+        both phases.  ``b`` is captured at submit time (``(n,)`` or
+        ``(n, k)``); the caller may reuse its buffer afterwards.
+        """
+        plan = self._plan
+        b = check_rhs(plan.n, b, "b", copy=False)
+        perm = plan.perm
+        y = b[perm]  # fresh gather, owned by the chain
+        future = Future()
+
+        def on_factor(factor, storage):
+            _submit_solve_chain(self._pool, storage, y, future,
+                                _unpermute(perm))
+
+        self._factor_job(values, future, on_factor)
+        return future

@@ -11,11 +11,21 @@ Commands
     an event-trace Gantt chart (``--gantt``) or Chrome trace (``--trace``).
 ``solve MATRIX``
     Factorize, solve against a random right-hand side (``--rhs K`` for a
-    block of K right-hand sides), report the residual.
+    block of K right-hand sides), report the residual; ``--workers N``
+    additionally times the level-scheduled parallel triangular solves
+    against the serial sweeps (bit-identical by contract).
 ``batch MATRIX``
     Batched same-pattern serving: push ``--batch B`` value sets through
     ``plan.factorize_batch`` on one worker pool and compare against a
     looped serial ``refactorize`` (per-matrix vs amortized timings).
+``serve MATRIX --stream``
+    Streaming same-pattern serving demo: a ``ServingSession`` (one
+    persistent worker pool) consumes ``--count`` matrices arriving one at
+    a time via ``submit_solve`` futures.
+
+``factorize``/``batch`` accept ``--trace FILE`` with the threaded engines
+to export *measured* per-task start/stop intervals (one Chrome-trace lane
+per worker thread) — real occupancy next to the modeled Gantt charts.
 ``suite [MATRIX ...]``
     The paper's Tables I/II protocol over (a subset of) the suite.
 ``breakdown MATRIX``
@@ -139,6 +149,14 @@ def cmd_factorize(args):
         print(f"unknown method {method!r}; choose from "
               f"{sorted(METHODS)}", file=sys.stderr)
         return 2
+    if ((args.gantt or args.trace)
+            and not (ENGINES[method].is_gpu or ENGINES[method].is_threaded)):
+        # refuse loudly instead of exiting 0 with no trace written (the
+        # batch subcommand treats --trace the same way)
+        print("--gantt/--trace need a timeline: a GPU engine (modeled) or "
+              f"the threaded executor (rl_par, rlb_par; measured), not "
+              f"--method {method}", file=sys.stderr)
+        return 2
     system = _analyzed(args.matrix, args.ordering)
     fn, fixed = METHODS[method]
     kwargs = dict(fixed)
@@ -154,6 +172,10 @@ def cmd_factorize(args):
         kwargs["device"] = SimulatedGpu(
             args.device_memory or DEFAULT_DEVICE_MEMORY, machine=machine,
             timeline=Timeline(tracer=tracer))
+    elif ENGINES[method].is_threaded and (args.gantt or args.trace):
+        # measured per-task occupancy: one trace lane per worker thread
+        tracer = Tracer()
+        kwargs["tracer"] = tracer
     res = fn(system.symb, system.matrix, **kwargs)
     rows = [
         ("method", res.method),
@@ -178,7 +200,8 @@ def cmd_factorize(args):
                        title=f"Factorization: {args.matrix}"))
     if tracer is not None and args.gantt:
         print()
-        print(tracer.ascii_gantt())
+        busy = [ln for ln in tracer.lane_names() if tracer.by_lane(ln)]
+        print(tracer.ascii_gantt(lanes=busy or None))
     if tracer is not None and args.trace:
         tracer.save_chrome_trace(args.trace)
         print(f"\nwrote Chrome trace to {args.trace} "
@@ -187,10 +210,15 @@ def cmd_factorize(args):
 
 
 def cmd_solve(args):
+    import time
+
     from .api import plan as make_plan
 
     if args.rhs < 1:
         print("--rhs must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
         return 2
     A = _load_matrix(args.matrix)
     rng = np.random.default_rng(args.seed)
@@ -209,7 +237,111 @@ def cmd_solve(args):
     if args.rhs > 1:
         print(f"right-hand sides = {args.rhs} (one block solve)")
     print(f"relative residual = {rel:.3e}")
+    if args.workers is not None:
+        # serial sweeps vs the level-scheduled parallel sweeps, best of 3
+        sp = factor.solve_plan()
+        t_ser = min(_timed(lambda: factor.solve(b)) for _ in range(3))
+        t_par, x_par = float("inf"), None
+        for _ in range(3):
+            t0 = time.perf_counter()
+            x_par = factor.solve(b, workers=args.workers)
+            t_par = min(t_par, time.perf_counter() - t0)
+        identical = np.array_equal(x, x_par)
+        print(f"level schedule: {sp.nlevels} levels, "
+              f"max parallelism {sp.max_parallelism} "
+              f"(avg {sp.avg_parallelism:.1f}) over {sp.nsup} supernodes")
+        print(f"serial solve   : {t_ser * 1e3:8.2f} ms")
+        print(f"parallel solve : {t_par * 1e3:8.2f} ms "
+              f"(workers={args.workers}, {t_ser / t_par:.2f}x, "
+              f"bit-identical: {'yes' if identical else 'NO'})")
+        if not identical:
+            return 1
     return 0 if rel < 1e-8 else 1
+
+
+def _timed(fn):
+    import time
+
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def cmd_serve(args):
+    import time
+
+    from .analysis import format_table
+    from .api import plan as make_plan
+    from .numeric.registry import get_engine, serial_twin
+    from .sparse import spd_value_sweep
+
+    try:
+        spec = get_engine(args.engine)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if not spec.is_threaded:
+        print("serve runs on the threaded engines only (rl_par, rlb_par), "
+              f"not --engine {args.engine}", file=sys.stderr)
+        return 2
+    if not args.stream:
+        print("closed-batch serving lives under `python -m repro batch`; "
+              "pass --stream for the streaming ServingSession demo",
+              file=sys.stderr)
+        return 2
+    if args.count < 1:
+        print("--count must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    A = _load_matrix(args.matrix)
+    rng = np.random.default_rng(args.seed)
+    datas = spd_value_sweep(A, args.count, seed=args.seed)
+    b = rng.standard_normal(A.n)
+    plan = make_plan(A, ordering=args.ordering)
+    plan.factorize(datas[0], engine=args.engine)  # warm the pattern caches
+
+    t0 = time.perf_counter()
+    first_latency = None
+    with plan.serve(engine=args.engine, workers=args.workers) as session:
+        futures = [session.submit_solve(d, b) for d in datas]
+        xs = []
+        for fut in futures:
+            xs.append(fut.result())
+            if first_latency is None:
+                first_latency = time.perf_counter() - t0
+        workers = session.workers
+    t_stream = time.perf_counter() - t0
+
+    # the pre-streaming protocol: factorize + solve one arrival at a time
+    loop_engine = serial_twin(args.engine)
+    t0 = time.perf_counter()
+    ref_factors = [plan.factorize(d, engine=loop_engine) for d in datas]
+    ref_xs = [f.solve(b) for f in ref_factors]
+    t_loop = time.perf_counter() - t0
+
+    identical = all(np.array_equal(x, r) for x, r in zip(xs, ref_xs))
+    worst = max(f.residual_norm(x, b) for f, x in zip(ref_factors, xs))
+    rows = [
+        ("engine (streamed)", args.engine),
+        ("engine (looped)", loop_engine),
+        ("submissions", str(args.count)),
+        ("workers", str(workers)),
+        ("looped factorize+solve total", f"{t_loop * 1e3:.2f} ms"),
+        ("streamed total", f"{t_stream * 1e3:.2f} ms"),
+        ("streamed per matrix (amortized)",
+         f"{t_stream / args.count * 1e3:.2f} ms"),
+        ("first-result latency", f"{first_latency * 1e3:.2f} ms"),
+        ("stream speedup", f"{t_loop / t_stream:.2f}x"),
+        ("bit-identical to serial", "yes" if identical else "NO"),
+        ("worst relative residual", f"{worst:.3e}"),
+    ]
+    print(format_table(["field", "value"], rows,
+                       title=f"Streaming serving session: {args.matrix}"))
+    if not identical:
+        return 1
+    return 0 if worst < 1e-8 else 1
 
 
 def cmd_batch(args):
@@ -240,13 +372,25 @@ def cmd_batch(args):
     if args.rhs < 1:
         print("--rhs must be >= 1", file=sys.stderr)
         return 2
+    if args.trace and not spec.is_threaded:
+        print("--trace records the threaded executor's per-task occupancy; "
+              f"it does not apply to --engine {args.engine}",
+              file=sys.stderr)
+        return 2
     A = _load_matrix(args.matrix)
     rng = np.random.default_rng(args.seed)
     datas = spd_value_sweep(A, args.batch, seed=args.seed)
     kwargs = {"workers": args.workers} if spec.is_threaded else {}
+    tracer = None
+    if args.trace:
+        from .gpu import Tracer
+
+        tracer = Tracer()
+        kwargs["tracer"] = tracer
 
     plan = make_plan(A, ordering=args.ordering)
-    plan.factorize(datas[0], engine=args.engine, **kwargs)  # warm caches
+    plan.factorize(datas[0], engine=args.engine,
+                   **{k: v for k, v in kwargs.items() if k != "tracer"})
     t0 = time.perf_counter()
     batch = plan.factorize_batch(datas, engine=args.engine, **kwargs)
     t_batch = time.perf_counter() - t0
@@ -283,6 +427,11 @@ def cmd_batch(args):
     ]
     print(format_table(["field", "value"], rows,
                        title=f"Batched same-pattern serving: {args.matrix}"))
+    if tracer is not None:
+        tracer.save_chrome_trace(args.trace)
+        print(f"\nwrote Chrome trace to {args.trace} "
+              f"(one lane per worker thread; open in chrome://tracing "
+              f"or Perfetto)")
     return 0 if worst < 1e-8 else 1
 
 
@@ -403,6 +552,10 @@ def build_parser():
     sp.add_argument("--rhs", type=int, default=1,
                     help="number of right-hand sides (K > 1 solves one "
                          "(n, K) block with level-3 BLAS)")
+    sp.add_argument("--workers", type=int, default=None,
+                    help="also run the level-scheduled parallel triangular "
+                         "solves with this many threads and report "
+                         "serial-vs-parallel solve timings (bit-identical)")
     common(sp)
 
     sp = sub.add_parser("batch",
@@ -419,6 +572,28 @@ def build_parser():
                     help="number of same-pattern matrices (default: 8)")
     sp.add_argument("--rhs", type=int, default=1,
                     help="right-hand sides per matrix for solve_all")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--trace", metavar="FILE",
+                    help="write a Chrome/Perfetto trace of measured "
+                         "per-task occupancy (threaded engines; one lane "
+                         "per worker thread)")
+    common(sp)
+
+    sp = sub.add_parser("serve",
+                        help="streaming same-pattern serving "
+                             "(ServingSession demo)")
+    sp.add_argument("matrix")
+    sp.add_argument("--stream", action="store_true",
+                    help="run the streaming ServingSession demo "
+                         "(matrices submitted one at a time; required — "
+                         "closed batches live under `batch`)")
+    sp.add_argument("--engine", default="rlb_par",
+                    help="threaded factorization engine (default: rlb_par)")
+    sp.add_argument("--workers", type=int, default=None,
+                    help="worker threads of the persistent pool")
+    sp.add_argument("--count", type=int, default=8,
+                    help="number of streamed same-pattern matrices "
+                         "(default: 8)")
     sp.add_argument("--seed", type=int, default=0)
     common(sp)
 
@@ -445,6 +620,7 @@ _COMMANDS = {
     "factorize": cmd_factorize,
     "solve": cmd_solve,
     "batch": cmd_batch,
+    "serve": cmd_serve,
     "suite": cmd_suite,
     "breakdown": cmd_breakdown,
     "plan": cmd_plan,

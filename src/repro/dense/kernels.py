@@ -50,6 +50,16 @@ class NotPositiveDefiniteError(np.linalg.LinAlgError):
         err.batch_index = int(batch_index)
         return err
 
+    @classmethod
+    def for_stream(cls, exc, stream_index):
+        """A copy of ``exc`` annotated with the submission index of a
+        streaming serving session (:class:`repro.api.ServingSession`) —
+        surfaced on that submission's future, never the pool."""
+        err = cls(exc.pivot)
+        err.args = (f"stream submission {stream_index}: {err.args[0]}",)
+        err.stream_index = int(stream_index)
+        return err
+
 
 def potrf(block):
     """In-place lower Cholesky of the leading square of ``block``.

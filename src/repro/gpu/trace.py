@@ -81,6 +81,15 @@ class Tracer:
                                           float(end), float(nbytes)))
 
     # -- queries ---------------------------------------------------------
+    def lane_names(self):
+        """Every lane in display order: the fixed :data:`LANES` first, then
+        any dynamically recorded lanes sorted by name.  The simulated
+        timelines only ever use the fixed lanes; the threaded executor's
+        real-occupancy instrumentation records one lane per worker thread
+        (``repro-exec-0``, ``repro-exec-1``, ...)."""
+        extra = sorted({e.lane for e in self.events} - set(LANES))
+        return tuple(LANES) + tuple(extra)
+
     def by_lane(self, lane):
         """Events on one lane, in start order."""
         return sorted((e for e in self.events if e.lane == lane),
@@ -130,8 +139,9 @@ class Tracer:
     # -- exports ---------------------------------------------------------
     def chrome_trace(self):
         """The trace as a Chrome/Perfetto JSON-serializable list (complete
-        events, microsecond timestamps)."""
-        pids = {lane: i for i, lane in enumerate(LANES)}
+        events, microsecond timestamps).  Every lane — fixed or dynamic
+        (executor worker threads) — gets its own named process row."""
+        pids = {lane: i for i, lane in enumerate(self.lane_names())}
         out = [
             {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
              "args": {"name": lane}}
@@ -141,7 +151,7 @@ class Tracer:
             rec = {
                 "name": e.name,
                 "ph": "X",
-                "pid": pids.get(e.lane, len(LANES)),
+                "pid": pids[e.lane],
                 "tid": 0,
                 "ts": e.start * 1e6,
                 "dur": e.duration * 1e6,
@@ -157,13 +167,17 @@ class Tracer:
             json.dump(self.chrome_trace(), fh)
         return path
 
-    def ascii_gantt(self, *, width=88, lanes=LANES):
+    def ascii_gantt(self, *, width=88, lanes=None):
         """Render the trace as a fixed-width terminal Gantt chart.
 
         One row per lane; a cell is filled when the lane is busy anywhere in
         that cell's time bucket.  A scale line and per-lane utilization
-        percentages are appended.
+        percentages are appended.  ``lanes=None`` shows every lane present
+        (:meth:`lane_names`) — the fixed simulated lanes plus any executor
+        worker-thread lanes.
         """
+        if lanes is None:
+            lanes = self.lane_names()
         t0, t1 = self.span()
         if t1 <= t0:
             return "(empty trace)"

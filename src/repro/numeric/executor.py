@@ -32,6 +32,21 @@ parallel path stays on the PR-1 fast path.
 multi-matrix serving: B same-pattern matrices run as B independent DAG
 instances (per-matrix storage and committer) draining one shared ready
 queue — the backend of :meth:`repro.api.SymbolicPlan.factorize_batch`.
+
+The runtime itself is task-graph agnostic: :func:`run_task_graph` executes
+any static ``(ntasks, roots, run_task)`` triple on a transient pool (the
+level-scheduled parallel triangular solves of :mod:`repro.solve.triangular`
+run through it), and :class:`StreamPool` keeps one *persistent* worker pool
+alive across graph submissions — the backend of the streaming
+:class:`repro.api.ServingSession`, where same-pattern matrices arrive one
+at a time instead of as a closed batch and a failing graph (a non-SPD
+matrix) fails only its own completion callback, never the pool.
+
+Passing a :class:`~repro.gpu.trace.Tracer` to :func:`factorize_executor` /
+:func:`factorize_executor_batch` records every task's measured start/stop
+interval on a per-worker-thread lane, so real thread occupancy can be laid
+next to the *modeled* Gantt charts of :mod:`repro.numeric.schedule`
+(CLI: ``factorize --workers N --trace out.json``).
 """
 
 from __future__ import annotations
@@ -53,7 +68,11 @@ from .storage import FactorStorage
 __all__ = [
     "factorize_executor",
     "factorize_executor_batch",
+    "run_task_graph",
     "OrderedCommitter",
+    "StreamPool",
+    "stream_factorize_job",
+    "warm_executor_plan",
     "GRANULARITIES",
     "default_workers",
 ]
@@ -127,6 +146,28 @@ class OrderedCommitter:
 
     def __init__(self):
         self._targets = {}
+
+    @classmethod
+    def from_static(cls, static):
+        """Committer over a precomputed per-target contract.
+
+        ``static`` is an iterable of ``(target, order, expected)`` triples
+        with ``order`` the ascending source tuple and ``expected`` the
+        ``{source: nparts}`` mapping — the result of an ``expect``/
+        ``finalize`` pass hoisted out to pattern-analysis time (e.g.
+        :attr:`repro.symbolic.levels.SolveSchedule.fwd_static`).  The
+        shared containers are never mutated by ``submit`` (only the
+        per-run ``received``/``head`` counters are fresh), so any number
+        of concurrent committers may be built from one static contract —
+        this keeps per-solve construction off the many-RHS hot path.
+        """
+        self = cls()
+        for target, order, expected in static:
+            state = _TargetState()
+            state.order = order
+            state.expected = expected
+            self._targets[target] = state
+        return self
 
     def expect(self, target, src, nparts=1):
         state = self._targets.get(target)
@@ -215,6 +256,222 @@ class _ReadyQueue:
                 t.join()
         if self.error is not None:
             raise self.error
+
+
+def run_task_graph(ntasks, roots, run_task, workers):
+    """Execute one static task graph on a transient shared-ready-queue pool.
+
+    ``run_task(tid)`` performs task ``tid`` and returns the task ids it
+    released; ``roots`` are the initially ready tasks.  The pool is sized
+    ``min(workers, ntasks)`` (more threads than tasks can never help) and
+    torn down when the graph drains; the first task exception aborts the
+    run and is re-raised.  This is the generic runtime behind
+    :func:`factorize_executor` and the parallel triangular sweeps of
+    :mod:`repro.solve.triangular`.
+    """
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    queue = _ReadyQueue(ntasks)
+    queue.seed(roots)
+    queue.run(run_task, max(1, min(workers, ntasks)))
+
+
+def _traced_run(run_task, label_of, tracer, t0):
+    """Wrap ``run_task`` so every execution records a measured
+    ``(worker-thread lane, task label, start, stop)`` interval (seconds
+    since ``t0``) into ``tracer`` — the real-occupancy counterpart of the
+    modeled schedules."""
+
+    def run(tid):
+        start = time.perf_counter() - t0
+        try:
+            return run_task(tid)
+        finally:
+            tracer.record(
+                threading.current_thread().name,
+                label_of(tid),
+                start,
+                time.perf_counter() - t0,
+            )
+
+    return run
+
+
+def _task_label_fn(symb, granularity, prefix=""):
+    """Human-readable task labels for trace events (``snode:12``,
+    ``factor:3``, ``pair:7`` — pairs named by their source supernode)."""
+    nsup = symb.nsup
+    if granularity == "coarse":
+        return lambda tid: f"{prefix}snode:{tid}"
+    pairs, _, _, _ = _fine_plan(symb)
+
+    def label(tid):
+        if tid < nsup:
+            return f"{prefix}factor:{tid}"
+        return f"{prefix}pair:{pairs[tid - nsup][0]}"
+
+    return label
+
+
+class _StreamJob:
+    """One task graph in flight on a :class:`StreamPool`."""
+
+    __slots__ = ("run_task", "outstanding", "failed", "on_complete", "on_error")
+
+    def __init__(self, run_task, ntasks, on_complete, on_error):
+        self.run_task = run_task
+        self.outstanding = ntasks
+        self.failed = False
+        self.on_complete = on_complete
+        self.on_error = on_error
+
+
+class StreamPool:
+    """Persistent shared-ready-queue worker pool for streaming serving.
+
+    Where :func:`run_task_graph` spins a pool up for one graph and tears it
+    down, a ``StreamPool`` keeps ``workers`` threads alive across any number
+    of :meth:`submit_graph` calls — task graphs arrive whenever the caller
+    has them (no closed batch) and all drain through one shared ready
+    queue, so the pool stays saturated across graph boundaries exactly as
+    :func:`factorize_executor_batch` does within a batch.
+
+    Failure isolation: the first exception inside a graph marks *that*
+    graph failed — its ``on_error`` callback fires once, its not-yet-run
+    tasks are dropped from the queue — while every other graph and the pool
+    itself keep running.  This is what lets a streaming serving session
+    surface a non-SPD matrix on its own future instead of killing the pool.
+
+    :meth:`close` drains every in-flight graph, then stops and joins the
+    workers; the pool is a context manager (``with StreamPool(4) as pool:``).
+    Submission is single-producer: callbacks run on worker threads, but
+    ``submit_graph`` itself is expected from one controlling thread.
+    """
+
+    def __init__(self, workers=None, *, name="repro-stream"):
+        workers = default_workers() if workers is None else int(workers)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._cv = threading.Condition()
+        self._ready = deque()  # (job, tid)
+        self._active = 0  # submitted graphs not yet completed/failed
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"{name}-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------
+    def submit_graph(self, ntasks, roots, run_task, *, on_complete, on_error):
+        """Enqueue one static task graph; returns immediately.
+
+        ``on_complete()`` fires (on a worker thread) when every task ran;
+        ``on_error(exc)`` fires instead on the graph's first task
+        exception.  ``on_complete`` may itself submit a follow-up graph —
+        the pool counts the current graph as active until the callback
+        returns, so a chained submission can never race ``close`` into a
+        premature shutdown.
+        """
+        job = _StreamJob(run_task, ntasks, on_complete, on_error)
+        with self._cv:
+            # a closed pool still accepts submissions while graphs are in
+            # flight (the drain): chained follow-up graphs from completion
+            # callbacks keep `active` > 0, so the workers are provably
+            # still alive.  Only a closed AND drained pool (threads gone)
+            # must refuse.
+            if self._closed and self._active == 0:
+                raise RuntimeError("pool is closed")
+            self._active += 1
+            if ntasks:
+                roots = list(roots)
+                self._ready.extend((job, t) for t in roots)
+                self._cv.notify(len(roots))
+        if not ntasks:
+            self._finish(job)
+        return job
+
+    def close(self):
+        """Drain all in-flight graphs, then stop and join the workers."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        for t in self._threads:
+            t.join()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    def _finish(self, job):
+        """Run a graph's completion callback, then retire it.  The active
+        count drops only after ``on_complete`` returns, so a follow-up
+        ``submit_graph`` from the callback keeps the pool awake.  A
+        raising ``on_complete`` is rerouted to ``on_error`` — a broken
+        callback must never kill a worker thread or strand the pool."""
+        try:
+            job.on_complete()
+        except BaseException as exc:
+            self._report(job, exc)
+        finally:
+            with self._cv:
+                self._active -= 1
+                self._cv.notify_all()
+
+    def _fail(self, job, exc):
+        try:
+            self._report(job, exc)
+        finally:
+            with self._cv:
+                self._active -= 1
+                self._cv.notify_all()
+
+    @staticmethod
+    def _report(job, exc):
+        """Deliver ``exc`` to the job's error callback; a failure inside
+        ``on_error`` itself is unreportable and must not take the worker
+        thread down with it."""
+        try:
+            job.on_error(exc)
+        except BaseException:  # pragma: no cover - defensive
+            pass
+
+    def _worker(self):
+        while True:
+            with self._cv:
+                while not self._ready and not (self._closed and self._active == 0):
+                    self._cv.wait()
+                if not self._ready:
+                    return  # closed and fully drained
+                job, tid = self._ready.popleft()
+                if job.failed:
+                    continue  # job already reported; drop its leftovers
+            try:
+                newly = job.run_task(tid)
+            except BaseException as exc:
+                with self._cv:
+                    first = not job.failed
+                    job.failed = True
+                if first:
+                    self._fail(job, exc)
+                continue
+            with self._cv:
+                if job.failed:
+                    continue
+                job.outstanding -= 1
+                finished = job.outstanding == 0
+                if newly:
+                    self._ready.extend((job, t) for t in newly)
+                    self._cv.notify(len(newly))
+            if finished:
+                self._finish(job)
 
 
 def _coarse_plan(symb):
@@ -355,6 +612,45 @@ def _matrix_tasks(symb, storage, granularity):
     return ntasks, roots, logs, run_task
 
 
+def warm_executor_plan(symb, granularity):
+    """Pre-build the memoised static DAG plan of ``granularity`` (and every
+    index cache beneath it) on the caller's thread, so later reads from
+    worker threads or streaming callbacks never mutate the symbolic cache
+    concurrently.  Idempotent and cheap after the first call."""
+    if granularity == "coarse":
+        _coarse_plan(symb)
+    else:
+        _fine_plan(symb)
+
+
+def stream_factorize_job(symb, M, granularity, machine, thread_choices, extra):
+    """One streaming factorize job: ``(storage, ntasks, roots, run_task,
+    finish)`` for a single same-pattern matrix ``M``.
+
+    The backend seam of :class:`repro.api.ServingSession`: the caller
+    submits ``(ntasks, roots, run_task)`` to a :class:`StreamPool` and,
+    once the graph drains, calls ``finish(wall_seconds)`` to replay the
+    per-task kernel logs into the deterministic
+    :class:`~repro.numeric.result.FactorizeResult` (same report as
+    :func:`factorize_executor`).
+    """
+    storage = FactorStorage.from_matrix(symb, M)
+    ntasks, roots, logs, run_task = _matrix_tasks(symb, storage, granularity)
+    method = "rl_par" if granularity == "coarse" else "rlb_par"
+
+    def finish(wall_seconds):
+        return _replayed_result(
+            method,
+            storage,
+            logs,
+            machine,
+            thread_choices,
+            extra=dict(extra, wall_seconds=wall_seconds, tasks=ntasks),
+        )
+
+    return storage, ntasks, roots, run_task, finish
+
+
 def _replayed_result(method, storage, logs, machine, thread_choices, extra):
     """Replay per-task kernel logs into one deterministic accumulator and
     wrap the modeled-cost report in a :class:`FactorizeResult`."""
@@ -384,6 +680,7 @@ def factorize_executor(
     granularity="coarse",
     machine=None,
     thread_choices=CPU_THREAD_CHOICES,
+    tracer=None,
 ):
     """Factorize with the threaded task-DAG runtime.
 
@@ -399,6 +696,10 @@ def factorize_executor(
     machine / thread_choices:
         Machine model for the modeled-cost report (the numerics themselves
         run on real BLAS; ``extra["wall_seconds"]`` holds measured time).
+    tracer:
+        Optional :class:`~repro.gpu.trace.Tracer`; when given, every task's
+        measured start/stop is recorded on its worker thread's lane
+        (real occupancy next to the modeled Gantt charts).
     """
     if granularity not in GRANULARITIES:
         raise ValueError(
@@ -411,10 +712,9 @@ def factorize_executor(
     storage = FactorStorage.from_matrix(symb, A)
     t0 = time.perf_counter()
     ntasks, roots, logs, run_task = _matrix_tasks(symb, storage, granularity)
-    queue = _ReadyQueue(ntasks)
-    queue.seed(roots)
-    # more threads than tasks can never help; don't pay their startup
-    queue.run(run_task, max(1, min(workers, ntasks)))
+    if tracer is not None:
+        run_task = _traced_run(run_task, _task_label_fn(symb, granularity), tracer, t0)
+    run_task_graph(ntasks, roots, run_task, workers)
     wall = time.perf_counter() - t0
     return _replayed_result(
         "rl_par" if granularity == "coarse" else "rlb_par",
@@ -439,6 +739,7 @@ def factorize_executor_batch(
     granularity="fine",
     machine=None,
     thread_choices=CPU_THREAD_CHOICES,
+    tracer=None,
 ):
     """Factorize a batch of same-pattern matrices on ONE worker pool.
 
@@ -495,10 +796,18 @@ def factorize_executor_batch(
         base = b * ntasks
         return [base + t for t in newly]
 
-    queue = _ReadyQueue(ntasks * nbatch)
-    for b, (_, roots, _, _) in enumerate(instances):
-        queue.seed([b * ntasks + r for r in roots])
-    queue.run(run_flat, max(1, min(workers, ntasks * nbatch)))
+    run_flat_task = run_flat
+    if tracer is not None:
+        labels = [_task_label_fn(symb, granularity, prefix=f"m{b}:") for b in range(nbatch)]
+
+        def label_flat(gid):
+            b, tid = divmod(gid, ntasks)
+            return labels[b](tid)
+
+        run_flat_task = _traced_run(run_flat, label_flat, tracer, t0)
+
+    roots_flat = [b * ntasks + r for b, (_, roots, _, _) in enumerate(instances) for r in roots]
+    run_task_graph(ntasks * nbatch, roots_flat, run_flat_task, workers)
     wall = time.perf_counter() - t0
     method = "rl_par" if granularity == "coarse" else "rlb_par"
     return [

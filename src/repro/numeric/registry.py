@@ -44,6 +44,10 @@ __all__ = [
     "engine_names",
     "get_engine",
     "serial_twin",
+    "SolveModeSpec",
+    "SOLVE_MODES",
+    "solve_mode_names",
+    "get_solve_mode",
 ]
 
 
@@ -138,3 +142,52 @@ def serial_twin(name):
     ``name`` (``rl_par -> rl``, ``rlb_par -> rlb``); other engines map to
     themselves."""
     return _SERIAL_TWIN.get(name, name)
+
+
+# ---------------------------------------------------------------------------
+# Solve-side dispatch.  The triangular sweeps are one algorithm under two
+# *schedules*; this table is the one place their public names live, shared
+# by :meth:`repro.api.Factor.solve`, the CLI ``solve --workers`` path and
+# the docs (mirror of the factorization ENGINES table above).
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SolveModeSpec:
+    """One registered triangular-solve schedule.
+
+    ``parallel`` marks the modes that accept ``workers=`` (executed by the
+    task-graph runtime); both modes produce bit-identical solutions — the
+    level schedule preserves the serial sweeps' accumulation order.
+    """
+
+    name: str
+    parallel: bool
+    description: str
+
+
+#: Solve-mode name -> :class:`SolveModeSpec`; the solve-side registry.
+SOLVE_MODES = {
+    spec.name: spec
+    for spec in (
+        SolveModeSpec("serial", False,
+                      "one supernode after another (the historical sweeps)"),
+        SolveModeSpec("level", True,
+                      "elimination-tree level schedule on the threaded "
+                      "task-graph runtime; accepts workers="),
+    )
+}
+
+
+def solve_mode_names():
+    """Sorted names of every registered solve mode."""
+    return sorted(SOLVE_MODES)
+
+
+def get_solve_mode(name):
+    """The :class:`SolveModeSpec` for ``name``; raises ``ValueError``
+    (listing the valid names) when unknown."""
+    spec = SOLVE_MODES.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown solve mode {name!r}; choose from {solve_mode_names()}"
+        )
+    return spec

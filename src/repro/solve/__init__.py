@@ -1,7 +1,17 @@
 """Solve layer: supernodal triangular solves, the high-level solver driver,
 and iterative refinement."""
 
-from .triangular import forward_solve, backward_solve, solve_factored
+from .triangular import (
+    forward_solve,
+    backward_solve,
+    solve_factored,
+    check_rhs,
+    forward_snode,
+    backward_snode,
+    forward_solve_graph,
+    backward_solve_graph,
+    solve_graph,
+)
 from .gpu_solve import solve_factored_cpu, solve_factored_gpu, solve_flops
 from .sparse_rhs import solve_reach, forward_solve_sparse
 from .driver import CholeskySolver, METHODS
@@ -11,6 +21,12 @@ __all__ = [
     "forward_solve",
     "backward_solve",
     "solve_factored",
+    "check_rhs",
+    "forward_snode",
+    "backward_snode",
+    "forward_solve_graph",
+    "backward_solve_graph",
+    "solve_graph",
     "solve_factored_cpu",
     "solve_factored_gpu",
     "solve_flops",

@@ -6,6 +6,22 @@ supernodes once forward and once backward, doing a dense triangular solve on
 each diagonal block and a GEMV-style update with each rectangle — the
 standard supernodal solve that completes the paper's "direct method" story
 (§I: the triangular factors are used to compute the solution).
+
+Both sweeps exist in two *schedules* over the same task bodies
+(:func:`forward_snode` / :func:`backward_snode` — the kernels exist exactly
+once):
+
+* **serial** (``workers=None``) — one supernode after another, the
+  historical sweeps;
+* **level-scheduled parallel** (``workers=N``) — the elimination-tree level
+  schedule of :func:`repro.symbolic.levels.solve_schedule` executed on the
+  shared-ready-queue runtime of :mod:`repro.numeric.executor`.  Forward
+  cross-supernode updates go through an
+  :class:`~repro.numeric.executor.OrderedCommitter` (ascending
+  source-supernode order per target segment), so solutions are
+  **bit-identical** to the serial sweeps for any worker count; the backward
+  sweep only reads finalized ancestor segments, so it needs dependency
+  tracking but no commit ordering.
 """
 
 from __future__ import annotations
@@ -13,20 +29,41 @@ from __future__ import annotations
 import numpy as np
 from scipy.linalg import solve_triangular
 
-__all__ = ["forward_solve", "backward_solve", "solve_factored"]
+from ..numeric.executor import OrderedCommitter, run_task_graph
+from ..symbolic.levels import solve_schedule
+
+__all__ = [
+    "forward_solve",
+    "backward_solve",
+    "solve_factored",
+    "check_rhs",
+    "forward_snode",
+    "backward_snode",
+    "forward_solve_graph",
+    "backward_solve_graph",
+    "solve_graph",
+]
 
 
-
-def _check_rhs(n, b, name, *, copy=True):
+def check_rhs(n, b, name="b", *, copy=True):
     """Validate an ``(n,)`` or ``(n, k)`` right-hand side.
 
     Returns a float64 array safe to solve in place: a copy of ``b`` by
     default, or ``b`` itself (when it already is a float64 ndarray) with
-    ``copy=False`` — the caller has declared it owns the buffer.
+    ``copy=False`` — the caller has declared it owns the buffer (or only
+    wants the validated conversion).  The one right-hand-side validation
+    shared by both sweeps and the staged API, so every caller reports the
+    same message with the expected ``n`` and the offending shape.
     """
     out = np.asarray(b, dtype=np.float64)
     if out.ndim not in (1, 2) or out.shape[0] != n:
-        raise ValueError(f"{name} must have shape (n,) or (n, k)")
+        # one message for both sweeps: `name` is the argument being
+        # validated (`b` forward, `y` backward) but it is always a
+        # right-hand side of the triangular system being solved
+        raise ValueError(
+            f"right-hand side {name!r} must have shape ({n},) or ({n}, k), "
+            f"got {np.shape(b)}"
+        )
     # identity alone is not enough: a subclass view or buffer-protocol
     # object converts to a *different* array sharing the caller's memory
     if copy and np.may_share_memory(out, b):
@@ -34,7 +71,167 @@ def _check_rhs(n, b, name, *, copy=True):
     return out
 
 
-def forward_solve(storage, b, *, overwrite_b=False):
+_check_rhs = check_rhs  # historical internal name
+
+
+# ----------------------------------------------------------------------
+# shared per-supernode task bodies (serial sweeps and parallel tasks)
+# ----------------------------------------------------------------------
+def forward_snode(storage, y, s):
+    """Forward task body of supernode ``s``: triangular-solve its diagonal
+    block on ``y``'s own segment, then compute (NOT apply) the update of
+    the below-diagonal rows.
+
+    Returns ``(below, u)`` — the below-row indices and the dense update
+    ``u`` to subtract from ``y[below]`` (``None`` when ``s`` has no below
+    rows).  The serial sweep subtracts ``u`` whole; the parallel sweep
+    splits it into per-ancestor runs committed in source order.  One body,
+    two schedules: the arithmetic (one triangular solve + one GEMV) is
+    identical, which is what makes the parallel sweep bit-identical.
+    """
+    symb = storage.symb
+    first, last = symb.snode_cols(s)
+    w = last - first
+    panel = storage.panel(s)
+    y[first:last] = solve_triangular(
+        panel[:w, :w], y[first:last], lower=True, check_finite=False
+    )
+    below = symb.snode_below_rows(s)
+    if below.size:
+        return below, panel[w:, :w] @ y[first:last]
+    return below, None
+
+
+def backward_snode(storage, x, s):
+    """Backward task body of supernode ``s``: subtract the (finalized)
+    ancestor segments' contribution, then triangular-solve the transposed
+    diagonal block on ``x``'s own segment.  Reads ``x[below]`` and writes
+    only ``x[first:last]`` — the backward sweep has no cross-supernode
+    writes at all."""
+    symb = storage.symb
+    first, last = symb.snode_cols(s)
+    w = last - first
+    panel = storage.panel(s)
+    below = symb.snode_below_rows(s)
+    if below.size:
+        x[first:last] -= panel[w:, :w].T @ x[below]
+    x[first:last] = solve_triangular(
+        panel[:w, :w], x[first:last], lower=True, trans="T",
+        check_finite=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# level-scheduled task graphs (transient pools and the streaming session)
+# ----------------------------------------------------------------------
+def _fwd_closure(y, below, u, lo, hi):
+    def fn():
+        y[below[lo:hi]] -= u[lo:hi]
+
+    return fn
+
+
+def _noop():
+    return None
+
+
+def forward_solve_graph(storage, y):
+    """``(ntasks, roots, run_task)`` of the level-scheduled forward sweep
+    on ``y`` (solved in place).
+
+    One task per supernode.  A task triangular-solves its own segment (the
+    committer guarantees every descendant update has been applied first, in
+    ascending source order — the serial accumulation order, so the sweep is
+    bit-identical), then submits one update closure per ancestor-owned run
+    of its below rows.  Feed the triple to
+    :func:`repro.numeric.executor.run_task_graph` or a
+    :class:`~repro.numeric.executor.StreamPool`.
+    """
+    symb = storage.symb
+    sched = solve_schedule(symb)
+    # the ordered-commit contract is pattern-static and pre-finalized on
+    # the schedule; construction here is per-run counters only
+    committer = OrderedCommitter.from_static(sched.fwd_static)
+
+    def run_task(s):
+        below, u = forward_snode(storage, y, s)
+        newly = []
+        for p, lo, hi in sched.runs[s]:
+            newly.extend(committer.submit(p, s, _fwd_closure(y, below, u, lo, hi)))
+        return newly
+
+    return symb.nsup, sched.fwd_roots, run_task
+
+
+def backward_solve_graph(storage, x):
+    """``(ntasks, roots, run_task)`` of the level-scheduled backward sweep
+    on ``x`` (solved in place).
+
+    One task per supernode; a task becomes ready once every ancestor owning
+    a run of its below rows has finalized its own segment.  There are no
+    cross-supernode writes, so the committer is used purely as the
+    dependency tracker (no-op closures) — each task's single GEMV reads the
+    same finalized values as the serial sweep, hence bit-identity needs no
+    commit ordering at all.
+    """
+    symb = storage.symb
+    sched = solve_schedule(symb)
+    committer = OrderedCommitter.from_static(sched.bwd_static)
+
+    def run_task(s):
+        backward_snode(storage, x, s)
+        newly = []
+        for t in sched.bwd_dependents.get(s, ()):
+            newly.extend(committer.submit(t, s, _noop))
+        return newly
+
+    return symb.nsup, sched.bwd_roots, run_task
+
+
+def solve_graph(storage, y):
+    """``(ntasks, roots, run_task)`` of the FUSED full solve
+    ``L L^T x = b`` on ``y`` (solved in place) — both sweeps as one task
+    graph on one pool.
+
+    Task ids ``0..nsup-1`` are forward tasks, ``nsup..2*nsup-1`` backward
+    tasks.  Backward task ``s`` waits for (a) its own forward task — its
+    segment of ``y`` is final — and (b) the backward tasks of every
+    ancestor owning a run of its below rows, encoded in the pre-finalized
+    ``fused_static`` contract.  Because a supernode's segment receives no
+    writes after its own forward solve, the backward GEMVs read exactly
+    the values the serial back-to-back sweeps read — bit-identity holds
+    while the backward leaves overlap in time with the forward root, and
+    a full solve costs ONE pool instead of two.
+    """
+    symb = storage.symb
+    nsup = symb.nsup
+    sched = solve_schedule(symb)
+    committer = OrderedCommitter.from_static(
+        sched.fwd_static + sched.fused_static)
+
+    def run_task(tid):
+        newly = []
+        if tid < nsup:
+            below, u = forward_snode(storage, y, tid)
+            for p, lo, hi in sched.runs[tid]:
+                newly.extend(
+                    committer.submit(p, tid, _fwd_closure(y, below, u, lo, hi)))
+            # own segment final: release this supernode's backward task
+            newly.extend(committer.submit(nsup + tid, -1, _noop))
+            return newly
+        s = tid - nsup
+        backward_snode(storage, y, s)
+        for t in sched.bwd_dependents.get(s, ()):
+            newly.extend(committer.submit(nsup + t, s, _noop))
+        return newly
+
+    return 2 * nsup, sched.fwd_roots, run_task
+
+
+# ----------------------------------------------------------------------
+# public sweeps
+# ----------------------------------------------------------------------
+def forward_solve(storage, b, *, overwrite_b=False, workers=None):
     """Solve ``L Y = B``; returns ``y``.
 
     ``b`` may be a single ``(n,)`` vector or an ``(n, k)`` block of
@@ -42,50 +239,53 @@ def forward_solve(storage, b, *, overwrite_b=False):
     solve runs on a copy; ``overwrite_b=True`` solves in place on ``b``
     (callers handing over a scratch buffer, e.g. :func:`solve_factored`,
     skip the extra copy — measurable for many-RHS blocks).
+
+    ``workers=N`` runs the elimination-tree level schedule on N threads
+    (see the module docstring); the result is bit-identical to the serial
+    sweep for every worker count.
     """
     symb = storage.symb
     y = _check_rhs(symb.n, b, "b", copy=not overwrite_b)
+    if workers is not None:
+        run_task_graph(*forward_solve_graph(storage, y), workers)
+        return y
     for s in range(symb.nsup):
-        first, last = symb.snode_cols(s)
-        w = last - first
-        panel = storage.panel(s)
-        y[first:last] = solve_triangular(
-            panel[:w, :w], y[first:last], lower=True, check_finite=False
-        )
-        below = symb.snode_below_rows(s)
-        if below.size:
-            y[below] -= panel[w:, :w] @ y[first:last]
+        below, u = forward_snode(storage, y, s)
+        if u is not None:
+            y[below] -= u
     return y
 
 
-def backward_solve(storage, y, *, overwrite_y=False):
+def backward_solve(storage, y, *, overwrite_y=False, workers=None):
     """Solve ``L^T X = Y``; accepts ``(n,)`` or ``(n, k)``; returns ``x``.
-    ``overwrite_y=True`` solves in place on ``y`` instead of a copy."""
+    ``overwrite_y=True`` solves in place on ``y`` instead of a copy;
+    ``workers=N`` runs the level schedule in reverse on N threads
+    (bit-identical to the serial sweep)."""
     symb = storage.symb
     x = _check_rhs(symb.n, y, "y", copy=not overwrite_y)
+    if workers is not None:
+        run_task_graph(*backward_solve_graph(storage, x), workers)
+        return x
     for s in range(symb.nsup - 1, -1, -1):
-        first, last = symb.snode_cols(s)
-        w = last - first
-        panel = storage.panel(s)
-        below = symb.snode_below_rows(s)
-        if below.size:
-            x[first:last] -= panel[w:, :w].T @ x[below]
-        x[first:last] = solve_triangular(
-            panel[:w, :w], x[first:last], lower=True, trans="T",
-            check_finite=False,
-        )
+        backward_snode(storage, x, s)
     return x
 
 
-def solve_factored(storage, b, *, overwrite_b=False):
+def solve_factored(storage, b, *, overwrite_b=False, workers=None):
     """Full solve ``L L^T x = b`` with an existing factor.
 
     The right-hand side is validated and copied exactly once at the top
     (not once per sweep); both triangular sweeps then run in place on that
     buffer.  ``overwrite_b=True`` skips even the initial copy and clobbers
     ``b`` — the natural mode when ``b`` is already a temporary (a permuted
-    gather like ``b[perm]``).
+    gather like ``b[perm]``).  ``workers=N`` runs both sweeps as ONE fused
+    level-scheduled task graph (:func:`solve_graph`) on N threads —
+    backward leaves overlap the forward root — bit-identical to the serial
+    sweeps.
     """
     y = _check_rhs(storage.symb.n, b, "b", copy=not overwrite_b)
+    if workers is not None:
+        run_task_graph(*solve_graph(storage, y), workers)
+        return y
     forward_solve(storage, y, overwrite_b=True)
     return backward_solve(storage, y, overwrite_y=True)

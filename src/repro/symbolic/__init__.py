@@ -18,6 +18,7 @@ from .structure import SymbolicFactor, symbolic_factorization
 from .relind import assembly_plan, relative_indices, relative_indices_bottom
 from .blocks import Block, snode_blocks, all_blocks, count_blocks
 from .partition_refinement import partition_refinement
+from .levels import SolveSchedule, solve_levels, solve_schedule
 from .analyze import AnalyzedSystem, analyze
 
 __all__ = [
@@ -47,6 +48,9 @@ __all__ = [
     "all_blocks",
     "count_blocks",
     "partition_refinement",
+    "SolveSchedule",
+    "solve_levels",
+    "solve_schedule",
     "AnalyzedSystem",
     "analyze",
 ]

@@ -15,8 +15,10 @@ import repro
 DOCUMENTED_TOP_LEVEL = [
     "plan",
     "SymbolicPlan",
+    "SolvePlan",
     "Factor",
     "FactorBatch",
+    "ServingSession",
     "CholeskySolver",
     "analyze",
     "SymmetricCSC",
@@ -36,8 +38,10 @@ DOCUMENTED_TOP_LEVEL = [
 DOCUMENTED_SUBPACKAGE = [
     ("repro.api", "plan"),
     ("repro.api", "SymbolicPlan"),
+    ("repro.api", "SolvePlan"),
     ("repro.api", "Factor"),
     ("repro.api", "FactorBatch"),
+    ("repro.api", "ServingSession"),
     ("repro.api", "same_pattern_values"),
     ("repro.sparse", "spd_value_sweep"),
     ("repro.numeric.registry", "ENGINES"),
@@ -46,12 +50,27 @@ DOCUMENTED_SUBPACKAGE = [
     ("repro.numeric.registry", "get_engine"),
     ("repro.numeric.registry", "engine_names"),
     ("repro.numeric.registry", "serial_twin"),
+    ("repro.numeric.registry", "SOLVE_MODES"),
+    ("repro.numeric.registry", "SolveModeSpec"),
+    ("repro.numeric.registry", "get_solve_mode"),
+    ("repro.numeric.registry", "solve_mode_names"),
     ("repro.numeric", "factorize_executor_batch"),
+    ("repro.numeric.executor", "run_task_graph"),
+    ("repro.numeric.executor", "StreamPool"),
+    ("repro.numeric.executor", "stream_factorize_job"),
+    ("repro.numeric.executor", "warm_executor_plan"),
     ("repro.solve", "CholeskySolver"),
     ("repro.solve", "METHODS"),
     ("repro.solve", "solve_factored"),
+    ("repro.solve", "forward_solve_graph"),
+    ("repro.solve", "backward_solve_graph"),
+    ("repro.solve", "solve_graph"),
+    ("repro.solve", "check_rhs"),
     ("repro.solve", "refine"),
     ("repro.solve", "relative_residual"),
+    ("repro.symbolic", "solve_schedule"),
+    ("repro.symbolic", "solve_levels"),
+    ("repro.symbolic", "SolveSchedule"),
 ]
 
 

@@ -73,8 +73,95 @@ class TestBatchCommand:
         assert args.batch == 8
         assert args.rhs == 1
         assert args.workers is None
+        assert args.trace is None
+
+    def test_batch_trace_export(self, tmp_path, capsys):
+        trace = tmp_path / "batch.trace.json"
+        assert main(["batch", SMALL, "--engine", "rlb_par", "--batch", "2",
+                     "--workers", "2", "--trace", str(trace)]) == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        assert trace.exists()
+
+    def test_batch_trace_rejected_for_serial_engine(self, capsys):
+        assert main(["batch", SMALL, "--engine", "rl",
+                     "--trace", "x.json"]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_factorize_trace_rejected_for_serial_engine(self, capsys):
+        # a serial engine has no timeline; exiting 0 with no trace file
+        # written would be a silent lie (parity with batch --trace)
+        assert main(["factorize", SMALL, "--method", "rl",
+                     "--trace", "x.json"]) == 2
+        assert main(["factorize", SMALL, "--method", "rlb",
+                     "--gantt"]) == 2
+        err = capsys.readouterr().err
+        assert "--gantt/--trace need a timeline" in err
+
+    def test_factorize_threaded_trace_export(self, tmp_path, capsys):
+        trace = tmp_path / "exec.trace.json"
+        assert main(["factorize", SMALL, "--workers", "2",
+                     "--trace", str(trace), "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "repro-exec-0" in out  # per-worker-thread gantt lanes
+        assert trace.exists()
+
+
+class TestSolveWorkers:
+    def test_parallel_solve_report(self, capsys):
+        assert main(["solve", SMALL, "--method", "rlb", "--rhs", "4",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "level schedule:" in out
+        assert "serial solve" in out
+        assert "parallel solve" in out
+        assert "bit-identical: yes" in out
+
+    def test_workers_must_be_positive(self, capsys):
+        assert main(["solve", SMALL, "--workers", "0"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_serial_output_unchanged_without_workers(self, capsys):
+        assert main(["solve", SMALL, "--method", "rl"]) == 0
+        assert "parallel solve" not in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_stream_demo(self, capsys):
+        assert main(["serve", SMALL, "--stream", "--count", "3",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Streaming serving session" in out
+        assert "bit-identical to serial" in out
+        assert "first-result latency" in out
+        assert "worst relative residual" in out
+
+    def test_stream_flag_required(self, capsys):
+        assert main(["serve", SMALL]) == 2
+        assert "--stream" in capsys.readouterr().err
+
+    def test_flag_validation(self, capsys):
+        assert main(["serve", SMALL, "--stream", "--engine", "rl"]) == 2
+        assert main(["serve", SMALL, "--stream", "--count", "0"]) == 2
+        assert main(["serve", SMALL, "--stream", "--workers", "0"]) == 2
+        assert main(["serve", SMALL, "--stream", "--engine", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "threaded engines" in err
+        assert "--count must be >= 1" in err
+        assert "--workers must be >= 1" in err
+        assert "unknown engine" in err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "x"])
+        assert args.engine == "rlb_par"
+        assert args.count == 8
+        assert not args.stream
 
 
 def test_batch_command_registered():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["batch"])  # matrix argument required
+
+
+def test_serve_command_registered():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve"])  # matrix argument required

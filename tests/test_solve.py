@@ -55,6 +55,26 @@ class TestTriangularSolves:
         with pytest.raises(ValueError):
             backward_solve(res.storage, np.ones(3))
 
+    def test_shape_error_messages_unified(self, factored):
+        """Both sweeps validate their argument as a right-hand side with
+        one message shape (regression: backward used to say just "y" while
+        its docstring called the argument a right-hand side)."""
+        _, res = factored
+        n = res.storage.symb.n
+        with pytest.raises(ValueError,
+                           match=rf"right-hand side 'b' must have shape "
+                                 rf"\({n},\) or \({n}, k\)"):
+            forward_solve(res.storage, np.ones(3))
+        with pytest.raises(ValueError,
+                           match=rf"right-hand side 'y' must have shape "
+                                 rf"\({n},\) or \({n}, k\)"):
+            backward_solve(res.storage, np.ones((3, 2)))
+        # the offending shape is named (debuggability of (k, n) transposes)
+        with pytest.raises(ValueError, match=r"got \(3, 2\)"):
+            backward_solve(res.storage, np.ones((3, 2)))
+        with pytest.raises(ValueError, match="right-hand side 'b'"):
+            solve_factored(res.storage, np.ones((n, 2, 2)))
+
 
 class TestCholeskySolver:
     @pytest.mark.parametrize("method", sorted(METHODS))
