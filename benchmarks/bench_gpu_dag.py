@@ -1,0 +1,188 @@
+"""Modeled-time guard for the DAG-scheduled GPU engines.
+
+Compares the hand-rolled offload schedules (``rl_gpu`` / ``rlb_gpu_v2`` /
+``rl_multigpu``) against the task-DAG runtime on the GPU stream backend
+(``rl_gpu_dag`` / ``rlb_gpu_dag``, :mod:`repro.numeric.gpu_dag`) on a 3-D
+grid Laplacian, verifying on every run that the DAG factors are
+*bit-identical* to the hand-rolled (and serial) engines.
+
+Exits non-zero when
+
+* the ``devices=1`` DAG modeled time deviates from the hand-rolled
+  schedule by more than ``--tolerance`` (default: ``BENCH_GPU_DAG_TOL``
+  env var, else 0.05 — the acceptance bound; the deterministic priority
+  order reproduces the schedule exactly, so any drift is a regression), or
+* the ``devices=4`` modeled speedup falls below ``--min-speedup``
+  (default: ``BENCH_GPU_DAG_MIN_SPEEDUP`` env var, else 1.5 — the
+  multi-GPU scaling the backend inherits from the bespoke
+  ``rl_multigpu`` scheduler it subsumes).
+
+``--determinism-only`` skips the report and only checks bit-identity
+(each granularity at ``devices=1,2,4`` plus OOM-accounting parity) — the
+mode CI's determinism job runs on every PR.
+
+Run:  PYTHONPATH=src python benchmarks/bench_gpu_dag.py
+      PYTHONPATH=src python benchmarks/bench_gpu_dag.py \\
+          --shape 20,20,6 --determinism-only         # CI determinism gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from repro.gpu import DeviceOutOfMemory
+from repro.numeric import (
+    factorize_gpu_dag,
+    factorize_rl_cpu,
+    factorize_rl_gpu,
+    factorize_rl_multigpu,
+    factorize_rlb_cpu,
+    factorize_rlb_gpu,
+)
+from repro.sparse import grid_laplacian
+from repro.symbolic import analyze
+
+BIG = 10 ** 15
+
+HAND_ROLLED = {
+    "coarse": lambda s, m: factorize_rl_gpu(s, m, threshold=0,
+                                            device_memory=BIG),
+    "fine": lambda s, m: factorize_rlb_gpu(s, m, version=2, threshold=0,
+                                           device_memory=BIG),
+}
+SERIAL = {"coarse": factorize_rl_cpu, "fine": factorize_rlb_cpu}
+
+
+def _identical(res, ref):
+    if len(res.storage.panels) != len(ref.storage.panels):
+        return False
+    pairs = zip(res.storage.panels, ref.storage.panels)
+    return all(np.array_equal(p, q) for p, q in pairs)
+
+
+def check_determinism(symb, M):
+    """Bit-identity of the DAG engines against the hand-rolled twins and
+    the serial engines, across a device sweep; plus OOM parity."""
+    failures = []
+    for granularity in ("coarse", "fine"):
+        hand = HAND_ROLLED[granularity](symb, M)
+        serial = SERIAL[granularity](symb, M)
+        for devices in (1, 2, 4):
+            res = factorize_gpu_dag(symb, M, granularity=granularity,
+                                    threshold=0, device_memory=BIG,
+                                    devices=devices)
+            for label, ref in (("hand-rolled", hand), ("serial", serial)):
+                ok = _identical(res, ref)
+                mark = "ok" if ok else "MISMATCH"
+                print(f"  {granularity:>6} devices={devices} vs "
+                      f"{label:<11}: {mark}")
+                if not ok:
+                    failures.append((granularity, devices, label))
+    # OOM accounting parity at a tiny device
+    for granularity, hand_fn in (
+        ("coarse", lambda: factorize_rl_gpu(symb, M, threshold=0,
+                                            device_memory=2048)),
+        ("fine", lambda: factorize_rlb_gpu(symb, M, version=2, threshold=0,
+                                           device_memory=2048)),
+    ):
+        try:
+            hand_fn()
+            ref_oom = None
+        except DeviceOutOfMemory as exc:
+            ref_oom = (exc.requested, exc.free)
+        try:
+            factorize_gpu_dag(symb, M, granularity=granularity, threshold=0,
+                              device_memory=2048)
+            dag_oom = None
+        except DeviceOutOfMemory as exc:
+            dag_oom = (exc.requested, exc.free)
+        ok = ref_oom == dag_oom
+        print(f"  {granularity:>6} OOM accounting parity: "
+              f"{'ok' if ok else 'MISMATCH'} ({ref_oom} vs {dag_oom})")
+        if not ok:
+            failures.append((granularity, "oom", "parity"))
+    return failures
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--shape", default="20,20,6",
+                    help="grid shape nx,ny,nz (default 20,20,6)")
+    ap.add_argument("--devices", default="1,4",
+                    help="device counts to report (default 1,4)")
+    ap.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("BENCH_GPU_DAG_TOL", "0.05")),
+        help="max relative deviation of the devices=1 DAG modeled time "
+             "from the hand-rolled schedule (default 0.05)")
+    ap.add_argument(
+        "--min-speedup", type=float,
+        default=float(os.environ.get("BENCH_GPU_DAG_MIN_SPEEDUP", "1.5")),
+        help="min modeled speedup of devices=4 over devices=1 (default 1.5)")
+    ap.add_argument("--determinism-only", action="store_true",
+                    help="only check bit-identity and OOM parity")
+    args = ap.parse_args(argv)
+
+    shape = tuple(int(x) for x in args.shape.split(","))
+    system = analyze(grid_laplacian(shape))
+    symb, M = system.symb, system.matrix
+    print(f"grid {shape}: n={symb.n}, {symb.nsup} supernodes")
+
+    if args.determinism_only:
+        print("determinism contract (bit-identical factors, OOM parity):")
+        failures = check_determinism(symb, M)
+        if failures:
+            print(f"FAILED: {len(failures)} mismatches")
+            return 1
+        print("all bit-identical")
+        return 0
+
+    failures = check_determinism(symb, M)
+    devices = [int(x) for x in args.devices.split(",")]
+    status = 0
+    for granularity in ("coarse", "fine"):
+        hand = HAND_ROLLED[granularity](symb, M)
+        times = {}
+        for k in devices:
+            res = factorize_gpu_dag(symb, M, granularity=granularity,
+                                    threshold=0, device_memory=BIG,
+                                    devices=k)
+            times[k] = res.modeled_seconds
+            print(f"  {granularity:>6} devices={k}: "
+                  f"{res.modeled_seconds * 1e3:8.3f} ms modeled "
+                  f"(hand-rolled {hand.modeled_seconds * 1e3:8.3f} ms)")
+        dev1 = times.get(1)
+        if dev1 is not None:
+            drift = abs(dev1 - hand.modeled_seconds) / hand.modeled_seconds
+            print(f"  {granularity:>6} devices=1 drift vs hand-rolled: "
+                  f"{100 * drift:.3f}% (tolerance {100 * args.tolerance:.0f}%)")
+            if drift > args.tolerance:
+                print(f"FAILED: {granularity} devices=1 modeled time "
+                      f"drifted {100 * drift:.2f}%")
+                status = 1
+        if dev1 is not None and 4 in times:
+            speedup = dev1 / times[4]
+            print(f"  {granularity:>6} devices=4 speedup: {speedup:.2f}x "
+                  f"(min {args.min_speedup:.2f}x)")
+            if speedup < args.min_speedup:
+                print(f"FAILED: {granularity} devices=4 speedup "
+                      f"{speedup:.2f}x below {args.min_speedup:.2f}x")
+                status = 1
+    mg4 = factorize_rl_multigpu(symb, M, num_devices=4, threshold=0,
+                                device_memory=BIG)
+    mg1 = factorize_rl_multigpu(symb, M, num_devices=1, threshold=0,
+                                device_memory=BIG)
+    print(f"  reference rl_multigpu speedup (4 devices): "
+          f"{mg1.modeled_seconds / mg4.modeled_seconds:.2f}x")
+    if failures:
+        print(f"FAILED: {len(failures)} determinism mismatches")
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

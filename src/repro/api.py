@@ -72,9 +72,10 @@ from .numeric.executor import (
     stream_factorize_job,
     warm_executor_plan,
 )
-from .numeric.registry import get_engine, get_solve_mode
+from .numeric.registry import backend_engine, get_engine, get_solve_mode
 from .numeric.storage import ScatterPlan
-from .solve.refine import refine, relative_residual
+from .solve.gpu_solve import solve_factored_gpu_dag, solve_offload_estimate
+from .solve.refine import _relative_residual_norm, refine, relative_residual
 from .solve.triangular import check_rhs, solve_factored, solve_graph
 from .sparse.csc import SymmetricCSC
 from .sparse.permute import permutation_gather
@@ -114,6 +115,20 @@ def same_pattern_values(A, values, *,
             "(one value per stored lower-triangle entry)"
         )
     return data
+
+
+def _with_devices(spec, engine, devices, engine_kwargs):
+    """Validate ``devices=`` against the engine kind and merge it into the
+    engine kwargs — the one rule shared by :meth:`SymbolicPlan.factorize`
+    and :meth:`SymbolicPlan.factorize_batch`."""
+    if devices is None:
+        return engine_kwargs
+    if not spec.is_stream:
+        raise ValueError(
+            f"devices= applies to the GPU stream engines only "
+            f"(rl_gpu_dag, rlb_gpu_dag — or backend='gpu'), not {engine!r}"
+        )
+    return dict(engine_kwargs, devices=devices)
 
 
 def plan(A, *, ordering="nd", **analyze_kwargs):
@@ -250,7 +265,7 @@ class SymbolicPlan:
     # numeric stage
     # ------------------------------------------------------------------
     def factorize(self, values=None, *, engine="rl", workers=None,
-                  **engine_kwargs):
+                  backend=None, devices=None, **engine_kwargs):
         """Numeric factorization of same-pattern ``values``; returns an
         immutable :class:`Factor`.
 
@@ -263,14 +278,27 @@ class SymbolicPlan:
             Raises ``ValueError`` on a pattern mismatch.
         engine:
             Engine name from :mod:`repro.numeric.registry` (``"rl"``,
-            ``"rlb"``, ``"rl_par"``, ``"rlb_par"``, ``"rl_gpu"``, ...).
+            ``"rlb"``, ``"rl_par"``, ``"rlb_par"``, ``"rl_gpu"``,
+            ``"rl_gpu_dag"``, ...).
         workers:
             Worker-thread count for the threaded engines; rejected for
             serial/GPU engines.
+        backend:
+            ``"threads"`` or ``"gpu"``: run ``engine``'s task-DAG
+            granularity on that scheduling substrate
+            (:func:`repro.numeric.registry.backend_engine`) — e.g.
+            ``engine="rlb_par", backend="gpu"`` runs the fine DAG on
+            simulated-GPU streams (``rlb_gpu_dag``).  Factors are
+            bit-identical across backends.
+        devices:
+            Simulated-GPU count for the stream engines (``backend="gpu"``
+            / ``rl_gpu_dag`` / ``rlb_gpu_dag``); rejected elsewhere.
         engine_kwargs:
             Forwarded to the engine (``machine=``, ``device=``,
-            ``threshold=``, ...).
+            ``threshold=``, ``tracer=``, ...).
         """
+        if backend is not None:
+            engine = backend_engine(engine, backend)
         spec = get_engine(engine)
         if workers is not None:
             if not spec.is_threaded:
@@ -279,13 +307,14 @@ class SymbolicPlan:
                     f"(rl_par, rlb_par), not {engine!r}"
                 )
             engine_kwargs = dict(engine_kwargs, workers=workers)
+        engine_kwargs = _with_devices(spec, engine, devices, engine_kwargs)
         data = self._values_of(values)
         M = self._permuted_matrix(data)
         result = spec.fn(self._system.symb, M, **spec.fixed, **engine_kwargs)
         return Factor(self, result, self._original_matrix(data))
 
     def factorize_batch(self, values_list, *, engine="rlb_par", workers=None,
-                        **engine_kwargs):
+                        backend=None, devices=None, **engine_kwargs):
         """Factorize a batch of same-pattern matrices; returns a
         :class:`FactorBatch`.
 
@@ -296,14 +325,19 @@ class SymbolicPlan:
         high-throughput serving mode for parameter sweeps, time stepping
         and many concurrent users on one pattern.  Serial and GPU engines
         fall back to an amortized loop over :meth:`factorize` (symbolic
-        work still shared).
+        work still shared).  ``backend`` / ``devices`` select a scheduling
+        substrate exactly as in :meth:`factorize` (``backend="gpu"`` runs
+        every matrix on the stream engines, modeled time per matrix).
 
         Every factor is bit-identical to a serial ``factorize`` of that
         matrix alone.  A non-SPD matrix anywhere in the batch raises
         :class:`~repro.dense.kernels.NotPositiveDefiniteError` with
         ``batch_index`` set to its position in ``values_list``.
         """
+        if backend is not None:
+            engine = backend_engine(engine, backend)
         spec = get_engine(engine)
+        engine_kwargs = _with_devices(spec, engine, devices, engine_kwargs)
         datas = [self._values_of(v) for v in values_list]
         if not spec.is_threaded:
             if workers is not None:
@@ -418,6 +452,15 @@ class SolvePlan:
         """Supernodes per level, leaves first (``np.ndarray``)."""
         return self._schedule.level_widths()
 
+    def offload_estimate(self, k=1, *, machine=None):
+        """Pattern-only modeled comparison of this pattern's solve phase
+        for ``k`` right-hand sides: best-over-threads host sweeps vs the
+        offloaded device sweeps (cold factor and device-resident), with a
+        ``recommended`` mode — what ``Factor.solve(mode="gpu")`` would
+        buy before factorizing anything.  See
+        :func:`repro.solve.gpu_solve.solve_offload_estimate`."""
+        return solve_offload_estimate(self._plan.symb, k, machine=machine)
+
     def __repr__(self):  # pragma: no cover - cosmetic
         return (f"SolvePlan(nsup={self.nsup}, nlevels={self.nlevels}, "
                 f"max_parallelism={self.max_parallelism})")
@@ -449,22 +492,30 @@ def _unpermute(perm):
     return finish
 
 
-def _submit_solve_chain(pool, storage, y, future, finish):
+def _submit_solve_graph(pool, storage, y, future, on_done):
     """Submit the fused level-scheduled solve of one factor on a
     persistent pool.  ``y`` is the already-permuted right-hand side
     (solved in place by :func:`repro.solve.triangular.solve_graph` — both
-    sweeps, one task graph); when it drains, ``finish(y)`` produces the
-    future's result (``finish`` owns the un-permutation).  The graph
-    preserves the serial accumulation order, so the resolved solution is
-    bit-identical to :meth:`Factor.solve` of the same factor."""
+    sweeps, one task graph); when it drains, ``on_done(y)`` runs on a
+    worker thread (its exceptions, like the graph's, land on
+    ``future``).  The graph preserves the serial accumulation order, so
+    the solved buffer is bit-identical to the serial sweeps'."""
 
     def done():
-        future.set_result(finish(y))
+        on_done(y)
 
     ntasks, roots, run_task = solve_graph(storage, y)
     pool.submit_graph(ntasks, roots, run_task,
                       on_complete=_guarded(done, future),
                       on_error=future.set_exception)
+
+
+def _submit_solve_chain(pool, storage, y, future, finish):
+    """One plain solve on the pool: resolve ``future`` with ``finish(y)``
+    (the un-permutation) once the fused graph drains — bit-identical to
+    :meth:`Factor.solve` of the same factor."""
+    _submit_solve_graph(pool, storage, y, future,
+                        lambda buf: future.set_result(finish(buf)))
 
 
 def _pooled_solves(storage_rhs_pairs, perm, n, workers, name):
@@ -544,38 +595,55 @@ class Factor:
         return self._plan.solve_plan()
 
     # ------------------------------------------------------------------
-    def solve(self, b, *, workers=None, mode=None):
+    def solve(self, b, *, workers=None, mode=None, devices=None):
         """Solve ``A x = b``.
 
         ``mode`` picks the triangular-solve schedule from
         :data:`repro.numeric.registry.SOLVE_MODES`: ``"serial"`` (one
-        supernode after another) or ``"level"`` (the elimination-tree
-        level schedule of :meth:`solve_plan` on the threaded task-graph
-        runtime; accepts ``workers=``).  ``mode=None`` infers ``"level"``
-        when ``workers`` is given, else ``"serial"``.  Solutions are
-        **bit-identical** across modes and worker counts — the parallel
-        sweeps preserve the serial accumulation order.
+        supernode after another), ``"level"`` (the elimination-tree level
+        schedule of :meth:`solve_plan` on the threaded task-graph runtime;
+        accepts ``workers=``) or ``"gpu"`` (the same solve graphs on the
+        simulated-GPU stream backend —
+        :func:`repro.solve.gpu_solve.solve_factored_gpu_dag`; accepts
+        ``devices=``).  ``mode=None`` infers ``"level"`` when ``workers``
+        is given, ``"gpu"`` when ``devices`` is given, else ``"serial"``.
+        Solutions are **bit-identical** across modes, worker counts and
+        device counts — every schedule preserves the serial accumulation
+        order.
         """
         spec = get_solve_mode(
             mode if mode is not None
-            else ("level" if workers is not None else "serial")
+            else ("level" if workers is not None
+                  else "gpu" if devices is not None else "serial")
         )
         if workers is not None and not spec.parallel:
             raise ValueError(
                 f"workers= applies to the parallel solve modes only "
                 f"(level), not {spec.name!r}"
             )
+        if devices is not None and not spec.offload:
+            raise ValueError(
+                f"devices= applies to the offloaded solve modes only "
+                f"(gpu), not {spec.name!r}"
+            )
         # validate BEFORE the permutation gather: b[perm] would silently
         # truncate an oversized right-hand side
         b = check_rhs(self.n, b, "b", copy=False)
         perm = self._plan.perm
-        if spec.parallel:
-            workers = default_workers() if workers is None else int(workers)
+        if spec.offload:
+            # b[perm] is a fresh gather the graphs may solve in place
+            y, _, _ = solve_factored_gpu_dag(
+                self.storage, b[perm], overwrite_b=True,
+                devices=1 if devices is None else int(devices))
         else:
-            workers = None
-        # b[perm] is a fresh gather; both sweeps run in place on it
-        y = solve_factored(self.storage, b[perm], overwrite_b=True,
-                           workers=workers)
+            if spec.parallel:
+                workers = (default_workers() if workers is None
+                           else int(workers))
+            else:
+                workers = None
+            # b[perm] is a fresh gather; both sweeps run in place on it
+            y = solve_factored(self.storage, b[perm], overwrite_b=True,
+                               workers=workers)
         x = np.empty_like(y)
         x[perm] = y
         return x
@@ -596,18 +664,23 @@ class Factor:
                               self._plan.perm, self.n, workers,
                               "repro-manysolve")
 
-    def solve_refined(self, b, *, tol=1e-14, max_iter=5, return_info=False):
+    def solve_refined(self, b, *, tol=1e-14, max_iter=5, workers=None,
+                      return_info=False):
         """Solve ``A x = b`` with iterative refinement.
 
         Runs classical fixed-precision refinement
         (:func:`repro.solve.refine.refine`) until the relative residual
         reaches ``tol`` or ``max_iter`` correction steps were taken.
-        Returns the refined ``x``; with ``return_info=True`` returns the
-        full :class:`~repro.solve.refine.RefinementResult` (residual
-        history, iteration count, convergence flag).
+        ``workers=N`` routes every repeated solve (the initial one and
+        each correction) through the level-scheduled fused task graph —
+        the refined solution is bit-identical to the serial path, the
+        inner solves just run in parallel.  Returns the refined ``x``;
+        with ``return_info=True`` returns the full
+        :class:`~repro.solve.refine.RefinementResult` (residual history,
+        iteration count, convergence flag).
         """
         out = refine(self._matrix, self.storage, self._plan.perm, b,
-                     tol=tol, max_iter=max_iter)
+                     tol=tol, max_iter=max_iter, workers=workers)
         return out if return_info else out.x
 
     def residual_norm(self, x, b):
@@ -789,9 +862,12 @@ class ServingSession:
         self.workers = workers
         # pre-build every memoised pattern structure on this (caller)
         # thread: worker-thread callbacks may then only *read* the symbolic
-        # cache (DAG plan, solve schedule, scatter plan, block offsets)
+        # cache (DAG plan, solve schedule, scatter plan, block offsets);
+        # the matvec plan feeds refinement's residuals, and sharing the
+        # host's keeps every submitted matrix from rebuilding it
         warm_executor_plan(plan.symb, self._granularity)
         solve_schedule(plan.symb)
+        plan.matrix._matvec_plan()
         self._pool = StreamPool(workers, name="repro-serve")
         self._submitted = 0
         self._closed = False
@@ -881,7 +957,8 @@ class ServingSession:
                          lambda factor, storage: future.set_result(factor))
         return future
 
-    def submit_solve(self, values, b):
+    def submit_solve(self, values, b, *, refine=False, tol=1e-14,
+                     max_iter=5):
         """Enqueue factorize + level-scheduled solve; returns a future
         resolving to the solution ``x`` of ``A(values) x = b``.
 
@@ -889,16 +966,48 @@ class ServingSession:
         stream of ``submit_solve`` calls keeps every worker busy across
         both phases.  ``b`` is captured at submit time (``(n,)`` or
         ``(n, k)``); the caller may reuse its buffer afterwards.
+
+        ``refine=True`` chains classical iterative refinement onto the
+        same pool: after the initial solve, residuals are evaluated on a
+        worker thread and each correction runs as one more fused solve
+        graph, until the relative residual reaches ``tol`` or ``max_iter``
+        corrections were taken.  The resolved ``x`` is bit-identical to
+        ``factor.solve_refined(b, tol=tol, max_iter=max_iter)`` — mixed
+        factorize/solve/refine streams share one worker pool end to end.
         """
         plan = self._plan
-        b = check_rhs(plan.n, b, "b", copy=False)
+        b = check_rhs(plan.n, b, "b", copy=refine)
         perm = plan.perm
         y = b[perm]  # fresh gather, owned by the chain
         future = Future()
+        finish = _unpermute(perm)
 
-        def on_factor(factor, storage):
-            _submit_solve_chain(self._pool, storage, y, future,
-                                _unpermute(perm))
+        if not refine:
+            def on_factor(factor, storage):
+                _submit_solve_chain(self._pool, storage, y, future, finish)
+        else:
+            def on_factor(factor, storage):
+                matrix = factor.matrix
+                state = {"x": None, "it": 0}
+
+                def advance(buf):
+                    # buf = the solved permuted rhs: x0 first, then the
+                    # corrections — same update sequence as refine()
+                    delta = finish(buf)
+                    x = delta if state["x"] is None else state["x"] + delta
+                    state["x"] = x
+                    state["it"] += 1
+                    if state["it"] > max_iter:
+                        future.set_result(x)
+                        return
+                    r = b - matrix.matvec(x)
+                    if _relative_residual_norm(b, r) <= tol:
+                        future.set_result(x)
+                        return
+                    _submit_solve_graph(self._pool, storage, r[perm],
+                                        future, advance)
+
+                _submit_solve_graph(self._pool, storage, y, future, advance)
 
         self._factor_job(values, future, on_factor)
         return future

@@ -117,45 +117,71 @@ def cmd_factorize(args):
     from .gpu import MachineModel, SimulatedGpu, Tracer
     from .gpu.device import Timeline
     from .numeric import DEFAULT_DEVICE_MEMORY
-    from .numeric.registry import ENGINES, METHODS
+    from .numeric.registry import BACKENDS, ENGINES, METHODS, backend_engine
 
-    par_engine = {"coarse": "rl_par", "fine": "rlb_par"}
+    par_engine = BACKENDS["threads"]
     if args.workers is not None and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.devices is not None and args.devices < 1:
+        print("--devices must be >= 1", file=sys.stderr)
+        return 2
     method = args.method
-    if method is None:
-        # --workers / --granularity select the threaded task-DAG engine;
+    if args.backend is not None:
+        # --backend re-targets the task-DAG granularity of the requested
+        # (or implied) engine onto the chosen scheduling substrate
+        base = method or par_engine[args.granularity or "coarse"]
+        try:
+            method = backend_engine(base, args.backend)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    elif method is None:
+        # --workers / --granularity / --devices select a task-DAG engine;
         # plain `factorize` keeps the historical rl_gpu default
-        if args.workers is not None or args.granularity is not None:
+        if args.devices is not None:
+            method = BACKENDS["gpu"][args.granularity or "coarse"]
+        elif args.workers is not None or args.granularity is not None:
             method = par_engine[args.granularity or "coarse"]
         else:
             method = "rl_gpu"
-    elif method in par_engine.values():
-        want = par_engine.get(args.granularity)
-        if want is not None and want != method:
-            print(f"--granularity {args.granularity} conflicts with "
-                  f"--method {method} (use {want})", file=sys.stderr)
-            return 2
-    elif args.workers is not None or args.granularity is not None:
-        print("--workers/--granularity apply to the threaded engines only "
-              f"(rl_par, rlb_par), not --method {method}", file=sys.stderr)
-        return 2
-    if method in par_engine.values() and args.threshold is not None:
-        print("--threshold applies to the GPU offload engines, not the "
-              "threaded executor", file=sys.stderr)
-        return 2
     if method not in METHODS:
         print(f"unknown method {method!r}; choose from "
               f"{sorted(METHODS)}", file=sys.stderr)
         return 2
+    spec = ENGINES[method]
+    if args.granularity is not None:
+        if spec.granularity is None:
+            print("--granularity applies to the task-DAG engines only "
+                  "(rl_par, rlb_par, rl_gpu_dag, rlb_gpu_dag), not "
+                  f"--method {method}", file=sys.stderr)
+            return 2
+        if spec.granularity != args.granularity:
+            want = BACKENDS["gpu" if spec.is_stream else "threads"][
+                args.granularity]
+            print(f"--granularity {args.granularity} conflicts with "
+                  f"--method {method} (use {want})", file=sys.stderr)
+            return 2
+    if args.workers is not None and not spec.is_threaded:
+        print("--workers applies to the threaded engines only "
+              f"(rl_par, rlb_par), not --method {method}", file=sys.stderr)
+        return 2
+    if args.devices is not None and not spec.is_stream:
+        print("--devices applies to the GPU stream engines only "
+              "(rl_gpu_dag, rlb_gpu_dag; use --backend gpu), not "
+              f"--method {method}", file=sys.stderr)
+        return 2
+    if args.threshold is not None and not (spec.is_gpu or spec.is_stream):
+        print("--threshold applies to the GPU offload engines, not the "
+              "threaded executor", file=sys.stderr)
+        return 2
     if ((args.gantt or args.trace)
-            and not (ENGINES[method].is_gpu or ENGINES[method].is_threaded)):
+            and not (spec.is_gpu or spec.is_stream or spec.is_threaded)):
         # refuse loudly instead of exiting 0 with no trace written (the
         # batch subcommand treats --trace the same way)
-        print("--gantt/--trace need a timeline: a GPU engine (modeled) or "
-              f"the threaded executor (rl_par, rlb_par; measured), not "
-              f"--method {method}", file=sys.stderr)
+        print("--gantt/--trace need a timeline: a GPU/stream engine "
+              "(modeled) or the threaded executor (rl_par, rlb_par; "
+              f"measured), not --method {method}", file=sys.stderr)
         return 2
     system = _analyzed(args.matrix, args.ordering)
     fn, fixed = METHODS[method]
@@ -163,7 +189,7 @@ def cmd_factorize(args):
     if args.workers is not None:
         kwargs["workers"] = args.workers
     tracer = None
-    if ENGINES[method].is_gpu:
+    if spec.is_gpu:
         if args.threshold is not None:
             kwargs["threshold"] = args.threshold
         machine = MachineModel()
@@ -172,7 +198,17 @@ def cmd_factorize(args):
         kwargs["device"] = SimulatedGpu(
             args.device_memory or DEFAULT_DEVICE_MEMORY, machine=machine,
             timeline=Timeline(tracer=tracer))
-    elif ENGINES[method].is_threaded and (args.gantt or args.trace):
+    elif spec.is_stream:
+        # the stream backend builds its own devices; hand it the flags
+        if args.threshold is not None:
+            kwargs["threshold"] = args.threshold
+        if args.devices is not None:
+            kwargs["devices"] = args.devices
+        if args.device_memory:
+            kwargs["device_memory"] = args.device_memory
+        tracer = Tracer()
+        kwargs["tracer"] = tracer
+    elif spec.is_threaded and (args.gantt or args.trace):
         # measured per-task occupancy: one trace lane per worker thread
         tracer = Tracer()
         kwargs["tracer"] = tracer
@@ -186,6 +222,10 @@ def cmd_factorize(args):
     ]
     if res.best_threads:
         rows.append(("best MKL threads", str(res.best_threads)))
+    if "devices" in res.extra:
+        rows.append(("devices (stream DAG)", str(res.extra["devices"])))
+        rows.append(("task granularity", res.extra["granularity"]))
+        rows.append(("DAG tasks", str(res.extra["tasks"])))
     if "wall_seconds" in res.extra:
         rows.append(("workers (threaded DAG)", str(res.extra["workers"])))
         rows.append(("task granularity", res.extra["granularity"]))
@@ -213,6 +253,7 @@ def cmd_solve(args):
     import time
 
     from .api import plan as make_plan
+    from .numeric.registry import backend_engine
 
     if args.rhs < 1:
         print("--rhs must be >= 1", file=sys.stderr)
@@ -220,23 +261,56 @@ def cmd_solve(args):
     if args.workers is not None and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.devices is not None and args.devices < 1:
+        print("--devices must be >= 1", file=sys.stderr)
+        return 2
+    # argparse restricts --backend to "gpu" (thread parallelism is
+    # --workers); bare --devices implies the gpu backend
+    backend = args.backend
+    if backend is None and args.devices is not None:
+        backend = "gpu"
+    if backend == "gpu" and args.workers is not None:
+        print("--workers and --backend gpu are mutually exclusive (the "
+              "offloaded solve runs on device streams)", file=sys.stderr)
+        return 2
     A = _load_matrix(args.matrix)
     rng = np.random.default_rng(args.seed)
     shape = A.n if args.rhs == 1 else (A.n, args.rhs)
     b = rng.standard_normal(shape)
+    plan = make_plan(A, ordering=args.ordering)
+    engine = args.method
+    factor_kwargs = {}
+    if backend == "gpu":
+        try:
+            engine = backend_engine(args.method, "gpu")
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        if args.devices is not None:
+            factor_kwargs["devices"] = args.devices
     try:
-        factor = make_plan(A, ordering=args.ordering).factorize(
-            engine=args.method)
+        factor = plan.factorize(engine=engine, **factor_kwargs)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
-    x = factor.solve(b)
+    if backend == "gpu":
+        x = factor.solve(b, mode="gpu", devices=args.devices)
+    else:
+        x = factor.solve(b)
     rel = factor.residual_norm(x, b)
-    print(f"n = {A.n}, method = {args.method}, "
+    print(f"n = {A.n}, method = {engine}, "
           f"modeled factor time = {factor.result.modeled_seconds:.4f}s")
     if args.rhs > 1:
         print(f"right-hand sides = {args.rhs} (one block solve)")
     print(f"relative residual = {rel:.3e}")
+    if backend == "gpu":
+        est = plan.solve_plan().offload_estimate(k=args.rhs)
+        print(f"solve offload estimate (k={args.rhs}): "
+              f"cpu {est['cpu_seconds']:.3e}s "
+              f"({est['cpu_threads']} threads) vs "
+              f"gpu {est['gpu_seconds']:.3e}s cold / "
+              f"{est['gpu_resident_seconds']:.3e}s resident "
+              f"-> {est['recommended']}")
     if args.workers is not None:
         # serial sweeps vs the level-scheduled parallel sweeps, best of 3
         sp = factor.solve_plan()
@@ -349,12 +423,19 @@ def cmd_batch(args):
 
     from .analysis import format_table
     from .api import plan as make_plan
-    from .numeric.registry import get_engine, serial_twin
+    from .numeric.registry import backend_engine, get_engine, serial_twin
     from .solve import CholeskySolver
     from .sparse import spd_value_sweep
 
+    engine = args.engine
+    if args.backend is not None:
+        try:
+            engine = backend_engine(engine, args.backend)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
     try:
-        spec = get_engine(args.engine)
+        spec = get_engine(engine)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -366,21 +447,31 @@ def cmd_batch(args):
         return 2
     if args.workers is not None and not spec.is_threaded:
         print("--workers applies to the threaded engines only "
-              f"(rl_par, rlb_par), not --engine {args.engine}",
+              f"(rl_par, rlb_par), not --engine {engine}",
               file=sys.stderr)
+        return 2
+    if args.devices is not None and args.devices < 1:
+        print("--devices must be >= 1", file=sys.stderr)
+        return 2
+    if args.devices is not None and not spec.is_stream:
+        print("--devices applies to the GPU stream engines only "
+              "(rl_gpu_dag, rlb_gpu_dag; use --backend gpu), not "
+              f"--engine {engine}", file=sys.stderr)
         return 2
     if args.rhs < 1:
         print("--rhs must be >= 1", file=sys.stderr)
         return 2
     if args.trace and not spec.is_threaded:
         print("--trace records the threaded executor's per-task occupancy; "
-              f"it does not apply to --engine {args.engine}",
+              f"it does not apply to --engine {engine}",
               file=sys.stderr)
         return 2
     A = _load_matrix(args.matrix)
     rng = np.random.default_rng(args.seed)
     datas = spd_value_sweep(A, args.batch, seed=args.seed)
     kwargs = {"workers": args.workers} if spec.is_threaded else {}
+    if spec.is_stream and args.devices is not None:
+        kwargs["devices"] = args.devices
     tracer = None
     if args.trace:
         from .gpu import Tracer
@@ -389,14 +480,14 @@ def cmd_batch(args):
         kwargs["tracer"] = tracer
 
     plan = make_plan(A, ordering=args.ordering)
-    plan.factorize(datas[0], engine=args.engine,
+    plan.factorize(datas[0], engine=engine,
                    **{k: v for k, v in kwargs.items() if k != "tracer"})
     t0 = time.perf_counter()
-    batch = plan.factorize_batch(datas, engine=args.engine, **kwargs)
+    batch = plan.factorize_batch(datas, engine=engine, **kwargs)
     t_batch = time.perf_counter() - t0
 
     # the pre-batching protocol: one serial refactorize after another
-    loop_engine = serial_twin(args.engine)
+    loop_engine = serial_twin(engine)
     solver = CholeskySolver(A, method=loop_engine,
                             analyze_kwargs={"ordering": args.ordering})
     solver.factorize()  # symbolic + cache warm-up outside the loop
@@ -410,12 +501,17 @@ def cmd_batch(args):
     xs = batch.solve_all(b)
     worst = max(f.residual_norm(x, b) for f, x in zip(batch, xs))
 
-    workers = batch[0].result.extra.get("workers", 1)
     rows = [
-        ("engine (batched)", args.engine),
+        ("engine (batched)", engine),
         ("engine (looped)", loop_engine),
         ("batch size", str(args.batch)),
-        ("workers", str(workers)),
+    ]
+    if "workers" in batch[0].result.extra:
+        rows.append(("workers", str(batch[0].result.extra["workers"])))
+    if "devices" in batch[0].result.extra:
+        rows.append(("devices (stream DAG)",
+                     str(batch[0].result.extra["devices"])))
+    rows += [
         ("looped refactorize total", f"{t_loop * 1e3:.2f} ms"),
         ("looped per matrix", f"{t_loop / args.batch * 1e3:.2f} ms"),
         ("batched total", f"{t_batch * 1e3:.2f} ms"),
@@ -536,9 +632,17 @@ def build_parser():
                          "worker threads (real wall-clock parallelism)")
     sp.add_argument("--granularity", default=None,
                     choices=["coarse", "fine"],
-                    help="task granularity for the threaded executor: "
+                    help="task granularity for the task-DAG engines: "
                          "coarse = one task per supernode (RL), "
                          "fine = per block pair (RLB)")
+    sp.add_argument("--backend", default=None,
+                    choices=["threads", "gpu"],
+                    help="scheduling substrate for the task DAG: worker "
+                         "threads (measured) or simulated-GPU streams "
+                         "(modeled offload; rl_gpu_dag / rlb_gpu_dag)")
+    sp.add_argument("--devices", type=int, default=None,
+                    help="simulated GPUs for the stream backend "
+                         "(least-loaded task placement)")
     sp.add_argument("--gantt", action="store_true",
                     help="print an ASCII Gantt chart of the timeline")
     sp.add_argument("--trace", metavar="FILE",
@@ -556,6 +660,13 @@ def build_parser():
                     help="also run the level-scheduled parallel triangular "
                          "solves with this many threads and report "
                          "serial-vs-parallel solve timings (bit-identical)")
+    sp.add_argument("--backend", default=None, choices=["gpu"],
+                    help="offload both phases: factorize on the stream "
+                         "DAG engine and solve via the solve graphs on "
+                         "simulated-GPU streams (prints the offload "
+                         "estimate)")
+    sp.add_argument("--devices", type=int, default=None,
+                    help="simulated GPUs for --backend gpu (implies it)")
     common(sp)
 
     sp = sub.add_parser("batch",
@@ -568,6 +679,12 @@ def build_parser():
                          "default: rlb_par)")
     sp.add_argument("--workers", type=int, default=None,
                     help="worker threads for the threaded engines")
+    sp.add_argument("--backend", default=None,
+                    choices=["threads", "gpu"],
+                    help="scheduling substrate for the batch's task-DAG "
+                         "engine (gpu = modeled stream offload per matrix)")
+    sp.add_argument("--devices", type=int, default=None,
+                    help="simulated GPUs per factorize for --backend gpu")
     sp.add_argument("--batch", type=int, default=8,
                     help="number of same-pattern matrices (default: 8)")
     sp.add_argument("--rhs", type=int, default=1,

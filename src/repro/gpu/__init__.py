@@ -16,6 +16,7 @@ from .device import (
     DeviceOutOfMemory,
     DeviceBuffer,
     Timeline,
+    DeviceTimeline,
     TransferHandle,
     SimulatedGpu,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "DeviceOutOfMemory",
     "DeviceBuffer",
     "Timeline",
+    "DeviceTimeline",
     "TransferHandle",
     "SimulatedGpu",
     "TraceEvent",

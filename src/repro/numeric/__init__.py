@@ -20,10 +20,14 @@ from .rlb import (
 from .executor import (
     factorize_executor,
     factorize_executor_batch,
+    Backend,
+    ThreadBackend,
+    GpuStreamBackend,
     OrderedCommitter,
     GRANULARITIES,
     default_workers,
 )
+from .gpu_dag import factorize_gpu_dag
 from .rl_gpu import factorize_rl_gpu
 from .rlb_gpu import factorize_rlb_gpu
 from .left_looking import factorize_left_looking
@@ -52,10 +56,13 @@ from .threshold import (
     DEFAULT_RLB_THRESHOLD,
     DEFAULT_DEVICE_MEMORY,
     gpu_snode_mask,
+    scaled_panel_entries_array,
 )
 from .registry import (
     ENGINES,
+    BACKENDS,
     EngineSpec,
+    backend_engine,
     engine_names,
     get_engine,
     serial_twin,
@@ -95,11 +102,17 @@ __all__ = [
     "block_pair_targets",
     "factorize_executor",
     "factorize_executor_batch",
+    "factorize_gpu_dag",
+    "Backend",
+    "ThreadBackend",
+    "GpuStreamBackend",
     "OrderedCommitter",
     "GRANULARITIES",
     "default_workers",
     "ENGINES",
+    "BACKENDS",
     "EngineSpec",
+    "backend_engine",
     "engine_names",
     "get_engine",
     "serial_twin",
@@ -107,6 +120,7 @@ __all__ = [
     "DEFAULT_RLB_THRESHOLD",
     "DEFAULT_DEVICE_MEMORY",
     "gpu_snode_mask",
+    "scaled_panel_entries_array",
     "rank1_update",
     "MemoryPlan",
     "plan",

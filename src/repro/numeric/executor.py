@@ -51,6 +51,7 @@ next to the *modeled* Gantt charts of :mod:`repro.numeric.schedule`
 
 from __future__ import annotations
 
+import heapq
 import os
 import threading
 import time
@@ -58,17 +59,22 @@ from collections import deque
 
 from ..dense.kernels import NotPositiveDefiniteError
 from ..gpu.costmodel import CPU_THREAD_CHOICES, MachineModel
+from ..gpu.device import DeviceTimeline, SimulatedGpu, Timeline
 from ..symbolic.blocks import snode_blocks
 from ..symbolic.relind import assembly_plan
 from .result import CpuCostAccumulator, FactorizeResult
 from .rl import factor_snode, snode_update
 from .rlb import block_pair_targets, commit_block_pair, compute_block_pair
 from .storage import FactorStorage
+from .threshold import DEFAULT_DEVICE_MEMORY
 
 __all__ = [
     "factorize_executor",
     "factorize_executor_batch",
     "run_task_graph",
+    "Backend",
+    "ThreadBackend",
+    "GpuStreamBackend",
     "OrderedCommitter",
     "StreamPool",
     "stream_factorize_job",
@@ -277,6 +283,176 @@ def run_task_graph(ntasks, roots, run_task, workers):
     queue.run(run_task, max(1, min(workers, ntasks)))
 
 
+class Backend:
+    """A scheduling substrate for static task DAGs.
+
+    The runtime above (plans, committers, task bodies) is substrate
+    agnostic: anything that can execute a ``(ntasks, roots, run_task)``
+    triple to completion is a backend.  Two substrates ship:
+
+    * :class:`ThreadBackend` — real worker threads on a shared ready queue
+      (measured wall-clock parallelism; the PR-2 runtime);
+    * :class:`GpuStreamBackend` — a deterministic dispatcher driving the
+      simulated GPU's compute stream and DMA copy engines (modeled-time
+      parallelism; the substrate of :mod:`repro.numeric.gpu_dag` and the
+      solve offload of :mod:`repro.solve.gpu_solve`).
+
+    ``priority`` optionally orders ready-task selection for backends that
+    schedule deterministically; backends with scheduling freedom (threads)
+    may ignore it.
+    """
+
+    name = "abstract"
+
+    def run_graph(self, ntasks, roots, run_task, *, priority=None):
+        """Execute one static task graph to completion.  ``run_task(tid)``
+        performs task ``tid`` and returns the task ids it released."""
+        raise NotImplementedError
+
+
+class ThreadBackend(Backend):
+    """The shared-ready-queue worker-pool substrate (PR 2).
+
+    A transient pool of ``workers`` threads per graph — exactly
+    :func:`run_task_graph`, packaged behind the :class:`Backend` seam.
+    Ready-task order is whatever the pool pops; determinism comes from the
+    ordered committers, not the schedule, so ``priority`` is ignored.
+    """
+
+    name = "threads"
+
+    def __init__(self, workers=None):
+        self.workers = default_workers() if workers is None else int(workers)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+    def run_graph(self, ntasks, roots, run_task, *, priority=None):
+        run_task_graph(ntasks, roots, run_task, self.workers)
+
+
+class GpuStreamBackend(Backend):
+    """Deterministic stream dispatcher over ``devices`` simulated GPUs.
+
+    Ready tasks are popped lowest-``priority``-first by ONE host thread
+    (the numerics of any task graph therefore execute in a fixed,
+    reproducible order — ascending task id by default, which for the
+    factorization DAGs is exactly the serial engines' elimination order).
+    Task bodies run their kernel pipelines against the backend's devices;
+    modeled time lands on the device timelines:
+
+    * ``devices == 1`` — the single device's :class:`~repro.gpu.device
+      .Timeline` is host-coupled, so a DAG engine reproduces the
+      hand-rolled offload engines' schedule *exactly* (same factors, same
+      modeled seconds).
+    * ``devices > 1`` — every device gets its own
+      :class:`~repro.gpu.device.DeviceTimeline` sharing one host clock,
+      decoupled from host issue (``coupled=False``): device pipelines are
+      gated by engine availability and explicit task ready times, the
+      dispatcher-thread model of :mod:`repro.numeric.multigpu` — whose
+      least-loaded placement :meth:`place` subsumes.  Host-side work
+      (assembly, blocking waits) still serializes on the shared host
+      clock.
+
+    Device memory is byte-accounted per device by each
+    :class:`~repro.gpu.device.SimulatedGpu`;
+    :class:`~repro.gpu.device.DeviceOutOfMemory` propagates to the caller
+    at the same supernode as the hand-rolled engines.  Pass a
+    :class:`~repro.gpu.trace.Tracer` to record every modeled interval —
+    one ``gpu``/``copy_in``/``copy_out`` lane triple per device (suffixed
+    ``gpu0``, ``gpu1``, ... when ``devices > 1``) next to the shared
+    ``cpu`` lane, rendered by the same :mod:`repro.gpu.trace` outputs as
+    the hand-rolled engines and the thread-occupancy traces.
+    """
+
+    name = "gpu"
+
+    def __init__(
+        self,
+        *,
+        devices=1,
+        machine=None,
+        device_memory=DEFAULT_DEVICE_MEMORY,
+        tracer=None,
+        launch_overhead_s=2.0e-6,
+    ):
+        devices = int(devices)
+        if devices < 1:
+            raise ValueError("devices must be >= 1")
+        self.devices = devices
+        self.machine = machine or MachineModel()
+        self.tracer = tracer
+        self.host = Timeline(tracer=tracer)
+        if devices == 1:
+            timelines = [self.host]
+        else:
+            timelines = [
+                DeviceTimeline(
+                    self.host,
+                    coupled=False,
+                    gpu_lane=f"gpu{k}",
+                    copy_in_lane=f"copy_in{k}",
+                    copy_out_lane=f"copy_out{k}",
+                )
+                for k in range(devices)
+            ]
+        self.gpus = [
+            SimulatedGpu(
+                device_memory,
+                machine=self.machine,
+                timeline=tl,
+                launch_overhead_s=launch_overhead_s,
+            )
+            for tl in timelines
+        ]
+        self.task_counts = [0] * devices
+
+    # ------------------------------------------------------------------
+    def place(self):
+        """Least-loaded placement: ``(device_index, SimulatedGpu)`` of the
+        device whose engines free up earliest (ties break to the lowest
+        index, keeping placement deterministic)."""
+
+        def load(k):
+            tl = self.gpus[k].timeline
+            return max(tl.gpu, tl.copy_in, tl.copy_out)
+
+        d = min(range(self.devices), key=load)
+        self.task_counts[d] += 1
+        return d, self.gpus[d]
+
+    def elapsed(self):
+        """Modeled wall-clock: the shared host clock joined with every
+        device engine (the host's final waits normally dominate)."""
+        t = self.host.cpu
+        for g in self.gpus:
+            tl = g.timeline
+            t = max(t, tl.gpu, tl.copy_in, tl.copy_out)
+        return t
+
+    def device_busy_seconds(self):
+        """Per-device compute-stream busy seconds (modeled)."""
+        return [g.stats.kernel_seconds for g in self.gpus]
+
+    # ------------------------------------------------------------------
+    def run_graph(self, ntasks, roots, run_task, *, priority=None):
+        """Drain the graph deterministically: pop the ready task with the
+        lowest priority key, run it on this (single) host thread, push
+        whatever it released.  Raises ``RuntimeError`` on a graph that
+        deadlocks (a task never released)."""
+        key = priority if priority is not None else (lambda tid: tid)
+        heap = [(key(t), t) for t in roots]
+        heapq.heapify(heap)
+        done = 0
+        while heap:
+            _, tid = heapq.heappop(heap)
+            newly = run_task(tid)
+            done += 1
+            for t in newly or ():
+                heapq.heappush(heap, (key(t), t))
+        if done != ntasks:
+            raise RuntimeError(f"stream backend deadlock: ran {done} of {ntasks} tasks")
+
+
 def _traced_run(run_task, label_of, tracer, t0):
     """Wrap ``run_task`` so every execution records a measured
     ``(worker-thread lane, task label, start, stop)`` interval (seconds
@@ -474,6 +650,11 @@ class StreamPool:
                 self._finish(job)
 
 
+# NOTE: the static-plan/committer/closure helpers below (_coarse_plan,
+# _fine_plan, _build_committer, _assembly_closure, _pair_closure) are the
+# shared substrate of BOTH DAG backends — repro.numeric.gpu_dag builds the
+# stream engines' task graphs from them.  Renaming them is a cross-module
+# change.
 def _coarse_plan(symb):
     """Static coarse-DAG plan, memoised on the symbolic factor.
 
@@ -681,8 +862,9 @@ def factorize_executor(
     machine=None,
     thread_choices=CPU_THREAD_CHOICES,
     tracer=None,
+    backend=None,
 ):
-    """Factorize with the threaded task-DAG runtime.
+    """Factorize with the task-DAG runtime (threaded by default).
 
     Parameters
     ----------
@@ -700,21 +882,28 @@ def factorize_executor(
         Optional :class:`~repro.gpu.trace.Tracer`; when given, every task's
         measured start/stop is recorded on its worker thread's lane
         (real occupancy next to the modeled Gantt charts).
+    backend:
+        Optional :class:`Backend` instance to execute the DAG on instead of
+        a fresh :class:`ThreadBackend` (mutually exclusive with
+        ``workers``).  The task bodies here charge the *CPU* cost model,
+        so any substrate yields the same report; the GPU-charging engines
+        live in :mod:`repro.numeric.gpu_dag`.
     """
     if granularity not in GRANULARITIES:
         raise ValueError(
             f"unknown granularity {granularity!r}; choose from {GRANULARITIES}",
         )
-    workers = default_workers() if workers is None else int(workers)
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
+    if backend is None:
+        backend = ThreadBackend(workers)
+    elif workers is not None:
+        raise ValueError("pass either workers= or backend=, not both")
     machine = machine or MachineModel()
     storage = FactorStorage.from_matrix(symb, A)
     t0 = time.perf_counter()
     ntasks, roots, logs, run_task = _matrix_tasks(symb, storage, granularity)
     if tracer is not None:
         run_task = _traced_run(run_task, _task_label_fn(symb, granularity), tracer, t0)
-    run_task_graph(ntasks, roots, run_task, workers)
+    backend.run_graph(ntasks, roots, run_task)
     wall = time.perf_counter() - t0
     return _replayed_result(
         "rl_par" if granularity == "coarse" else "rlb_par",
@@ -723,7 +912,8 @@ def factorize_executor(
         machine,
         thread_choices,
         extra={
-            "workers": workers,
+            "workers": getattr(backend, "workers", 1),
+            "backend": backend.name,
             "granularity": granularity,
             "wall_seconds": wall,
             "tasks": ntasks,

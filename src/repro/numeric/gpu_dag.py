@@ -1,0 +1,318 @@
+"""DAG-scheduled GPU offload engines on the stream backend.
+
+The hand-rolled GPU engines (:mod:`repro.numeric.rl_gpu`,
+:mod:`repro.numeric.rlb_gpu`, :mod:`repro.numeric.multigpu`) each walk the
+supernodes in elimination order and schedule their own H2D → POTRF/TRSM →
+SYRK/GEMM → D2H pipelines.  This module retargets the *task-DAG runtime* —
+the same coarse and fine DAG plans, ordered committers and release
+bookkeeping the threaded engines of :mod:`repro.numeric.executor` use —
+onto a :class:`~repro.numeric.executor.GpuStreamBackend`, with the engines'
+own kernel pipelines (:func:`~repro.numeric.rl_gpu.rl_gpu_snode`,
+:func:`~repro.numeric.rlb_gpu.rlb_gpu_pair`, ...) as the task bodies:
+
+* ``rl_gpu_dag`` — the coarse DAG (one task per supernode) running RL's
+  three-transfer pipeline per offloaded task;
+* ``rlb_gpu_dag`` — the fine DAG (one factor task per supernode, one task
+  per block pair) running RLB version 2's double-buffered per-pair
+  transfers.
+
+**Single-device parity.**  The stream backend pops ready tasks in a
+deterministic priority order that reproduces the serial engines'
+elimination-order schedule (factor task ``s``, then ``s``'s pair tasks,
+then ``s+1``).  At ``devices=1`` the device timeline is host-coupled, so
+both engines are *bit-identical* to their hand-rolled twins (``rl_gpu`` /
+``rlb_gpu_v2`` — and hence to the serial CPU engines) AND reproduce their
+modeled seconds exactly; :class:`~repro.gpu.device.DeviceOutOfMemory`
+fires at the same supernode with the same accounting.
+
+**Multi-device scaling.**  At ``devices=N`` the backend switches the
+device timelines to the dispatcher-issue model (shared host clock, device
+pipelines gated by engine availability and per-task modeled *ready times*
+maintained here at assembly-commit time), and tasks go to the least-loaded
+device — subsuming the bespoke scheduler of
+:func:`repro.numeric.multigpu.factorize_rl_multigpu` with the same honest
+story: host-serialized assembly bounds the speedup by the elimination
+tree's branch independence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.costmodel import MachineModel
+from ..symbolic.relind import assembly_plan
+from .executor import (
+    GRANULARITIES,
+    GpuStreamBackend,
+    _assembly_closure,
+    _build_committer,
+    _coarse_plan,
+    _fine_plan,
+    _pair_closure,
+)
+from .result import FactorizeResult, GpuCostAccumulator
+from .rl import update_workspace_entries
+from .rl_gpu import rl_cpu_snode, rl_gpu_snode
+from .rlb_gpu import (
+    rlb_cpu_factor,
+    rlb_cpu_pair,
+    rlb_drain_pair,
+    rlb_gpu_factor,
+    rlb_gpu_pair,
+)
+from .storage import FactorStorage
+from .threshold import (
+    DEFAULT_DEVICE_MEMORY,
+    DEFAULT_RL_THRESHOLD,
+    DEFAULT_RLB_THRESHOLD,
+    gpu_snode_mask,
+)
+
+__all__ = ["factorize_gpu_dag"]
+
+
+def _aggregate_stats(gpus):
+    """One :class:`~repro.gpu.device.GpuStats` over every device (counts
+    and bytes summed; ``peak_memory`` is the worst single device)."""
+    from ..gpu.device import GpuStats
+
+    agg = GpuStats()
+    for g in gpus:
+        agg.kernels += g.stats.kernels
+        agg.kernel_seconds += g.stats.kernel_seconds
+        agg.h2d_bytes += g.stats.h2d_bytes
+        agg.d2h_bytes += g.stats.d2h_bytes
+        agg.transfers += g.stats.transfers
+        agg.peak_memory = max(agg.peak_memory, g.stats.peak_memory)
+    return agg
+
+
+def _coarse_graph(symb, storage, backend, offload, acc, async_panel_d2h):
+    """Coarse (RL) task graph on the stream backend: ``(ntasks, roots,
+    run_task, priority, counters)``."""
+    machine = backend.machine
+    host = backend.host
+    cpu_t = machine.gpu_run_cpu_threads
+    expected, roots = _coarse_plan(symb)
+    committer = _build_committer(expected)
+    bmax = int(np.sqrt(update_workspace_entries(symb))) if symb.nsup else 0
+    W = np.zeros((bmax, bmax), order="F") if bmax else None
+    ready = {}  # supernode -> modeled time its inbound updates assembled
+    counters = {"on_gpu": 0}
+
+    def scatter(s, U):
+        # deterministic elimination order means every commit applies at
+        # submit time — the runs land exactly as assemble_update's pass —
+        # and is charged as ONE host assembly pass, as the serial engine
+        # charges it
+        moved = 0
+        newly = []
+        targets = set()
+        for p, k0, k1, relrows, colpos, nbytes in assembly_plan(symb, s):
+            moved += nbytes
+            targets.add(p)
+            fn = _assembly_closure(storage.panel(p), relrows, colpos, U,
+                                   k0, k1)
+            newly.extend(committer.submit(p, s, fn))
+        host.advance_cpu(machine.assembly_seconds(moved, threads=cpu_t),
+                         label="assembly")
+        acc.assembly(moved)
+        t = host.cpu
+        for p in targets:
+            if ready.get(p, 0.0) < t:
+                ready[p] = t
+        return newly
+
+    def run_task(s):
+        if not offload[s]:
+            host.wait_cpu_until(ready.get(s, 0.0), label="dag_wait")
+            return rl_cpu_snode(symb, storage, s, machine, host, cpu_t, W,
+                                scatter, acc)
+        counters["on_gpu"] += 1
+        _, gpu = backend.place()
+        return rl_gpu_snode(symb, storage, s, gpu, scatter, acc,
+                            async_panel_d2h=async_panel_d2h,
+                            ready=ready.get(s, 0.0))
+
+    return symb.nsup, roots, run_task, None, counters
+
+
+def _fine_graph(symb, storage, backend, offload, acc, inflight):
+    """Fine (RLB v2) task graph on the stream backend: ``(ntasks, roots,
+    run_task, priority, counters)``.
+
+    The priority key orders every supernode's factor task before its pair
+    tasks and both before the next supernode — the hand-rolled engine's
+    schedule, which is what makes ``devices=1`` reproduce ``rlb_gpu_v2``
+    exactly.
+    """
+    machine = backend.machine
+    host = backend.host
+    cpu_t = machine.gpu_run_cpu_threads
+    nsup = symb.nsup
+    pairs, pair_ids, expected, roots = _fine_plan(symb)
+    committer = _build_committer(expected)
+    ready = {}
+    state = {}  # supernode -> in-flight pipeline state
+    counters = {"on_gpu": 0}
+
+    def priority(tid):
+        if tid < nsup:
+            return (tid, 0, 0)
+        return (pairs[tid - nsup][0], 1, tid)
+
+    def bump(p):
+        t = host.cpu
+        if ready.get(p, 0.0) < t:
+            ready[p] = t
+
+    def run_factor(s):
+        if not offload[s]:
+            host.wait_cpu_until(ready.get(s, 0.0), label="dag_wait")
+            panel, w, _ = rlb_cpu_factor(symb, storage, s, machine, host,
+                                         cpu_t, acc)
+            if pair_ids[s]:
+                state[s] = {"gpu": None, "panel": panel, "w": w,
+                            "left": len(pair_ids[s])}
+            return pair_ids[s]
+        counters["on_gpu"] += 1
+        _, gpu = backend.place()
+        panel, w, dbuf, panel_back = rlb_gpu_factor(
+            symb, storage, s, gpu, acc, ready=ready.get(s, 0.0))
+        if not pair_ids[s]:
+            gpu.wait(panel_back)
+            gpu.free(dbuf)
+            return ()
+        state[s] = {"gpu": gpu, "panel": panel, "w": w, "dbuf": dbuf,
+                    "panel_back": panel_back, "left": len(pair_ids[s]),
+                    "inflight": []}
+        return pair_ids[s]
+
+    def run_pair(tid):
+        s, bi, bj = pairs[tid - nsup]
+        st = state[s]
+        newly = []
+        if st["gpu"] is None:
+            # small supernode: host kernel, direct ordered commit
+            u = rlb_cpu_pair(st["panel"], st["w"], bi, bj, machine, host,
+                             cpu_t, acc)
+            newly.extend(committer.submit(
+                bi.owner, s, _pair_closure(symb, storage, bi, bj, u)))
+            bump(bi.owner)
+        else:
+            gpu = st["gpu"]
+            fl = st["inflight"]
+
+            def commit(cbi, cbj, u):
+                return committer.submit(
+                    cbi.owner, s, _pair_closure(symb, storage, cbi, cbj, u))
+
+            def drain_one():
+                item = fl.pop(0)
+                newly.extend(rlb_drain_pair(gpu, machine, cpu_t, acc,
+                                            item, commit))
+                bump(item[2].owner)
+
+            if len(fl) >= inflight:
+                drain_one()
+            ubuf = rlb_gpu_pair(gpu, st["dbuf"], st["panel"], st["w"],
+                                bi, bj, acc)
+            fl.append((gpu.d2h_async(ubuf), ubuf, bi, bj))
+        st["left"] -= 1
+        if st["left"] == 0:
+            if st["gpu"] is not None:
+                while st["inflight"]:
+                    drain_one()
+                st["gpu"].wait(st["panel_back"])
+                st["gpu"].free(st["dbuf"])
+            del state[s]
+        return newly
+
+    def run_task(tid):
+        if tid < nsup:
+            return run_factor(tid)
+        return run_pair(tid)
+
+    return nsup + len(pairs), roots, run_task, priority, counters
+
+
+def factorize_gpu_dag(symb, A, *, granularity="coarse", devices=1,
+                      machine=None, threshold=None,
+                      device_memory=DEFAULT_DEVICE_MEMORY, backend=None,
+                      tracer=None, async_panel_d2h=True, inflight=2):
+    """Factorize on the GPU stream backend, scheduled by the task DAG.
+
+    Parameters
+    ----------
+    granularity:
+        ``"coarse"`` — RL's per-supernode pipeline (engine name
+        ``rl_gpu_dag``); ``"fine"`` — RLB version 2's per-block-pair
+        pipeline (``rlb_gpu_dag``).
+    devices:
+        Simulated GPUs.  ``1`` reproduces the hand-rolled single-device
+        engines exactly; ``N > 1`` places tasks least-loaded across N
+        devices (the :mod:`~repro.numeric.multigpu` scaling story).
+    threshold:
+        Dilated panel entries below which a supernode stays on the CPU;
+        defaults to the granularity's engine default
+        (:data:`~repro.numeric.threshold.DEFAULT_RL_THRESHOLD` /
+        :data:`~repro.numeric.threshold.DEFAULT_RLB_THRESHOLD`).
+    device_memory:
+        Per-device capacity in dilated bytes;
+        :class:`~repro.gpu.device.DeviceOutOfMemory` propagates exactly as
+        in the hand-rolled engines (extra devices never rescue a single
+        oversized working set).
+    backend:
+        An existing :class:`~repro.numeric.executor.GpuStreamBackend` to
+        run on (overrides ``devices`` / ``machine`` / ``device_memory`` /
+        ``tracer``).
+    async_panel_d2h / inflight:
+        The pipeline ablation switches of the hand-rolled engines
+        (coarse / fine respectively).
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError(
+            f"unknown granularity {granularity!r}; choose from {GRANULARITIES}",
+        )
+    if backend is None:
+        backend = GpuStreamBackend(devices=devices,
+                                   machine=machine or MachineModel(),
+                                   device_memory=device_memory,
+                                   tracer=tracer)
+    if threshold is None:
+        threshold = (DEFAULT_RL_THRESHOLD if granularity == "coarse"
+                     else DEFAULT_RLB_THRESHOLD)
+    machine = backend.machine
+    storage = FactorStorage.from_matrix(symb, A)
+    offload = gpu_snode_mask(symb, threshold, machine=machine)
+    acc = GpuCostAccumulator(machine)
+    if granularity == "coarse":
+        ntasks, roots, run_task, priority, counters = _coarse_graph(
+            symb, storage, backend, offload, acc, async_panel_d2h)
+        method = "rl_gpu_dag"
+    else:
+        ntasks, roots, run_task, priority, counters = _fine_graph(
+            symb, storage, backend, offload, acc, inflight)
+        method = "rlb_gpu_dag"
+    backend.run_graph(ntasks, roots, run_task, priority=priority)
+    return FactorizeResult(
+        method=method,
+        storage=storage,
+        modeled_seconds=backend.elapsed(),
+        total_snodes=symb.nsup,
+        snodes_on_gpu=counters["on_gpu"],
+        gpu_stats=_aggregate_stats(backend.gpus),
+        flops=acc.flops,
+        kernel_count=acc.kernel_count,
+        assembly_bytes=acc.assembly_bytes,
+        extra={
+            "threshold": threshold,
+            "device_memory": backend.gpus[0].capacity,
+            "devices": backend.devices,
+            "backend": backend.name,
+            "granularity": granularity,
+            "tasks": ntasks,
+            "device_task_counts": list(backend.task_counts),
+            "device_busy_seconds": backend.device_busy_seconds(),
+        },
+    )

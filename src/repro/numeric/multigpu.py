@@ -22,6 +22,14 @@ diminishes quickly, which is exactly the honest story for this extension.
 
 Numerics execute for real in elimination order, identical to every other
 engine; only the clocks differ.
+
+This hand-rolled scheduler is kept as the *reference model*: the
+DAG-scheduled ``rl_gpu_dag`` engine (:mod:`repro.numeric.gpu_dag`) running
+on a :class:`~repro.numeric.executor.GpuStreamBackend` with ``devices=N``
+subsumes it — same dispatcher-issue assumptions, same least-loaded
+placement, same host-serialized assembly, but with per-device copy-engine
+overlap and the shared task-DAG runtime instead of this bespoke loop
+(``benchmarks/bench_gpu_dag.py`` compares the two).
 """
 
 from __future__ import annotations
@@ -31,7 +39,7 @@ import numpy as np
 from ..dense import kernels as dk
 from ..gpu.costmodel import MachineModel
 from ..gpu.device import DeviceOutOfMemory
-from .result import FactorizeResult
+from .result import FactorizeResult, GpuCostAccumulator
 from .rl import assemble_update, update_workspace_entries
 from .storage import FactorStorage
 from .threshold import DEFAULT_DEVICE_MEMORY, DEFAULT_RL_THRESHOLD
@@ -73,10 +81,8 @@ def factorize_rl_multigpu(symb, A, *, num_devices=4, machine=None,
             for p in np.unique(symb.col2sn[below]):
                 ready[p] = max(ready[p], t)
 
+    acc = GpuCostAccumulator(machine)
     on_gpu = 0
-    flops = 0.0
-    kernel_count = 0
-    assembly_bytes = 0.0
     peak_task_bytes = 0.0
     for s in range(symb.nsup):
         panel = storage.panel(s)
@@ -87,22 +93,20 @@ def factorize_rl_multigpu(symb, A, *, num_devices=4, machine=None,
             host_t = max(host_t, ready[s])
             dk.potrf(panel[:w, :w])
             host_t += machine.cpu_kernel_seconds("potrf", n=w, threads=cpu_t)
-            kernel_count += 1
-            flops += machine.scaled_kernel_flops("potrf", n=w)
+            acc.kernel("potrf", n=w)
             if b:
                 dk.trsm_right(panel[w:, :w], panel[:w, :w])
                 host_t += machine.cpu_kernel_seconds("trsm", m=b, n=w,
                                                      threads=cpu_t)
+                acc.kernel("trsm", m=b, n=w)
                 U = W[:b, :b]
                 dk.syrk_lower(panel[w:, :w], out=U)
                 host_t += machine.cpu_kernel_seconds("syrk", n=b, k=w,
                                                      threads=cpu_t)
+                acc.kernel("syrk", n=b, k=w)
                 moved = assemble_update(symb, storage, s, U)
                 host_t += machine.assembly_seconds(moved, threads=cpu_t)
-                kernel_count += 2
-                flops += machine.scaled_kernel_flops("trsm", m=b, n=w)
-                flops += machine.scaled_kernel_flops("syrk", n=b, k=w)
-                assembly_bytes += machine.scaled_bytes(moved)
+                acc.assembly(moved)
             bump_ancestors(s, host_t)
             continue
         # GPU task: working-set capacity check (panel + update matrix)
@@ -116,20 +120,18 @@ def factorize_rl_multigpu(symb, A, *, num_devices=4, machine=None,
         # numerics (elimination order keeps them valid)
         dk.potrf(panel[:w, :w])
         dur = machine.gpu_kernel_seconds("potrf", n=w)
-        kernel_count += 1
-        flops += machine.scaled_kernel_flops("potrf", n=w)
+        acc.kernel("potrf", n=w)
         h2d = machine.transfer_seconds(panel.nbytes)
         d2h = machine.transfer_seconds(panel.nbytes)
         if b:
             dk.trsm_right(panel[w:, :w], panel[:w, :w])
             dur += machine.gpu_kernel_seconds("trsm", m=b, n=w)
+            acc.kernel("trsm", m=b, n=w)
             U = W[:b, :b]
             dk.syrk_lower(panel[w:, :w], out=U)
             dur += machine.gpu_kernel_seconds("syrk", n=b, k=w)
+            acc.kernel("syrk", n=b, k=w)
             d2h += machine.transfer_seconds(8 * b * b)
-            kernel_count += 2
-            flops += machine.scaled_kernel_flops("trsm", m=b, n=w)
-            flops += machine.scaled_kernel_flops("syrk", n=b, k=w)
         # dispatch to the least-loaded device; the device phase needs only
         # the task's DAG readiness (inbound updates assembled), *not* the
         # host clock — a dispatcher thread issues work out of band, so
@@ -145,7 +147,7 @@ def factorize_rl_multigpu(symb, A, *, num_devices=4, machine=None,
             moved = assemble_update(symb, storage, s, W[:b, :b])
             host_t = (max(host_t, finish) + launch_overhead_s
                       + machine.assembly_seconds(moved, threads=cpu_t))
-            assembly_bytes += machine.scaled_bytes(moved)
+            acc.assembly(moved)
             bump_ancestors(s, host_t)
         else:
             bump_ancestors(s, finish)
@@ -156,9 +158,9 @@ def factorize_rl_multigpu(symb, A, *, num_devices=4, machine=None,
         modeled_seconds=elapsed,
         total_snodes=symb.nsup,
         snodes_on_gpu=on_gpu,
-        flops=flops,
-        kernel_count=kernel_count,
-        assembly_bytes=assembly_bytes,
+        flops=acc.flops,
+        kernel_count=acc.kernel_count,
+        assembly_bytes=acc.assembly_bytes,
         extra={
             "num_devices": num_devices,
             "threshold": threshold,

@@ -21,6 +21,16 @@ Kinds
 ``"gpu"``
     Simulated-device offload engines.  Accept ``threshold=`` /
     ``device=`` / ``machine=``.
+``"stream"``
+    The DAG-scheduled GPU engines (``rl_gpu_dag``, ``rlb_gpu_dag``) of
+    :mod:`repro.numeric.gpu_dag`: the task-DAG runtime on a
+    :class:`~repro.numeric.executor.GpuStreamBackend`.  Accept
+    ``devices=`` / ``threshold=`` / ``machine=`` / ``tracer=``.
+
+:data:`BACKENDS` maps the public backend names of
+``plan.factorize(..., backend=...)`` and the CLI ``--backend`` flag to the
+engine of each task-DAG granularity; :func:`backend_engine` resolves an
+engine name onto a backend ("run rlb's fine DAG on gpu streams").
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from .executor import factorize_executor
+from .gpu_dag import factorize_gpu_dag
 from .left_looking import factorize_left_looking
 from .left_looking_gpu import factorize_left_looking_gpu
 from .multifrontal import factorize_multifrontal, factorize_multifrontal_gpu
@@ -41,9 +52,11 @@ __all__ = [
     "EngineSpec",
     "ENGINES",
     "METHODS",
+    "BACKENDS",
     "engine_names",
     "get_engine",
     "serial_twin",
+    "backend_engine",
     "SolveModeSpec",
     "SOLVE_MODES",
     "solve_mode_names",
@@ -76,6 +89,10 @@ class EngineSpec:
     def is_threaded(self) -> bool:
         return self.kind == "threaded"
 
+    @property
+    def is_stream(self) -> bool:
+        return self.kind == "stream"
+
 
 def _spec(name, fn, kind, fixed=None, granularity=None, description=""):
     return EngineSpec(name=name, fn=fn, kind=kind, fixed=dict(fixed or {}),
@@ -102,6 +119,14 @@ ENGINES = {
               description="blocked GPU offload, per-pair transfers"),
         _spec("rlb_gpu_v2", factorize_rlb_gpu, "gpu", fixed={"version": 2},
               description="blocked GPU offload, batched transfers"),
+        _spec("rl_gpu_dag", factorize_gpu_dag, "stream",
+              fixed={"granularity": "coarse"}, granularity="coarse",
+              description="RL offload pipeline scheduled by the task DAG "
+                          "on simulated-GPU streams (devices=N)"),
+        _spec("rlb_gpu_dag", factorize_gpu_dag, "stream",
+              fixed={"granularity": "fine"}, granularity="fine",
+              description="RLB v2 per-pair pipeline scheduled by the task "
+                          "DAG on simulated-GPU streams (devices=N)"),
         _spec("left_looking", factorize_left_looking, "cpu",
               description="left-looking baseline (serial)"),
         _spec("left_looking_gpu", factorize_left_looking_gpu, "gpu",
@@ -117,8 +142,21 @@ ENGINES = {
 #: historical ``CholeskySolver.METHODS`` consumers; same keys as ``ENGINES``.
 METHODS = {name: (spec.fn, spec.fixed) for name, spec in ENGINES.items()}
 
-#: Threaded engine of each granularity <-> its serial bit-identity twin.
-_SERIAL_TWIN = {"rl_par": "rl", "rlb_par": "rlb"}
+#: DAG engine of each granularity <-> its serial bit-identity twin.
+_SERIAL_TWIN = {
+    "rl_par": "rl",
+    "rlb_par": "rlb",
+    "rl_gpu_dag": "rl_gpu",
+    "rlb_gpu_dag": "rlb_gpu_v2",
+}
+
+#: Public backend names -> the DAG engine of each task granularity.  One
+#: DAG runtime, two scheduling substrates: worker threads (measured
+#: wall-clock) or simulated-GPU streams (modeled offload).
+BACKENDS = {
+    "threads": {"coarse": "rl_par", "fine": "rlb_par"},
+    "gpu": {"coarse": "rl_gpu_dag", "fine": "rlb_gpu_dag"},
+}
 
 
 def engine_names():
@@ -138,10 +176,40 @@ def get_engine(name):
 
 
 def serial_twin(name):
-    """The serial engine producing bit-identical factors to threaded engine
-    ``name`` (``rl_par -> rl``, ``rlb_par -> rlb``); other engines map to
+    """The serial engine producing bit-identical factors to the DAG engine
+    ``name`` (``rl_par -> rl``, ``rlb_par -> rlb``, ``rl_gpu_dag ->
+    rl_gpu``, ``rlb_gpu_dag -> rlb_gpu_v2``); other engines map to
     themselves."""
     return _SERIAL_TWIN.get(name, name)
+
+
+def backend_engine(name, backend):
+    """The engine running ``name``'s task-DAG granularity on ``backend``.
+
+    ``backend`` is ``"threads"`` or ``"gpu"`` (:data:`BACKENDS`); ``name``
+    is any engine with a DAG granularity (``rl_par``, ``rlb_par``,
+    ``rl_gpu_dag``, ``rlb_gpu_dag``) or a serial engine whose family
+    implies one (``rl``/``rl_gpu`` -> coarse, ``rlb``/``rlb_gpu_v*`` ->
+    fine).  Raises ``ValueError`` for unknown backends or engines without
+    a DAG granularity.
+    """
+    granularities = BACKENDS.get(backend)
+    if granularities is None:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
+        )
+    spec = get_engine(name)
+    granularity = spec.granularity
+    if granularity is None:
+        granularity = {"rl": "coarse", "rl_gpu": "coarse", "rlb": "fine",
+                       "rlb_gpu_v1": "fine", "rlb_gpu_v2": "fine"}.get(name)
+    if granularity is None:
+        raise ValueError(
+            f"engine {name!r} has no task-DAG granularity; backends apply "
+            "to the RL/RLB families (rl, rl_par, rl_gpu, rl_gpu_dag, rlb, "
+            "rlb_par, rlb_gpu_v1, rlb_gpu_v2, rlb_gpu_dag)"
+        )
+    return granularities[granularity]
 
 
 # ---------------------------------------------------------------------------
@@ -155,13 +223,17 @@ class SolveModeSpec:
     """One registered triangular-solve schedule.
 
     ``parallel`` marks the modes that accept ``workers=`` (executed by the
-    task-graph runtime); both modes produce bit-identical solutions — the
-    level schedule preserves the serial sweeps' accumulation order.
+    task-graph runtime); ``offload`` marks the simulated-device modes that
+    accept ``devices=`` (the solve graphs on a
+    :class:`~repro.numeric.executor.GpuStreamBackend`).  All modes produce
+    bit-identical solutions — every schedule preserves the serial sweeps'
+    accumulation order.
     """
 
     name: str
     parallel: bool
     description: str
+    offload: bool = False
 
 
 #: Solve-mode name -> :class:`SolveModeSpec`; the solve-side registry.
@@ -173,6 +245,10 @@ SOLVE_MODES = {
         SolveModeSpec("level", True,
                       "elimination-tree level schedule on the threaded "
                       "task-graph runtime; accepts workers="),
+        SolveModeSpec("gpu", False,
+                      "offloaded sweeps: the forward/backward solve graphs "
+                      "on the simulated-GPU stream backend; accepts "
+                      "devices=", offload=True),
     )
 }
 

@@ -7,7 +7,7 @@ from typing import Optional
 
 from ..gpu.costmodel import CPU_THREAD_CHOICES, MachineModel
 
-__all__ = ["CpuCostAccumulator", "FactorizeResult"]
+__all__ = ["CpuCostAccumulator", "GpuCostAccumulator", "FactorizeResult"]
 
 
 class CpuCostAccumulator:
@@ -56,6 +56,36 @@ class CpuCostAccumulator:
     def at(self, threads):
         """Modeled seconds for a specific thread count."""
         return self.times[threads]
+
+
+class GpuCostAccumulator:
+    """Work accounting of the GPU-offload engines.
+
+    The offload engines charge modeled *time* onto a
+    :class:`~repro.gpu.device.Timeline`; what this accumulator tracks is
+    the dilated work totals (``flops``, ``kernel_count``,
+    ``assembly_bytes``) every engine reports on its
+    :class:`FactorizeResult`.  Duck-typed like
+    :class:`CpuCostAccumulator` (``kernel`` / ``assembly``), so the shared
+    per-supernode task bodies accept either.
+    """
+
+    __slots__ = ("machine", "flops", "kernel_count", "assembly_bytes")
+
+    def __init__(self, machine: MachineModel):
+        self.machine = machine
+        self.flops = 0.0
+        self.kernel_count = 0
+        self.assembly_bytes = 0.0
+
+    def kernel(self, kind, m=0, n=0, k=0):
+        """Count one BLAS call at dilated dimensions."""
+        self.flops += self.machine.scaled_kernel_flops(kind, m, n, k)
+        self.kernel_count += 1
+
+    def assembly(self, nbytes):
+        """Count a scatter-add of ``nbytes`` (raw; dilated inside)."""
+        self.assembly_bytes += self.machine.scaled_bytes(nbytes)
 
 
 @dataclass

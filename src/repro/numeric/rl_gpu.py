@@ -15,6 +15,16 @@ Per offloaded supernode ``J`` the schedule is exactly the paper's:
 
 Supernodes with panels below the size threshold take the CPU-only RL path
 (host BLAS + assembly at the configured host thread count).
+
+Both halves of the per-supernode work exist as standalone *task bodies*
+(:func:`rl_cpu_snode`, :func:`rl_gpu_snode`) shared by this serial engine
+and the DAG-scheduled stream engine of :mod:`repro.numeric.gpu_dag` — the
+kernel pipeline exists exactly once, the two engines differ only in who
+schedules it.  The ``scatter(s, U)`` callback seam is what varies: the
+serial engine assembles the update matrix directly
+(:func:`repro.numeric.rl.assemble_update`), the DAG engine routes the same
+per-ancestor runs through an ordered committer and returns the released
+task ids.
 """
 
 from __future__ import annotations
@@ -24,12 +34,88 @@ import numpy as np
 from ..dense import kernels as dk
 from ..gpu.costmodel import MachineModel
 from ..gpu.device import SimulatedGpu, Timeline
-from .result import FactorizeResult
+from .result import FactorizeResult, GpuCostAccumulator
 from .rl import assemble_update, update_workspace_entries
 from .storage import FactorStorage
-from .threshold import DEFAULT_DEVICE_MEMORY, DEFAULT_RL_THRESHOLD
+from .threshold import DEFAULT_DEVICE_MEMORY, DEFAULT_RL_THRESHOLD, \
+    gpu_snode_mask
 
-__all__ = ["factorize_rl_gpu"]
+__all__ = ["factorize_rl_gpu", "rl_cpu_snode", "rl_gpu_snode"]
+
+
+def rl_cpu_snode(symb, storage, s, machine, timeline, cpu_t, W, scatter,
+                 acc):
+    """CPU-path task body of one RL supernode: host POTRF + TRSM + SYRK
+    (into the ``W`` workspace) charged on ``timeline``'s host clock at
+    ``cpu_t`` threads, then ``scatter(s, U)`` delivers the update matrix.
+
+    ``scatter`` owns assembly *and its charging* (so the serial engine and
+    the DAG runtime can differ in how updates land) and returns the task
+    ids it released — forwarded to the caller.
+    """
+    panel = storage.panel(s)
+    m, w = symb.panel_shape(s)
+    b = m - w
+    dk.potrf(panel[:w, :w])
+    timeline.advance_cpu(
+        machine.cpu_kernel_seconds("potrf", n=w, threads=cpu_t),
+        label="cpu_blas")
+    acc.kernel("potrf", n=w)
+    if not b:
+        return ()
+    dk.trsm_right(panel[w:, :w], panel[:w, :w])
+    timeline.advance_cpu(
+        machine.cpu_kernel_seconds("trsm", m=b, n=w, threads=cpu_t),
+        label="cpu_blas")
+    acc.kernel("trsm", m=b, n=w)
+    U = W[:b, :b]
+    dk.syrk_lower(panel[w:, :w], out=U)
+    timeline.advance_cpu(
+        machine.cpu_kernel_seconds("syrk", n=b, k=w, threads=cpu_t),
+        label="cpu_blas")
+    acc.kernel("syrk", n=b, k=w)
+    return scatter(s, U)
+
+
+def rl_gpu_snode(symb, storage, s, gpu, scatter, acc, *,
+                 async_panel_d2h=True, ready=0.0):
+    """Offload task body of one RL supernode — the paper's three-transfer
+    pipeline on ``gpu``: H2D → POTRF → TRSM → async panel D2H → SYRK →
+    blocking update D2H → ``scatter(s, U)`` (host assembly, owned by the
+    callback) → free.
+
+    ``ready`` optionally gates the H2D on a task-DAG ready time (the
+    multi-device dispatcher model); the host-driven serial schedule
+    already dominates it.  Raises
+    :class:`~repro.gpu.device.DeviceOutOfMemory` exactly where the
+    hand-rolled schedule does.  Returns whatever ``scatter`` returned
+    (released task ids; ``()`` without below rows).
+    """
+    panel = storage.panel(s)
+    m, w = symb.panel_shape(s)
+    b = m - w
+    dbuf = gpu.h2d(panel, ready=ready)
+    gpu.potrf(dbuf, panel[:w, :w])
+    acc.kernel("potrf", n=w)
+    if b:
+        gpu.trsm(dbuf, panel[w:, :w], panel[:w, :w])
+        acc.kernel("trsm", m=b, n=w)
+    panel_back = gpu.d2h_async(dbuf)  # async: CPU does not need it yet
+    if not async_panel_d2h:
+        # ablation: host blocks on the copy now; device data stays
+        # valid for the SYRK below (snapshot semantics)
+        gpu.wait(panel_back, keep_on_device=True)
+    newly = ()
+    if b:
+        ubuf = gpu.alloc_like((b, b))  # may raise DeviceOutOfMemory
+        gpu.syrk(dbuf, ubuf, panel[w:, :w], ubuf.array)
+        acc.kernel("syrk", n=b, k=w)
+        gpu.d2h(ubuf)  # blocking: assembly needs the update matrix
+        newly = scatter(s, ubuf.array)
+        gpu.free(ubuf)
+    gpu.wait(panel_back)
+    gpu.free(dbuf)
+    return newly
 
 
 def factorize_rl_gpu(symb, A, *, machine=None,
@@ -57,69 +143,29 @@ def factorize_rl_gpu(symb, A, *, machine=None,
     storage = FactorStorage.from_matrix(symb, A)
     bmax = int(np.sqrt(update_workspace_entries(symb))) if symb.nsup else 0
     W = np.zeros((bmax, bmax), order="F") if bmax else None
+    offload = gpu_snode_mask(symb, threshold, machine=machine)
+    acc = GpuCostAccumulator(machine)
+
+    def scatter(s, U):
+        # serial assembly: one scatter pass over every ancestor run
+        moved = assemble_update(symb, storage, s, U)
+        timeline.advance_cpu(
+            machine.assembly_seconds(moved, threads=cpu_t),
+            label="assembly")
+        acc.assembly(moved)
+        return ()
+
     on_gpu = 0
-    flops = 0.0
-    kernel_count = 0
-    assembly_bytes = 0.0
     for s in range(symb.nsup):
-        panel = storage.panel(s)
-        m, w = symb.panel_shape(s)
-        b = m - w
-        if machine.scaled_panel_entries(m * w) < threshold:
+        if not offload[s]:
             # small supernode: the whole chain stays on the CPU
-            dk.potrf(panel[:w, :w])
-            timeline.advance_cpu(
-                machine.cpu_kernel_seconds("potrf", n=w, threads=cpu_t), label="cpu_blas")
-            kernel_count += 1
-            flops += machine.scaled_kernel_flops("potrf", n=w)
-            if b:
-                dk.trsm_right(panel[w:, :w], panel[:w, :w])
-                timeline.advance_cpu(
-                    machine.cpu_kernel_seconds("trsm", m=b, n=w,
-                                               threads=cpu_t), label="cpu_blas")
-                U = W[:b, :b]
-                dk.syrk_lower(panel[w:, :w], out=U)
-                timeline.advance_cpu(
-                    machine.cpu_kernel_seconds("syrk", n=b, k=w,
-                                               threads=cpu_t), label="cpu_blas")
-                moved = assemble_update(symb, storage, s, U)
-                timeline.advance_cpu(
-                    machine.assembly_seconds(moved, threads=cpu_t),
-                    label="assembly")
-                kernel_count += 2
-                flops += machine.scaled_kernel_flops("trsm", m=b, n=w)
-                flops += machine.scaled_kernel_flops("syrk", n=b, k=w)
-                assembly_bytes += machine.scaled_bytes(moved)
+            rl_cpu_snode(symb, storage, s, machine, timeline, cpu_t, W,
+                         scatter, acc)
             continue
         # large supernode: the paper's three-transfer GPU schedule
         on_gpu += 1
-        dbuf = gpu.h2d(panel)
-        gpu.potrf(dbuf, panel[:w, :w])
-        kernel_count += 1
-        flops += machine.scaled_kernel_flops("potrf", n=w)
-        if b:
-            gpu.trsm(dbuf, panel[w:, :w], panel[:w, :w])
-            kernel_count += 1
-            flops += machine.scaled_kernel_flops("trsm", m=b, n=w)
-        panel_back = gpu.d2h_async(dbuf)  # async: CPU does not need it yet
-        if not async_panel_d2h:
-            # ablation: host blocks on the copy now; device data stays
-            # valid for the SYRK below (snapshot semantics)
-            gpu.wait(panel_back, keep_on_device=True)
-        if b:
-            ubuf = gpu.alloc_like((b, b))  # may raise DeviceOutOfMemory
-            gpu.syrk(dbuf, ubuf, panel[w:, :w], ubuf.array)
-            kernel_count += 1
-            flops += machine.scaled_kernel_flops("syrk", n=b, k=w)
-            gpu.d2h(ubuf)  # blocking: assembly needs the update matrix
-            moved = assemble_update(symb, storage, s, ubuf.array)
-            timeline.advance_cpu(
-                machine.assembly_seconds(moved, threads=cpu_t),
-                label="assembly")
-            assembly_bytes += machine.scaled_bytes(moved)
-            gpu.free(ubuf)
-        gpu.wait(panel_back)
-        gpu.free(dbuf)
+        rl_gpu_snode(symb, storage, s, gpu, scatter, acc,
+                     async_panel_d2h=async_panel_d2h)
     return FactorizeResult(
         method="rl_gpu",
         storage=storage,
@@ -127,8 +173,8 @@ def factorize_rl_gpu(symb, A, *, machine=None,
         total_snodes=symb.nsup,
         snodes_on_gpu=on_gpu,
         gpu_stats=gpu.stats,
-        flops=flops,
-        kernel_count=kernel_count,
-        assembly_bytes=assembly_bytes,
+        flops=acc.flops,
+        kernel_count=acc.kernel_count,
+        assembly_bytes=acc.assembly_bytes,
         extra={"threshold": threshold, "device_memory": gpu.capacity},
     )

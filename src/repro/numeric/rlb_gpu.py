@@ -20,6 +20,14 @@ assembly), per the size threshold.  Block lists and per-pair panel offsets
 are memoised on the symbolic factor (see :func:`repro.symbolic.blocks
 .snode_blocks` and :func:`repro.numeric.rlb.block_pair_targets`), so
 refactorization repeats none of the structural bookkeeping.
+
+As in :mod:`repro.numeric.rl_gpu`, the pipeline pieces are standalone *task
+bodies* (:func:`rlb_cpu_factor` / :func:`rlb_cpu_pair` /
+:func:`rlb_gpu_factor` / :func:`rlb_gpu_pair` / :func:`rlb_drain_pair`)
+shared between this serial engine and the fine-granularity DAG stream
+engine of :mod:`repro.numeric.gpu_dag`; the ``commit(bi, bj, u)`` callback
+seam decides whether a drained pair update lands directly
+(:func:`_apply_pair_result`, serial) or through an ordered committer (DAG).
 """
 
 from __future__ import annotations
@@ -28,12 +36,20 @@ from ..dense import kernels as dk
 from ..gpu.costmodel import MachineModel
 from ..gpu.device import SimulatedGpu, Timeline
 from ..symbolic.blocks import snode_blocks
-from .result import FactorizeResult
-from .rlb import apply_block_pair, block_pair_targets
+from .result import FactorizeResult, GpuCostAccumulator
+from .rlb import block_pair_targets, compute_block_pair
 from .storage import FactorStorage
-from .threshold import DEFAULT_DEVICE_MEMORY, DEFAULT_RLB_THRESHOLD
+from .threshold import DEFAULT_DEVICE_MEMORY, DEFAULT_RLB_THRESHOLD, \
+    gpu_snode_mask
 
-__all__ = ["factorize_rlb_gpu"]
+__all__ = [
+    "factorize_rlb_gpu",
+    "rlb_cpu_factor",
+    "rlb_cpu_pair",
+    "rlb_gpu_factor",
+    "rlb_gpu_pair",
+    "rlb_drain_pair",
+]
 
 
 def _apply_pair_result(symb, storage, u, bi, bj):
@@ -45,6 +61,94 @@ def _apply_pair_result(symb, storage, u, bi, bj):
     ni = bi.length
     target[row_off:row_off + nj, col_off:col_off + ni] -= u[:nj, :ni]
     return 2 * 8 * ni * nj
+
+
+def rlb_cpu_factor(symb, storage, s, machine, timeline, cpu_t, acc):
+    """CPU factor body of one RLB supernode (host POTRF + TRSM, charged on
+    the host clock); returns ``(panel, w, b)``."""
+    panel = storage.panel(s)
+    m, w = symb.panel_shape(s)
+    b = m - w
+    dk.potrf(panel[:w, :w])
+    timeline.advance_cpu(
+        machine.cpu_kernel_seconds("potrf", n=w, threads=cpu_t),
+        label="cpu_blas")
+    acc.kernel("potrf", n=w)
+    if b:
+        dk.trsm_right(panel[w:, :w], panel[:w, :w])
+        timeline.advance_cpu(
+            machine.cpu_kernel_seconds("trsm", m=b, n=w, threads=cpu_t),
+            label="cpu_blas")
+        acc.kernel("trsm", m=b, n=w)
+    return panel, w, b
+
+
+def rlb_cpu_pair(panel, w, bi, bj, machine, timeline, cpu_t, acc):
+    """CPU pair body: compute one block pair's update on the host (charged
+    at ``cpu_t`` threads); returns the dense update ``u`` — committing it
+    is the caller's (direct in-place for the serial engine, ordered for
+    the DAG runtime)."""
+    u = compute_block_pair(panel, w, bi, bj)
+    if bj is bi:
+        kind, km, kn, kk = "syrk", 0, bi.length, w
+    else:
+        kind, km, kn, kk = "gemm", bj.length, bi.length, w
+    timeline.advance_cpu(
+        machine.cpu_kernel_seconds(kind, m=km, n=kn, k=kk, threads=cpu_t),
+        label="cpu_blas")
+    acc.kernel(kind, km, kn, kk)
+    return u
+
+
+def rlb_gpu_factor(symb, storage, s, gpu, acc, *, ready=0.0):
+    """Offload factor body: H2D → device POTRF → device TRSM → asynchronous
+    panel D2H.  Returns ``(panel, w, dbuf, panel_back)``; the caller owns
+    the buffers (wait ``panel_back`` and ``free(dbuf)`` once every pair of
+    ``s`` has been computed)."""
+    panel = storage.panel(s)
+    m, w = symb.panel_shape(s)
+    b = m - w
+    dbuf = gpu.h2d(panel, ready=ready)
+    gpu.potrf(dbuf, panel[:w, :w])
+    acc.kernel("potrf", n=w)
+    if b:
+        gpu.trsm(dbuf, panel[w:, :w], panel[:w, :w])
+        acc.kernel("trsm", m=b, n=w)
+    panel_back = gpu.d2h_async(dbuf)
+    return panel, w, dbuf, panel_back
+
+
+def rlb_gpu_pair(gpu, dbuf, panel, w, bi, bj, acc):
+    """Device pair body: allocate the pair's update buffer (may raise
+    :class:`~repro.gpu.device.DeviceOutOfMemory`) and run its DSYRK/DGEMM
+    on the compute stream.  Returns the device buffer; the caller starts
+    its D2H."""
+    ubuf = gpu.alloc_like((bj.length, bi.length))
+    rows_i = panel[bi.panel_start:bi.panel_start + bi.length, :w]
+    if bj is bi:
+        gpu.syrk(dbuf, ubuf, rows_i, ubuf.array)
+        acc.kernel("syrk", n=bi.length, k=w)
+    else:
+        rows_j = panel[bj.panel_start:bj.panel_start + bj.length, :w]
+        gpu.gemm(dbuf, ubuf, rows_j, rows_i, ubuf.array)
+        acc.kernel("gemm", m=bj.length, n=bi.length, k=w)
+    return ubuf
+
+
+def rlb_drain_pair(gpu, machine, cpu_t, acc, item, commit):
+    """Drain one in-flight pair transfer (version-2 discipline): host waits
+    for the D2H, ``commit(bi, bj, u)`` lands the update (and returns any
+    released task ids), the assembly pass is charged, the device buffer is
+    freed."""
+    handle, ubuf, bi, bj = item
+    gpu.wait(handle)
+    newly = commit(bi, bj, ubuf.array)
+    moved = 2 * 8 * bi.length * bj.length
+    gpu.timeline.advance_cpu(
+        machine.assembly_seconds(moved, threads=cpu_t), label="assembly")
+    acc.assembly(moved)
+    gpu.free(ubuf)
+    return newly
 
 
 def factorize_rlb_gpu(symb, A, *, version=2, machine=None,
@@ -72,70 +176,39 @@ def factorize_rlb_gpu(symb, A, *, version=2, machine=None,
     timeline = gpu.timeline
     cpu_t = machine.gpu_run_cpu_threads
     storage = FactorStorage.from_matrix(symb, A)
+    offload = gpu_snode_mask(symb, threshold, machine=machine)
+    acc = GpuCostAccumulator(machine)
+
+    def commit_direct(bi, bj, u):
+        _apply_pair_result(symb, storage, u, bi, bj)
+        return ()
+
     on_gpu = 0
-    flops = 0.0
-    kernel_count = 0
-    assembly_bytes = 0.0
     for s in range(symb.nsup):
-        panel = storage.panel(s)
-        m, w = symb.panel_shape(s)
-        b = m - w
-        if machine.scaled_panel_entries(m * w) < threshold:
+        if not offload[s]:
             # CPU path: plain RLB with direct in-place updates
-            dk.potrf(panel[:w, :w])
-            timeline.advance_cpu(
-                machine.cpu_kernel_seconds("potrf", n=w, threads=cpu_t), label="cpu_blas")
-            kernel_count += 1
-            flops += machine.scaled_kernel_flops("potrf", n=w)
+            panel, w, b = rlb_cpu_factor(symb, storage, s, machine,
+                                         timeline, cpu_t, acc)
             if not b:
                 continue
-            dk.trsm_right(panel[w:, :w], panel[:w, :w])
-            timeline.advance_cpu(
-                machine.cpu_kernel_seconds("trsm", m=b, n=w, threads=cpu_t), label="cpu_blas")
-            kernel_count += 1
-            flops += machine.scaled_kernel_flops("trsm", m=b, n=w)
             blocks = snode_blocks(symb, s)
             for i, bi in enumerate(blocks):
                 for bj in blocks[i:]:
-                    kind, km, kn, kk = apply_block_pair(
-                        symb, storage, panel, w, bi, bj)
-                    timeline.advance_cpu(
-                        machine.cpu_kernel_seconds(kind, m=km, n=kn, k=kk,
-                                                   threads=cpu_t), label="cpu_blas")
-                    kernel_count += 1
-                    flops += machine.scaled_kernel_flops(kind, km, kn, kk)
+                    u = rlb_cpu_pair(panel, w, bi, bj, machine, timeline,
+                                     cpu_t, acc)
+                    _apply_pair_result(symb, storage, u, bi, bj)
             continue
         # GPU path
         on_gpu += 1
-        dbuf = gpu.h2d(panel)
-        gpu.potrf(dbuf, panel[:w, :w])
-        kernel_count += 1
-        flops += machine.scaled_kernel_flops("potrf", n=w)
-        if b:
-            gpu.trsm(dbuf, panel[w:, :w], panel[:w, :w])
-            kernel_count += 1
-            flops += machine.scaled_kernel_flops("trsm", m=b, n=w)
-        panel_back = gpu.d2h_async(dbuf)
+        panel, w, dbuf, panel_back = rlb_gpu_factor(symb, storage, s, gpu,
+                                                    acc)
         blocks = snode_blocks(symb, s)
         pairs = [(bi, bj)
                  for i, bi in enumerate(blocks) for bj in blocks[i:]]
         if version == 1:
             bufs = []
             for bi, bj in pairs:
-                ubuf = gpu.alloc_like((bj.length, bi.length))
-                rows_i = panel[bi.panel_start:bi.panel_start + bi.length, :w]
-                if bj is bi:
-                    gpu.syrk(dbuf, ubuf, rows_i, ubuf.array)
-                    flops += machine.scaled_kernel_flops(
-                        "syrk", n=bi.length, k=w)
-                else:
-                    rows_j = panel[bj.panel_start:bj.panel_start + bj.length,
-                                   :w]
-                    gpu.gemm(dbuf, ubuf, rows_j, rows_i, ubuf.array)
-                    flops += machine.scaled_kernel_flops(
-                        "gemm", bj.length, bi.length, w)
-                kernel_count += 1
-                bufs.append(ubuf)
+                bufs.append(rlb_gpu_pair(gpu, dbuf, panel, w, bi, bj, acc))
             if bufs:
                 # one batched transfer of all update matrices (§III v1)
                 raw_total = sum(u.array.nbytes for u in bufs)
@@ -153,41 +226,19 @@ def factorize_rlb_gpu(symb, A, *, version=2, machine=None,
                     timeline.advance_cpu(
                         machine.assembly_seconds(moved, threads=cpu_t),
                         label="assembly")
-                    assembly_bytes += machine.scaled_bytes(moved)
+                    acc.assembly(moved)
                     gpu.free(ubuf)
         else:
             in_flight = []  # (handle, ubuf, bi, bj)
-
-            def drain_one():
-                nonlocal assembly_bytes
-                handle, ubuf, bi, bj = in_flight.pop(0)
-                gpu.wait(handle)
-                moved = _apply_pair_result(symb, storage, ubuf.array, bi, bj)
-                timeline.advance_cpu(
-                    machine.assembly_seconds(moved, threads=cpu_t),
-                    label="assembly")
-                assembly_bytes += machine.scaled_bytes(moved)
-                gpu.free(ubuf)
-
             for bi, bj in pairs:
                 if len(in_flight) >= inflight:
-                    drain_one()
-                ubuf = gpu.alloc_like((bj.length, bi.length))
-                rows_i = panel[bi.panel_start:bi.panel_start + bi.length, :w]
-                if bj is bi:
-                    gpu.syrk(dbuf, ubuf, rows_i, ubuf.array)
-                    flops += machine.scaled_kernel_flops(
-                        "syrk", n=bi.length, k=w)
-                else:
-                    rows_j = panel[bj.panel_start:bj.panel_start + bj.length,
-                                   :w]
-                    gpu.gemm(dbuf, ubuf, rows_j, rows_i, ubuf.array)
-                    flops += machine.scaled_kernel_flops(
-                        "gemm", bj.length, bi.length, w)
-                kernel_count += 1
+                    rlb_drain_pair(gpu, machine, cpu_t, acc,
+                                   in_flight.pop(0), commit_direct)
+                ubuf = rlb_gpu_pair(gpu, dbuf, panel, w, bi, bj, acc)
                 in_flight.append((gpu.d2h_async(ubuf), ubuf, bi, bj))
             while in_flight:
-                drain_one()
+                rlb_drain_pair(gpu, machine, cpu_t, acc,
+                               in_flight.pop(0), commit_direct)
         gpu.wait(panel_back)
         gpu.free(dbuf)
     return FactorizeResult(
@@ -197,9 +248,9 @@ def factorize_rlb_gpu(symb, A, *, version=2, machine=None,
         total_snodes=symb.nsup,
         snodes_on_gpu=on_gpu,
         gpu_stats=gpu.stats,
-        flops=flops,
-        kernel_count=kernel_count,
-        assembly_bytes=assembly_bytes,
+        flops=acc.flops,
+        kernel_count=acc.kernel_count,
+        assembly_bytes=acc.assembly_bytes,
         extra={"threshold": threshold, "device_memory": gpu.capacity,
                "version": version},
     )

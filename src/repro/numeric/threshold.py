@@ -23,6 +23,7 @@ __all__ = [
     "DEFAULT_RLB_THRESHOLD",
     "DEFAULT_DEVICE_MEMORY",
     "gpu_snode_mask",
+    "scaled_panel_entries_array",
 ]
 
 #: Dilated-panel-entry threshold below which RL keeps a supernode on the
@@ -48,17 +49,39 @@ DEFAULT_RLB_THRESHOLD = 600_000
 DEFAULT_DEVICE_MEMORY = 400 * 1024 * 1024
 
 
+def scaled_panel_entries_array(machine, entries):
+    """Vectorized :meth:`~repro.gpu.costmodel.MachineModel
+    .scaled_panel_entries`: dilated panel sizes for a whole array of raw
+    entry counts at once (the graded ``σ_b(E)²`` ramp, log-linear between
+    ``entries_lo`` and ``entries_hi``).
+
+    Mirrors the scalar formula term for term (``entries × σ²`` with
+    ``σ = dilation^frac``) so the two paths agree to the last ulp of
+    ``log`` — a supernode would have to land within one ``np.log`` vs
+    ``math.log`` rounding of the threshold for the vectorized mask to
+    disagree with the scalar consumers (planner, breakdown, multigpu).
+    """
+    e = np.asarray(entries, dtype=np.float64)
+    lo, hi = machine.entries_lo, machine.entries_hi
+    frac = np.clip(np.log(np.maximum(e, lo) / lo) / np.log(hi / lo),
+                   0.0, 1.0)
+    sigma = machine.dilation ** frac
+    return e * sigma ** 2
+
+
 def gpu_snode_mask(symb, threshold, *, machine=None):
     """Boolean array: which supernodes go to the GPU under ``threshold``.
 
     The paper's size measure is panel entries — number of columns times the
     length (row count) of the supernode — compared at (graded) dilated
-    scale, see :class:`~repro.gpu.costmodel.MachineModel`.
+    scale, see :class:`~repro.gpu.costmodel.MachineModel`.  Computed as one
+    array expression over all supernodes (every GPU factorize evaluates
+    this once per plan; the historical per-supernode Python loop was a
+    measurable fixed cost on repeated small factorizations).
     """
     from ..gpu.costmodel import MachineModel
 
     machine = machine or MachineModel()
     m = np.diff(symb.rowptr)
     w = np.diff(symb.snptr)
-    return np.array([machine.scaled_panel_entries(int(e)) >= threshold
-                     for e in m * w])
+    return scaled_panel_entries_array(machine, m * w) >= threshold

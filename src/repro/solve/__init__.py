@@ -12,7 +12,13 @@ from .triangular import (
     backward_solve_graph,
     solve_graph,
 )
-from .gpu_solve import solve_factored_cpu, solve_factored_gpu, solve_flops
+from .gpu_solve import (
+    solve_factored_cpu,
+    solve_factored_gpu,
+    solve_factored_gpu_dag,
+    solve_offload_estimate,
+    solve_flops,
+)
 from .sparse_rhs import solve_reach, forward_solve_sparse
 from .driver import CholeskySolver, METHODS
 from .refine import RefinementResult, refine, relative_residual
@@ -29,6 +35,8 @@ __all__ = [
     "solve_graph",
     "solve_factored_cpu",
     "solve_factored_gpu",
+    "solve_factored_gpu_dag",
+    "solve_offload_estimate",
     "solve_flops",
     "solve_reach",
     "forward_solve_sparse",

@@ -20,7 +20,9 @@ __all__ = ["RefinementResult", "refine", "relative_residual"]
 
 def _relative_residual_norm(b, r):
     """Max over columns of ``||r||_inf / ||b||_inf`` (per-column norms so
-    no small-scale column hides behind a large one)."""
+    no small-scale column hides behind a large one).  Also consumed by
+    the streaming refinement chain of :meth:`repro.api.ServingSession
+    .submit_solve` — keep the convention in sync with :func:`refine`."""
     denom = np.maximum(np.abs(b).max(axis=0), 1e-300)
     return float((np.abs(r).max(axis=0) / denom).max())
 
@@ -47,7 +49,8 @@ class RefinementResult:
     converged: bool
 
 
-def refine(A, storage, perm, b, *, x0=None, tol=1e-14, max_iter=5):
+def refine(A, storage, perm, b, *, x0=None, tol=1e-14, max_iter=5,
+           workers=None):
     """Iteratively refine a solve of ``A x = b``.
 
     Parameters
@@ -68,12 +71,19 @@ def refine(A, storage, perm, b, *, x0=None, tol=1e-14, max_iter=5):
         Target relative residual (infinity norm).
     max_iter:
         Refinement step limit.
+    workers:
+        When given, every repeated solve (the initial one and each
+        correction) runs the level-scheduled fused task graph on
+        ``workers`` threads (:func:`repro.solve.triangular.solve_factored`)
+        — bit-identical to the serial sweeps, so the refinement trajectory
+        is unchanged; only the wall-clock of the inner solves drops.
     """
     b = np.asarray(b, dtype=np.float64)
 
     def direct_solve(rhs):
         # rhs[perm] is already a fresh gather: solve it in place, one copy
-        y = solve_factored(storage, rhs[perm], overwrite_b=True)
+        y = solve_factored(storage, rhs[perm], overwrite_b=True,
+                           workers=workers)
         out = np.empty_like(y)
         out[perm] = y
         return out

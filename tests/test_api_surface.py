@@ -54,14 +54,24 @@ DOCUMENTED_SUBPACKAGE = [
     ("repro.numeric.registry", "SolveModeSpec"),
     ("repro.numeric.registry", "get_solve_mode"),
     ("repro.numeric.registry", "solve_mode_names"),
+    ("repro.numeric.registry", "BACKENDS"),
+    ("repro.numeric.registry", "backend_engine"),
     ("repro.numeric", "factorize_executor_batch"),
+    ("repro.numeric", "factorize_gpu_dag"),
+    ("repro.numeric", "scaled_panel_entries_array"),
     ("repro.numeric.executor", "run_task_graph"),
+    ("repro.numeric.executor", "Backend"),
+    ("repro.numeric.executor", "ThreadBackend"),
+    ("repro.numeric.executor", "GpuStreamBackend"),
     ("repro.numeric.executor", "StreamPool"),
     ("repro.numeric.executor", "stream_factorize_job"),
     ("repro.numeric.executor", "warm_executor_plan"),
     ("repro.solve", "CholeskySolver"),
     ("repro.solve", "METHODS"),
     ("repro.solve", "solve_factored"),
+    ("repro.solve", "solve_factored_gpu_dag"),
+    ("repro.solve", "solve_offload_estimate"),
+    ("repro.gpu", "DeviceTimeline"),
     ("repro.solve", "forward_solve_graph"),
     ("repro.solve", "backward_solve_graph"),
     ("repro.solve", "solve_graph"),
@@ -102,7 +112,7 @@ def test_registry_consistency():
         spec = get_engine(name)
         assert spec.fn is fn
         assert spec.fixed == fixed
-        assert spec.kind in ("cpu", "threaded", "gpu")
+        assert spec.kind in ("cpu", "threaded", "gpu", "stream")
 
 
 def test_facade_methods_is_registry_view():

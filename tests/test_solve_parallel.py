@@ -226,9 +226,11 @@ class TestSolveSchedule:
 
 class TestSolveModeDispatch:
     def test_registry_names(self):
-        assert set(SOLVE_MODES) == {"serial", "level"}
+        assert set(SOLVE_MODES) == {"serial", "level", "gpu"}
         assert get_solve_mode("level").parallel
         assert not get_solve_mode("serial").parallel
+        assert get_solve_mode("gpu").offload
+        assert not get_solve_mode("gpu").parallel
         with pytest.raises(ValueError, match="unknown solve mode"):
             get_solve_mode("turbo")
 
