@@ -39,7 +39,7 @@ import numpy as np
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-from harness import best_of
+from harness import best_of, save_snapshot
 from repro.numeric import factorize_rl_cpu, factorize_rlb_cpu
 from repro.numeric.executor import factorize_executor
 from repro.sparse import grid_laplacian
@@ -133,6 +133,7 @@ def main(argv=None):
     granularities = [g.strip() for g in args.granularity.split(",")]
     best_speedup = 0.0
     ok = True
+    rows = []
     for granularity in granularities:
         serial_fn = SERIAL[granularity]
         t_serial, ref = best_of(lambda: serial_fn(symb, M), args.repeats)
@@ -156,8 +157,31 @@ def main(argv=None):
                 f"({speedup:5.2f}x vs serial, {res.extra['tasks']} tasks, "
                 f"bit-identical: {'yes' if bitwise else 'NO'})"
             )
+            rows.append(
+                {
+                    "granularity": granularity,
+                    "workers": workers,
+                    "serial_seconds": t_serial,
+                    "parallel_seconds": t_par,
+                    "speedup": speedup,
+                    "tasks": res.extra["tasks"],
+                    "bit_identical": bitwise,
+                }
+            )
         print()
 
+    path = save_snapshot(
+        "executor",
+        {
+            "shape": list(shape),
+            "repeats": args.repeats,
+            "min_speedup": args.min_speedup,
+            "best_speedup": best_speedup,
+            "rows": rows,
+        },
+    )
+    if path:
+        print(f"wrote snapshot {path}")
     if not ok:
         print("FAIL: parallel factors are not bit-identical to serial")
         return 1

@@ -34,6 +34,7 @@ import sys
 
 import numpy as np
 
+from harness import save_snapshot
 from repro.gpu import DeviceOutOfMemory
 from repro.numeric import (
     factorize_gpu_dag,
@@ -144,6 +145,8 @@ def main(argv=None):
     failures = check_determinism(symb, M)
     devices = [int(x) for x in args.devices.split(",")]
     status = 0
+    snapshot = {"shape": list(shape), "tolerance": args.tolerance,
+                "min_speedup": args.min_speedup, "modeled": {}}
     for granularity in ("coarse", "fine"):
         hand = HAND_ROLLED[granularity](symb, M)
         times = {}
@@ -172,12 +175,22 @@ def main(argv=None):
                 print(f"FAILED: {granularity} devices=4 speedup "
                       f"{speedup:.2f}x below {args.min_speedup:.2f}x")
                 status = 1
+        snapshot["modeled"][granularity] = {
+            "hand_rolled_seconds": hand.modeled_seconds,
+            "dag_seconds_by_devices": {str(k): t for k, t in times.items()},
+        }
     mg4 = factorize_rl_multigpu(symb, M, num_devices=4, threshold=0,
                                 device_memory=BIG)
     mg1 = factorize_rl_multigpu(symb, M, num_devices=1, threshold=0,
                                 device_memory=BIG)
     print(f"  reference rl_multigpu speedup (4 devices): "
           f"{mg1.modeled_seconds / mg4.modeled_seconds:.2f}x")
+    snapshot["rl_multigpu_speedup_4dev"] = (mg1.modeled_seconds
+                                            / mg4.modeled_seconds)
+    snapshot["determinism_failures"] = len(failures)
+    path = save_snapshot("gpu_dag", snapshot)
+    if path:
+        print(f"  wrote snapshot {path}")
     if failures:
         print(f"FAILED: {len(failures)} determinism mismatches")
         status = 1

@@ -17,6 +17,9 @@ Results are cached per process so the table/figure benches can share runs.
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
 import sys
 import time
 from dataclasses import dataclass, field
@@ -35,9 +38,32 @@ from repro.numeric import (
 from repro.sparse import SUITE, get_entry
 from repro.symbolic import analyze
 
-__all__ = ["MatrixRun", "run_matrix", "run_suite", "best_of", "SUITE_NAMES"]
+__all__ = ["MatrixRun", "run_matrix", "run_suite", "best_of",
+           "save_snapshot", "SUITE_NAMES"]
 
 SUITE_NAMES = [e.name for e in SUITE]
+
+
+def save_snapshot(name, payload, *, directory=None):
+    """Persist a bench's results as ``BENCH_<NAME>.json``.
+
+    ``directory`` defaults to the ``BENCH_SNAPSHOT_DIR`` environment
+    variable; when neither is set the call is a silent no-op (local runs
+    stay file-free) and returns ``None``.  CI's perf-smoke job sets the
+    env var and uploads the directory as a build artifact, so every run
+    leaves a machine-readable record of the measured numbers next to the
+    pass/fail log.  Returns the written path.
+    """
+    directory = directory or os.environ.get("BENCH_SNAPSHOT_DIR")
+    if not directory:
+        return None
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name.upper()}.json"
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def best_of(fn, repeats):

@@ -123,10 +123,11 @@ def _with_devices(spec, engine, devices, engine_kwargs):
     and :meth:`SymbolicPlan.factorize_batch`."""
     if devices is None:
         return engine_kwargs
-    if not spec.is_stream:
+    if not (spec.is_stream or spec.is_hybrid):
         raise ValueError(
-            f"devices= applies to the GPU stream engines only "
-            f"(rl_gpu_dag, rlb_gpu_dag — or backend='gpu'), not {engine!r}"
+            f"devices= applies to the GPU stream and hybrid engines only "
+            f"(rl_gpu_dag, rlb_gpu_dag, rl_hybrid, rlb_hybrid — or "
+            f"backend='gpu'/'hybrid'), not {engine!r}"
         )
     return dict(engine_kwargs, devices=devices)
 
@@ -281,18 +282,21 @@ class SymbolicPlan:
             ``"rlb"``, ``"rl_par"``, ``"rlb_par"``, ``"rl_gpu"``,
             ``"rl_gpu_dag"``, ...).
         workers:
-            Worker-thread count for the threaded engines; rejected for
-            serial/GPU engines.
+            Worker-thread count for the threaded and hybrid engines;
+            rejected for serial/GPU engines.
         backend:
-            ``"threads"`` or ``"gpu"``: run ``engine``'s task-DAG
-            granularity on that scheduling substrate
+            ``"threads"``, ``"gpu"`` or ``"hybrid"``: run ``engine``'s
+            task-DAG granularity on that scheduling substrate
             (:func:`repro.numeric.registry.backend_engine`) — e.g.
             ``engine="rlb_par", backend="gpu"`` runs the fine DAG on
-            simulated-GPU streams (``rlb_gpu_dag``).  Factors are
-            bit-identical across backends.
+            simulated-GPU streams (``rlb_gpu_dag``), and
+            ``backend="hybrid", workers=N, devices=M, threshold=...``
+            splits the same DAG across CPU worker threads and GPU streams
+            (``rl_hybrid`` / ``rlb_hybrid``).  Factors are bit-identical
+            across backends.
         devices:
-            Simulated-GPU count for the stream engines (``backend="gpu"``
-            / ``rl_gpu_dag`` / ``rlb_gpu_dag``); rejected elsewhere.
+            Simulated-GPU count for the stream and hybrid engines
+            (``backend="gpu"`` / ``"hybrid"``); rejected elsewhere.
         engine_kwargs:
             Forwarded to the engine (``machine=``, ``device=``,
             ``threshold=``, ``tracer=``, ...).
@@ -301,10 +305,11 @@ class SymbolicPlan:
             engine = backend_engine(engine, backend)
         spec = get_engine(engine)
         if workers is not None:
-            if not spec.is_threaded:
+            if not (spec.is_threaded or spec.is_hybrid):
                 raise ValueError(
-                    f"workers= applies to the threaded engines only "
-                    f"(rl_par, rlb_par), not {engine!r}"
+                    f"workers= applies to the threaded and hybrid engines "
+                    f"only (rl_par, rlb_par, rl_hybrid, rlb_hybrid), not "
+                    f"{engine!r}"
                 )
             engine_kwargs = dict(engine_kwargs, workers=workers)
         engine_kwargs = _with_devices(spec, engine, devices, engine_kwargs)
@@ -341,10 +346,16 @@ class SymbolicPlan:
         datas = [self._values_of(v) for v in values_list]
         if not spec.is_threaded:
             if workers is not None:
-                raise ValueError(
-                    f"workers= applies to the threaded engines only "
-                    f"(rl_par, rlb_par), not {engine!r}"
-                )
+                if spec.is_hybrid:
+                    # hybrid runs the amortized loop; each matrix keeps its
+                    # heterogeneous worker/stream split
+                    engine_kwargs = dict(engine_kwargs, workers=workers)
+                else:
+                    raise ValueError(
+                        f"workers= applies to the threaded and hybrid "
+                        f"engines only (rl_par, rlb_par, rl_hybrid, "
+                        f"rlb_hybrid), not {engine!r}"
+                    )
             factors = []
             for b, data in enumerate(datas):
                 try:

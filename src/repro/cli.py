@@ -138,8 +138,11 @@ def cmd_factorize(args):
             return 2
     elif method is None:
         # --workers / --granularity / --devices select a task-DAG engine;
+        # both --workers and --devices at once imply the hybrid split;
         # plain `factorize` keeps the historical rl_gpu default
-        if args.devices is not None:
+        if args.devices is not None and args.workers is not None:
+            method = BACKENDS["hybrid"][args.granularity or "coarse"]
+        elif args.devices is not None:
             method = BACKENDS["gpu"][args.granularity or "coarse"]
         elif args.workers is not None or args.granularity is not None:
             method = par_engine[args.granularity or "coarse"]
@@ -157,29 +160,34 @@ def cmd_factorize(args):
                   f"--method {method}", file=sys.stderr)
             return 2
         if spec.granularity != args.granularity:
-            want = BACKENDS["gpu" if spec.is_stream else "threads"][
+            kind_backend = {"stream": "gpu", "hybrid": "hybrid"}
+            want = BACKENDS[kind_backend.get(spec.kind, "threads")][
                 args.granularity]
             print(f"--granularity {args.granularity} conflicts with "
                   f"--method {method} (use {want})", file=sys.stderr)
             return 2
-    if args.workers is not None and not spec.is_threaded:
-        print("--workers applies to the threaded engines only "
-              f"(rl_par, rlb_par), not --method {method}", file=sys.stderr)
-        return 2
-    if args.devices is not None and not spec.is_stream:
-        print("--devices applies to the GPU stream engines only "
-              "(rl_gpu_dag, rlb_gpu_dag; use --backend gpu), not "
+    if args.workers is not None and not (spec.is_threaded or spec.is_hybrid):
+        print("--workers applies to the threaded and hybrid engines only "
+              f"(rl_par, rlb_par, rl_hybrid, rlb_hybrid), not "
               f"--method {method}", file=sys.stderr)
         return 2
-    if args.threshold is not None and not (spec.is_gpu or spec.is_stream):
-        print("--threshold applies to the GPU offload engines, not the "
-              "threaded executor", file=sys.stderr)
+    if args.devices is not None and not (spec.is_stream or spec.is_hybrid):
+        print("--devices applies to the GPU stream and hybrid engines only "
+              "(rl_gpu_dag, rlb_gpu_dag, rl_hybrid, rlb_hybrid; use "
+              f"--backend gpu/hybrid), not --method {method}",
+              file=sys.stderr)
+        return 2
+    if (args.threshold is not None
+            and not (spec.is_gpu or spec.is_stream or spec.is_hybrid)):
+        print("--threshold applies to the GPU offload and hybrid engines, "
+              "not the threaded executor", file=sys.stderr)
         return 2
     if ((args.gantt or args.trace)
-            and not (spec.is_gpu or spec.is_stream or spec.is_threaded)):
+            and not (spec.is_gpu or spec.is_stream or spec.is_hybrid
+                     or spec.is_threaded)):
         # refuse loudly instead of exiting 0 with no trace written (the
         # batch subcommand treats --trace the same way)
-        print("--gantt/--trace need a timeline: a GPU/stream engine "
+        print("--gantt/--trace need a timeline: a GPU/stream/hybrid engine "
               "(modeled) or the threaded executor (rl_par, rlb_par; "
               f"measured), not --method {method}", file=sys.stderr)
         return 2
@@ -198,8 +206,10 @@ def cmd_factorize(args):
         kwargs["device"] = SimulatedGpu(
             args.device_memory or DEFAULT_DEVICE_MEMORY, machine=machine,
             timeline=Timeline(tracer=tracer))
-    elif spec.is_stream:
-        # the stream backend builds its own devices; hand it the flags
+    elif spec.is_stream or spec.is_hybrid:
+        # the stream/hybrid backends build their own devices; hand them
+        # the flags (the hybrid tracer carries both lane families:
+        # measured worker lanes and modeled stream lanes)
         if args.threshold is not None:
             kwargs["threshold"] = args.threshold
         if args.devices is not None:
@@ -222,11 +232,23 @@ def cmd_factorize(args):
     ]
     if res.best_threads:
         rows.append(("best MKL threads", str(res.best_threads)))
-    if "devices" in res.extra:
+    if spec.is_hybrid:
+        # hybrid results carry both "devices" and "wall_seconds"; one
+        # dedicated block instead of the two substrate blocks below
+        rows.append(("workers (CPU lanes)", str(res.extra["workers"])))
+        rows.append(("devices (GPU lanes)", str(res.extra["devices"])))
+        rows.append(("task granularity", res.extra["granularity"]))
+        rows.append(("DAG tasks", str(res.extra["tasks"])))
+        rows.append(("measured CPU seconds",
+                     f"{res.measured_cpu_seconds:.4f}"))
+        rows.append(("modeled GPU seconds",
+                     f"{res.modeled_gpu_seconds:.4f}"))
+        rows.append(("combined seconds", f"{res.combined_seconds:.4f}"))
+    elif "devices" in res.extra:
         rows.append(("devices (stream DAG)", str(res.extra["devices"])))
         rows.append(("task granularity", res.extra["granularity"]))
         rows.append(("DAG tasks", str(res.extra["tasks"])))
-    if "wall_seconds" in res.extra:
+    elif "wall_seconds" in res.extra:
         rows.append(("workers (threaded DAG)", str(res.extra["workers"])))
         rows.append(("task granularity", res.extra["granularity"]))
         rows.append(("DAG tasks", str(res.extra["tasks"])))
@@ -445,18 +467,19 @@ def cmd_batch(args):
     if args.workers is not None and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
-    if args.workers is not None and not spec.is_threaded:
-        print("--workers applies to the threaded engines only "
-              f"(rl_par, rlb_par), not --engine {engine}",
-              file=sys.stderr)
+    if args.workers is not None and not (spec.is_threaded or spec.is_hybrid):
+        print("--workers applies to the threaded and hybrid engines only "
+              f"(rl_par, rlb_par, rl_hybrid, rlb_hybrid), not "
+              f"--engine {engine}", file=sys.stderr)
         return 2
     if args.devices is not None and args.devices < 1:
         print("--devices must be >= 1", file=sys.stderr)
         return 2
-    if args.devices is not None and not spec.is_stream:
-        print("--devices applies to the GPU stream engines only "
-              "(rl_gpu_dag, rlb_gpu_dag; use --backend gpu), not "
-              f"--engine {engine}", file=sys.stderr)
+    if args.devices is not None and not (spec.is_stream or spec.is_hybrid):
+        print("--devices applies to the GPU stream and hybrid engines only "
+              "(rl_gpu_dag, rlb_gpu_dag, rl_hybrid, rlb_hybrid; use "
+              f"--backend gpu/hybrid), not --engine {engine}",
+              file=sys.stderr)
         return 2
     if args.rhs < 1:
         print("--rhs must be >= 1", file=sys.stderr)
@@ -469,8 +492,10 @@ def cmd_batch(args):
     A = _load_matrix(args.matrix)
     rng = np.random.default_rng(args.seed)
     datas = spd_value_sweep(A, args.batch, seed=args.seed)
-    kwargs = {"workers": args.workers} if spec.is_threaded else {}
-    if spec.is_stream and args.devices is not None:
+    kwargs = {}
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+    if (spec.is_stream or spec.is_hybrid) and args.devices is not None:
         kwargs["devices"] = args.devices
     tracer = None
     if args.trace:
@@ -597,7 +622,16 @@ def cmd_breakdown(args):
 
 
 def build_parser():
-    """The argparse command tree (exposed for tests and docs)."""
+    """The argparse command tree (exposed for tests and docs).
+
+    The ``--backend`` choices are derived from the registry's
+    :data:`~repro.numeric.registry.BACKENDS` table, so a newly registered
+    scheduling substrate appears in the CLI (and its help) without
+    touching this file.
+    """
+    from .numeric.registry import BACKENDS
+
+    backend_names = sorted(BACKENDS)
     p = argparse.ArgumentParser(
         prog="repro",
         description="GPU-accelerated sparse Cholesky (SC'24) reproduction",
@@ -629,19 +663,22 @@ def build_parser():
                     help="simulated device capacity in bytes")
     sp.add_argument("--workers", type=int, default=None,
                     help="run the threaded task-DAG executor with this many "
-                         "worker threads (real wall-clock parallelism)")
+                         "worker threads (real wall-clock parallelism); "
+                         "with --devices, runs the hybrid backend")
     sp.add_argument("--granularity", default=None,
                     choices=["coarse", "fine"],
                     help="task granularity for the task-DAG engines: "
                          "coarse = one task per supernode (RL), "
                          "fine = per block pair (RLB)")
     sp.add_argument("--backend", default=None,
-                    choices=["threads", "gpu"],
+                    choices=backend_names,
                     help="scheduling substrate for the task DAG: worker "
-                         "threads (measured) or simulated-GPU streams "
-                         "(modeled offload; rl_gpu_dag / rlb_gpu_dag)")
+                         "threads (measured), simulated-GPU streams "
+                         "(modeled offload; rl_gpu_dag / rlb_gpu_dag), or "
+                         "hybrid (CPU workers + GPU streams split by "
+                         "--threshold)")
     sp.add_argument("--devices", type=int, default=None,
-                    help="simulated GPUs for the stream backend "
+                    help="simulated GPUs for the stream/hybrid backends "
                          "(least-loaded task placement)")
     sp.add_argument("--gantt", action="store_true",
                     help="print an ASCII Gantt chart of the timeline")
@@ -680,11 +717,13 @@ def build_parser():
     sp.add_argument("--workers", type=int, default=None,
                     help="worker threads for the threaded engines")
     sp.add_argument("--backend", default=None,
-                    choices=["threads", "gpu"],
+                    choices=backend_names,
                     help="scheduling substrate for the batch's task-DAG "
-                         "engine (gpu = modeled stream offload per matrix)")
+                         "engine (gpu = modeled stream offload per matrix; "
+                         "hybrid = CPU workers + GPU streams per matrix)")
     sp.add_argument("--devices", type=int, default=None,
-                    help="simulated GPUs per factorize for --backend gpu")
+                    help="simulated GPUs per factorize for --backend "
+                         "gpu/hybrid")
     sp.add_argument("--batch", type=int, default=8,
                     help="number of same-pattern matrices (default: 8)")
     sp.add_argument("--rhs", type=int, default=1,

@@ -2,7 +2,7 @@
 variants, baselines, and factor storage."""
 
 from .storage import FactorStorage, ScatterPlan
-from .result import CpuCostAccumulator, FactorizeResult
+from .result import CpuCostAccumulator, FactorizeResult, HybridResult
 from .rl import (
     factorize_rl_cpu,
     factor_snode,
@@ -23,11 +23,12 @@ from .executor import (
     Backend,
     ThreadBackend,
     GpuStreamBackend,
+    HybridBackend,
     OrderedCommitter,
     GRANULARITIES,
     default_workers,
 )
-from .gpu_dag import factorize_gpu_dag
+from .gpu_dag import factorize_gpu_dag, factorize_hybrid
 from .rl_gpu import factorize_rl_gpu
 from .rlb_gpu import factorize_rlb_gpu
 from .left_looking import factorize_left_looking
@@ -103,9 +104,12 @@ __all__ = [
     "factorize_executor",
     "factorize_executor_batch",
     "factorize_gpu_dag",
+    "factorize_hybrid",
+    "HybridResult",
     "Backend",
     "ThreadBackend",
     "GpuStreamBackend",
+    "HybridBackend",
     "OrderedCommitter",
     "GRANULARITIES",
     "default_workers",

@@ -75,6 +75,7 @@ __all__ = [
     "Backend",
     "ThreadBackend",
     "GpuStreamBackend",
+    "HybridBackend",
     "OrderedCommitter",
     "StreamPool",
     "stream_factorize_job",
@@ -288,23 +289,32 @@ class Backend:
 
     The runtime above (plans, committers, task bodies) is substrate
     agnostic: anything that can execute a ``(ntasks, roots, run_task)``
-    triple to completion is a backend.  Two substrates ship:
+    triple to completion is a backend.  Three substrates ship:
 
     * :class:`ThreadBackend` — real worker threads on a shared ready queue
       (measured wall-clock parallelism; the PR-2 runtime);
     * :class:`GpuStreamBackend` — a deterministic dispatcher driving the
       simulated GPU's compute stream and DMA copy engines (modeled-time
       parallelism; the substrate of :mod:`repro.numeric.gpu_dag` and the
-      solve offload of :mod:`repro.solve.gpu_solve`).
+      solve offload of :mod:`repro.solve.gpu_solve`);
+    * :class:`HybridBackend` — both at once: one DAG whose tasks carry a
+      per-task *placement*, CPU-placed tasks draining through real worker
+      threads while GPU-placed tasks dispatch onto the modeled streams.
 
     ``priority`` optionally orders ready-task selection for backends that
     schedule deterministically; backends with scheduling freedom (threads)
     may ignore it.
+
+    ``placement`` is the per-task placement protocol of the seam:
+    ``placement(tid) -> bool`` returns True for tasks bound to the modeled
+    GPU lanes and False for tasks bound to the measured CPU lanes.  The
+    single-substrate backends accept and ignore it (every task runs on
+    their one substrate); :class:`HybridBackend` routes by it.
     """
 
     name = "abstract"
 
-    def run_graph(self, ntasks, roots, run_task, *, priority=None):
+    def run_graph(self, ntasks, roots, run_task, *, priority=None, placement=None):
         """Execute one static task graph to completion.  ``run_task(tid)``
         performs task ``tid`` and returns the task ids it released."""
         raise NotImplementedError
@@ -316,7 +326,8 @@ class ThreadBackend(Backend):
     A transient pool of ``workers`` threads per graph — exactly
     :func:`run_task_graph`, packaged behind the :class:`Backend` seam.
     Ready-task order is whatever the pool pops; determinism comes from the
-    ordered committers, not the schedule, so ``priority`` is ignored.
+    ordered committers, not the schedule, so ``priority`` is ignored, and
+    every task runs on a worker thread, so ``placement`` is too.
     """
 
     name = "threads"
@@ -326,11 +337,94 @@ class ThreadBackend(Backend):
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
 
-    def run_graph(self, ntasks, roots, run_task, *, priority=None):
+    def run_graph(self, ntasks, roots, run_task, *, priority=None, placement=None):
         run_task_graph(ntasks, roots, run_task, self.workers)
 
 
-class GpuStreamBackend(Backend):
+class _StreamLanes:
+    """Simulated-device state shared by the stream-scheduling backends.
+
+    Owns the modeled host :class:`~repro.gpu.device.Timeline`, the
+    per-device :class:`~repro.gpu.device.SimulatedGpu` instances and the
+    placement/accounting queries (:meth:`place`, :meth:`elapsed`,
+    :meth:`device_busy_seconds`) that :class:`GpuStreamBackend` and
+    :class:`HybridBackend` have in common.  ``couple_single`` controls the
+    single-device clock discipline: a host-coupled timeline reproduces the
+    hand-rolled offload engines exactly (the stream backend's parity
+    contract), while the hybrid backend always decouples so its modeled
+    lanes are named ``gpu0``/``copy_in0``/``copy_out0`` at any device
+    count and never serialize against measured CPU work.
+    """
+
+    def _init_streams(
+        self,
+        devices,
+        machine,
+        device_memory,
+        tracer,
+        launch_overhead_s,
+        *,
+        couple_single,
+    ):
+        devices = int(devices)
+        if devices < 1:
+            raise ValueError("devices must be >= 1")
+        self.devices = devices
+        self.machine = machine or MachineModel()
+        self.tracer = tracer
+        self.host = Timeline(tracer=tracer)
+        if devices == 1 and couple_single:
+            timelines = [self.host]
+        else:
+            timelines = [
+                DeviceTimeline(
+                    self.host,
+                    coupled=False,
+                    gpu_lane=f"gpu{k}",
+                    copy_in_lane=f"copy_in{k}",
+                    copy_out_lane=f"copy_out{k}",
+                )
+                for k in range(devices)
+            ]
+        self.gpus = [
+            SimulatedGpu(
+                device_memory,
+                machine=self.machine,
+                timeline=tl,
+                launch_overhead_s=launch_overhead_s,
+            )
+            for tl in timelines
+        ]
+        self.task_counts = [0] * devices
+
+    def place(self):
+        """Least-loaded placement: ``(device_index, SimulatedGpu)`` of the
+        device whose engines free up earliest (ties break to the lowest
+        index, keeping placement deterministic)."""
+
+        def load(k):
+            tl = self.gpus[k].timeline
+            return max(tl.gpu, tl.copy_in, tl.copy_out)
+
+        d = min(range(self.devices), key=load)
+        self.task_counts[d] += 1
+        return d, self.gpus[d]
+
+    def elapsed(self):
+        """Modeled wall-clock: the shared host clock joined with every
+        device engine (the host's final waits normally dominate)."""
+        t = self.host.cpu
+        for g in self.gpus:
+            tl = g.timeline
+            t = max(t, tl.gpu, tl.copy_in, tl.copy_out)
+        return t
+
+    def device_busy_seconds(self):
+        """Per-device compute-stream busy seconds (modeled)."""
+        return [g.stats.kernel_seconds for g in self.gpus]
+
+
+class GpuStreamBackend(_StreamLanes, Backend):
     """Deterministic stream dispatcher over ``devices`` simulated GPUs.
 
     Ready tasks are popped lowest-``priority``-first by ONE host thread
@@ -375,66 +469,17 @@ class GpuStreamBackend(Backend):
         tracer=None,
         launch_overhead_s=2.0e-6,
     ):
-        devices = int(devices)
-        if devices < 1:
-            raise ValueError("devices must be >= 1")
-        self.devices = devices
-        self.machine = machine or MachineModel()
-        self.tracer = tracer
-        self.host = Timeline(tracer=tracer)
-        if devices == 1:
-            timelines = [self.host]
-        else:
-            timelines = [
-                DeviceTimeline(
-                    self.host,
-                    coupled=False,
-                    gpu_lane=f"gpu{k}",
-                    copy_in_lane=f"copy_in{k}",
-                    copy_out_lane=f"copy_out{k}",
-                )
-                for k in range(devices)
-            ]
-        self.gpus = [
-            SimulatedGpu(
-                device_memory,
-                machine=self.machine,
-                timeline=tl,
-                launch_overhead_s=launch_overhead_s,
-            )
-            for tl in timelines
-        ]
-        self.task_counts = [0] * devices
+        self._init_streams(
+            devices,
+            machine,
+            device_memory,
+            tracer,
+            launch_overhead_s,
+            couple_single=True,
+        )
 
     # ------------------------------------------------------------------
-    def place(self):
-        """Least-loaded placement: ``(device_index, SimulatedGpu)`` of the
-        device whose engines free up earliest (ties break to the lowest
-        index, keeping placement deterministic)."""
-
-        def load(k):
-            tl = self.gpus[k].timeline
-            return max(tl.gpu, tl.copy_in, tl.copy_out)
-
-        d = min(range(self.devices), key=load)
-        self.task_counts[d] += 1
-        return d, self.gpus[d]
-
-    def elapsed(self):
-        """Modeled wall-clock: the shared host clock joined with every
-        device engine (the host's final waits normally dominate)."""
-        t = self.host.cpu
-        for g in self.gpus:
-            tl = g.timeline
-            t = max(t, tl.gpu, tl.copy_in, tl.copy_out)
-        return t
-
-    def device_busy_seconds(self):
-        """Per-device compute-stream busy seconds (modeled)."""
-        return [g.stats.kernel_seconds for g in self.gpus]
-
-    # ------------------------------------------------------------------
-    def run_graph(self, ntasks, roots, run_task, *, priority=None):
+    def run_graph(self, ntasks, roots, run_task, *, priority=None, placement=None):
         """Drain the graph deterministically: pop the ready task with the
         lowest priority key, run it on this (single) host thread, push
         whatever it released.  Raises ``RuntimeError`` on a graph that
@@ -451,6 +496,176 @@ class GpuStreamBackend(Backend):
                 heapq.heappush(heap, (key(t), t))
         if done != ntasks:
             raise RuntimeError(f"stream backend deadlock: ran {done} of {ntasks} tasks")
+
+
+class _HybridQueue:
+    """Two-lane ready state of the hybrid backend.
+
+    CPU-placed tasks land in a deque drained by real worker threads
+    (arbitrary order, like :class:`_ReadyQueue`); GPU-placed tasks land in
+    a ready *set* consumed by the single dispatcher thread, which walks
+    them in a fixed priority order so every modeled-time decision is
+    reproducible.  One condition variable covers both lanes plus the
+    completion/error bookkeeping.
+    """
+
+    def __init__(self, ntasks, placement):
+        self.cv = threading.Condition()
+        self.placement = placement
+        self.cpu_ready = deque()
+        self.gpu_ready = set()
+        self.outstanding = ntasks
+        self.error = None
+        self.stop = False
+
+    def route(self, task_ids):
+        """File released tasks into their placement lane (caller holds cv)."""
+        for t in task_ids:
+            if self.placement(t):
+                self.gpu_ready.add(t)
+            else:
+                self.cpu_ready.append(t)
+
+    def _fail(self, exc):
+        with self.cv:
+            if self.error is None:
+                self.error = exc
+            self.stop = True
+            self.cv.notify_all()
+
+    def _finish_one(self, newly):
+        with self.cv:
+            self.outstanding -= 1
+            if newly:
+                self.route(newly)
+            self.cv.notify_all()
+
+    def worker(self, run_task):
+        """CPU lane: pop any ready CPU task, run it, route its releases."""
+        while True:
+            with self.cv:
+                while not self.cpu_ready and not self.stop and self.outstanding:
+                    self.cv.wait()
+                if self.stop or not self.outstanding:
+                    return
+                tid = self.cpu_ready.popleft()
+            try:
+                newly = run_task(tid)
+            except BaseException as exc:
+                self._fail(exc)
+                return
+            self._finish_one(newly)
+
+    def dispatcher(self, run_task, gpu_order):
+        """GPU lane: execute ``gpu_order`` strictly in order, waiting for
+        each task to become ready.  Safe because in the factorization DAGs
+        every dependency of a GPU task has a strictly lower priority key
+        (sources precede targets; a supernode's factor precedes its
+        pairs), so the next task in order can never be blocked on a later
+        one.  Being the only thread that touches the simulated device
+        timelines, it makes the modeled GPU seconds run-to-run
+        deterministic no matter how the CPU workers interleave."""
+        for tid in gpu_order:
+            with self.cv:
+                while tid not in self.gpu_ready and not self.stop:
+                    self.cv.wait()
+                if self.stop:
+                    return
+                self.gpu_ready.discard(tid)
+            try:
+                newly = run_task(tid)
+            except BaseException as exc:
+                self._fail(exc)
+                return
+            self._finish_one(newly)
+
+
+class HybridBackend(_StreamLanes, Backend):
+    """Heterogeneous substrate: measured worker lanes + modeled stream lanes.
+
+    One task DAG, two execution substrates.  ``placement(tid)`` (passed to
+    :meth:`run_graph` by the hybrid graph builders of
+    :mod:`repro.numeric.gpu_dag`) splits the tasks: CPU-placed tasks run
+    real BLAS on ``workers`` threads exactly like :class:`ThreadBackend`
+    (wall-clock measured), GPU-placed tasks run the simulated-device
+    kernel pipelines of :class:`GpuStreamBackend` (modeled time on
+    ``devices`` stream/copy timelines).  Cross-placement dependencies flow
+    through the shared two-lane ready queue, and panel updates from both
+    substrates reduce through one :class:`OrderedCommitter` — so the
+    factors are bit-identical to the serial twin at any
+    ``(workers, devices)``.
+
+    All GPU-placed tasks execute on ONE dispatcher thread in a fixed
+    priority order, so the modeled clocks, least-loaded placement and
+    transfer accounting are deterministic even though the CPU side is
+    real concurrency.  The device timelines are always decoupled from the
+    host clock (``couple_single=False``): modeled lanes are named
+    ``gpu0``/``copy_in0``/``copy_out0`` from the first device up, and the
+    modeled host clock only advances for GPU-side assembly/drain work —
+    measured CPU task time is accounted separately by
+    :func:`repro.numeric.gpu_dag.factorize_hybrid`.
+
+    Without a ``placement`` the backend degrades to a plain thread pool,
+    so it can stand in anywhere a :class:`ThreadBackend` is expected.
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        *,
+        workers=None,
+        devices=1,
+        machine=None,
+        device_memory=DEFAULT_DEVICE_MEMORY,
+        tracer=None,
+        launch_overhead_s=2.0e-6,
+    ):
+        self.workers = default_workers() if workers is None else int(workers)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._init_streams(
+            devices,
+            machine,
+            device_memory,
+            tracer,
+            launch_overhead_s,
+            couple_single=False,
+        )
+
+    def run_graph(self, ntasks, roots, run_task, *, priority=None, placement=None):
+        if placement is None:
+            run_task_graph(ntasks, roots, run_task, self.workers)
+            return
+        key = priority if priority is not None else (lambda tid: tid)
+        gpu_order = sorted((t for t in range(ntasks) if placement(t)), key=key)
+        queue = _HybridQueue(ntasks, placement)
+        queue.route(roots)  # threads not started yet: no lock needed
+        ncpu = ntasks - len(gpu_order)
+        threads = [
+            threading.Thread(
+                target=queue.worker,
+                args=(run_task,),
+                name=f"repro-hybrid-{i}",
+                daemon=True,
+            )
+            for i in range(max(1, min(self.workers, ncpu)) if ncpu else 0)
+        ]
+        if gpu_order:
+            threads.append(
+                threading.Thread(
+                    target=queue.dispatcher,
+                    args=(run_task, gpu_order),
+                    name="repro-hybrid-gpu",
+                    daemon=True,
+                )
+            )
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if queue.error is not None:
+            raise queue.error
 
 
 def _traced_run(run_task, label_of, tracer, t0):

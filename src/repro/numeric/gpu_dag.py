@@ -33,24 +33,48 @@ device — subsuming the bespoke scheduler of
 :func:`repro.numeric.multigpu.factorize_rl_multigpu` with the same honest
 story: host-serialized assembly bounds the speedup by the elimination
 tree's branch independence.
+
+**Heterogeneous CPU+GPU.**  :func:`factorize_hybrid` runs the *same* task
+DAG on a :class:`~repro.numeric.executor.HybridBackend` with per-task
+placement: supernodes below the :func:`~repro.numeric.threshold
+.gpu_snode_mask` cutoff execute the threaded engines' real-BLAS task
+bodies on measured worker lanes, supernodes above it execute the GPU
+kernel pipelines here on the modeled stream lanes, and all updates reduce
+through one :class:`~repro.numeric.executor.OrderedCommitter` — the
+paper's CPU/GPU split as one schedule instead of two engines.  The graph
+builders are shared: the per-task bodies below are emitted CPU-or-GPU per
+task, for both the pure stream graphs and the hybrid graphs.
 """
 
 from __future__ import annotations
 
+import threading
+import time
+
 import numpy as np
 
-from ..gpu.costmodel import MachineModel
+from ..gpu.costmodel import CPU_THREAD_CHOICES, MachineModel
 from ..symbolic.relind import assembly_plan
 from .executor import (
     GRANULARITIES,
     GpuStreamBackend,
+    HybridBackend,
     _assembly_closure,
     _build_committer,
     _coarse_plan,
     _fine_plan,
+    _KernelLog,
     _pair_closure,
+    _run_coarse,
+    _run_fine,
+    _task_label_fn,
 )
-from .result import FactorizeResult, GpuCostAccumulator
+from .result import (
+    CpuCostAccumulator,
+    FactorizeResult,
+    GpuCostAccumulator,
+    HybridResult,
+)
 from .rl import update_workspace_entries
 from .rl_gpu import rl_cpu_snode, rl_gpu_snode
 from .rlb_gpu import (
@@ -68,7 +92,7 @@ from .threshold import (
     gpu_snode_mask,
 )
 
-__all__ = ["factorize_gpu_dag"]
+__all__ = ["factorize_gpu_dag", "factorize_hybrid"]
 
 
 def _aggregate_stats(gpus):
@@ -87,24 +111,20 @@ def _aggregate_stats(gpus):
     return agg
 
 
-def _coarse_graph(symb, storage, backend, offload, acc, async_panel_d2h):
-    """Coarse (RL) task graph on the stream backend: ``(ntasks, roots,
-    run_task, priority, counters)``."""
+def _coarse_scatter(symb, storage, backend, committer, ready, acc):
+    """Ordered-committer scatter of one source supernode's update matrix,
+    charged as ONE host assembly pass on the modeled host clock (as the
+    serial engine charges it); bumps each target's modeled ready time.
+    Shared by the stream and hybrid coarse graphs — commit closures from
+    either substrate reduce through the same committer."""
     machine = backend.machine
     host = backend.host
     cpu_t = machine.gpu_run_cpu_threads
-    expected, roots = _coarse_plan(symb)
-    committer = _build_committer(expected)
-    bmax = int(np.sqrt(update_workspace_entries(symb))) if symb.nsup else 0
-    W = np.zeros((bmax, bmax), order="F") if bmax else None
-    ready = {}  # supernode -> modeled time its inbound updates assembled
-    counters = {"on_gpu": 0}
 
     def scatter(s, U):
-        # deterministic elimination order means every commit applies at
-        # submit time — the runs land exactly as assemble_update's pass —
-        # and is charged as ONE host assembly pass, as the serial engine
-        # charges it
+        # deterministic per-source order means every run lands exactly as
+        # assemble_update's pass; out-of-order sources are buffered by the
+        # committer
         moved = 0
         newly = []
         targets = set()
@@ -123,58 +143,78 @@ def _coarse_graph(symb, storage, backend, offload, acc, async_panel_d2h):
                 ready[p] = t
         return newly
 
-    def run_task(s):
-        if not offload[s]:
-            host.wait_cpu_until(ready.get(s, 0.0), label="dag_wait")
-            return rl_cpu_snode(symb, storage, s, machine, host, cpu_t, W,
-                                scatter, acc)
+    return scatter
+
+
+def _coarse_gpu_body(symb, storage, backend, scatter, ready, counters, acc,
+                     async_panel_d2h):
+    """GPU-placed coarse task body: least-loaded device placement followed
+    by RL's three-transfer per-supernode pipeline."""
+
+    def run_gpu(s):
         counters["on_gpu"] += 1
         _, gpu = backend.place()
         return rl_gpu_snode(symb, storage, s, gpu, scatter, acc,
                             async_panel_d2h=async_panel_d2h,
                             ready=ready.get(s, 0.0))
 
-    return symb.nsup, roots, run_task, None, counters
+    return run_gpu
 
 
-def _fine_graph(symb, storage, backend, offload, acc, inflight):
-    """Fine (RLB v2) task graph on the stream backend: ``(ntasks, roots,
-    run_task, priority, counters)``.
-
-    The priority key orders every supernode's factor task before its pair
-    tasks and both before the next supernode — the hand-rolled engine's
-    schedule, which is what makes ``devices=1`` reproduce ``rlb_gpu_v2``
-    exactly.
-    """
+def _coarse_graph(symb, storage, backend, offload, acc, async_panel_d2h):
+    """Coarse (RL) task graph on the stream backend: ``(ntasks, roots,
+    run_task, priority, counters)``."""
     machine = backend.machine
     host = backend.host
     cpu_t = machine.gpu_run_cpu_threads
-    nsup = symb.nsup
-    pairs, pair_ids, expected, roots = _fine_plan(symb)
+    expected, roots = _coarse_plan(symb)
     committer = _build_committer(expected)
-    ready = {}
-    state = {}  # supernode -> in-flight pipeline state
+    bmax = int(np.sqrt(update_workspace_entries(symb))) if symb.nsup else 0
+    W = np.zeros((bmax, bmax), order="F") if bmax else None
+    ready = {}  # supernode -> modeled time its inbound updates assembled
     counters = {"on_gpu": 0}
+    scatter = _coarse_scatter(symb, storage, backend, committer, ready, acc)
+    run_gpu = _coarse_gpu_body(symb, storage, backend, scatter, ready,
+                               counters, acc, async_panel_d2h)
+
+    def run_task(s):
+        if not offload[s]:
+            host.wait_cpu_until(ready.get(s, 0.0), label="dag_wait")
+            return rl_cpu_snode(symb, storage, s, machine, host, cpu_t, W,
+                                scatter, acc)
+        return run_gpu(s)
+
+    return symb.nsup, roots, run_task, None, counters
+
+
+def _fine_priority(nsup, pairs):
+    """The fine DAG's deterministic schedule key: every supernode's factor
+    task before its pair tasks, both before the next supernode — the
+    hand-rolled engine's elimination-order schedule.  Also the dispatch
+    order of the hybrid backend's GPU lane, where it guarantees progress:
+    every dependency of a task has a strictly lower key."""
 
     def priority(tid):
         if tid < nsup:
             return (tid, 0, 0)
         return (pairs[tid - nsup][0], 1, tid)
 
-    def bump(p):
-        t = host.cpu
-        if ready.get(p, 0.0) < t:
-            ready[p] = t
+    return priority
+
+
+def _fine_gpu_bodies(symb, storage, backend, committer, pairs, pair_ids,
+                     ready, state, counters, acc, inflight, bump):
+    """GPU-placed fine task bodies ``(run_factor, run_pair)``: RLB v2's
+    double-buffered per-pair pipeline, threaded through ``state`` (the
+    per-supernode in-flight pipeline) and committing through the shared
+    ordered committer.  Shared by the stream and hybrid fine graphs; on
+    the hybrid backend only the dispatcher thread calls these, keeping
+    every modeled clock deterministic."""
+    machine = backend.machine
+    cpu_t = machine.gpu_run_cpu_threads
+    nsup = symb.nsup
 
     def run_factor(s):
-        if not offload[s]:
-            host.wait_cpu_until(ready.get(s, 0.0), label="dag_wait")
-            panel, w, _ = rlb_cpu_factor(symb, storage, s, machine, host,
-                                         cpu_t, acc)
-            if pair_ids[s]:
-                state[s] = {"gpu": None, "panel": panel, "w": w,
-                            "left": len(pair_ids[s])}
-            return pair_ids[s]
         counters["on_gpu"] += 1
         _, gpu = backend.place()
         panel, w, dbuf, panel_back = rlb_gpu_factor(
@@ -191,40 +231,89 @@ def _fine_graph(symb, storage, backend, offload, acc, inflight):
     def run_pair(tid):
         s, bi, bj = pairs[tid - nsup]
         st = state[s]
+        gpu = st["gpu"]
+        fl = st["inflight"]
         newly = []
-        if st["gpu"] is None:
-            # small supernode: host kernel, direct ordered commit
-            u = rlb_cpu_pair(st["panel"], st["w"], bi, bj, machine, host,
-                             cpu_t, acc)
-            newly.extend(committer.submit(
-                bi.owner, s, _pair_closure(symb, storage, bi, bj, u)))
-            bump(bi.owner)
-        else:
-            gpu = st["gpu"]
-            fl = st["inflight"]
 
-            def commit(cbi, cbj, u):
-                return committer.submit(
-                    cbi.owner, s, _pair_closure(symb, storage, cbi, cbj, u))
+        def commit(cbi, cbj, u):
+            return committer.submit(
+                cbi.owner, s, _pair_closure(symb, storage, cbi, cbj, u))
 
-            def drain_one():
-                item = fl.pop(0)
-                newly.extend(rlb_drain_pair(gpu, machine, cpu_t, acc,
-                                            item, commit))
-                bump(item[2].owner)
+        def drain_one():
+            item = fl.pop(0)
+            newly.extend(rlb_drain_pair(gpu, machine, cpu_t, acc,
+                                        item, commit))
+            bump(item[2].owner)
 
-            if len(fl) >= inflight:
-                drain_one()
-            ubuf = rlb_gpu_pair(gpu, st["dbuf"], st["panel"], st["w"],
-                                bi, bj, acc)
-            fl.append((gpu.d2h_async(ubuf), ubuf, bi, bj))
+        if len(fl) >= inflight:
+            drain_one()
+        ubuf = rlb_gpu_pair(gpu, st["dbuf"], st["panel"], st["w"],
+                            bi, bj, acc)
+        fl.append((gpu.d2h_async(ubuf), ubuf, bi, bj))
         st["left"] -= 1
         if st["left"] == 0:
-            if st["gpu"] is not None:
-                while st["inflight"]:
-                    drain_one()
-                st["gpu"].wait(st["panel_back"])
-                st["gpu"].free(st["dbuf"])
+            while fl:
+                drain_one()
+            gpu.wait(st["panel_back"])
+            gpu.free(st["dbuf"])
+            del state[s]
+        return newly
+
+    return run_factor, run_pair
+
+
+def _fine_graph(symb, storage, backend, offload, acc, inflight):
+    """Fine (RLB v2) task graph on the stream backend: ``(ntasks, roots,
+    run_task, priority, counters)``.
+
+    The priority key (:func:`_fine_priority`) reproduces the hand-rolled
+    engine's schedule, which is what makes ``devices=1`` reproduce
+    ``rlb_gpu_v2`` exactly.
+    """
+    machine = backend.machine
+    host = backend.host
+    cpu_t = machine.gpu_run_cpu_threads
+    nsup = symb.nsup
+    pairs, pair_ids, expected, roots = _fine_plan(symb)
+    committer = _build_committer(expected)
+    ready = {}
+    state = {}  # supernode -> in-flight pipeline state
+    counters = {"on_gpu": 0}
+    priority = _fine_priority(nsup, pairs)
+
+    def bump(p):
+        t = host.cpu
+        if ready.get(p, 0.0) < t:
+            ready[p] = t
+
+    gpu_factor, gpu_pair = _fine_gpu_bodies(
+        symb, storage, backend, committer, pairs, pair_ids, ready, state,
+        counters, acc, inflight, bump)
+
+    def run_factor(s):
+        if not offload[s]:
+            host.wait_cpu_until(ready.get(s, 0.0), label="dag_wait")
+            panel, w, _ = rlb_cpu_factor(symb, storage, s, machine, host,
+                                         cpu_t, acc)
+            if pair_ids[s]:
+                state[s] = {"gpu": None, "panel": panel, "w": w,
+                            "left": len(pair_ids[s])}
+            return pair_ids[s]
+        return gpu_factor(s)
+
+    def run_pair(tid):
+        s, bi, bj = pairs[tid - nsup]
+        st = state[s]
+        if st["gpu"] is not None:
+            return gpu_pair(tid)
+        # small supernode: host kernel, direct ordered commit
+        u = rlb_cpu_pair(st["panel"], st["w"], bi, bj, machine, host,
+                         cpu_t, acc)
+        newly = list(committer.submit(
+            bi.owner, s, _pair_closure(symb, storage, bi, bj, u)))
+        bump(bi.owner)
+        st["left"] -= 1
+        if st["left"] == 0:
             del state[s]
         return newly
 
@@ -312,6 +401,216 @@ def factorize_gpu_dag(symb, A, *, granularity="coarse", devices=1,
             "backend": backend.name,
             "granularity": granularity,
             "tasks": ntasks,
+            "device_task_counts": list(backend.task_counts),
+            "device_busy_seconds": backend.device_busy_seconds(),
+        },
+    )
+
+
+def _coarse_hybrid_graph(symb, storage, backend, offload, acc,
+                         async_panel_d2h):
+    """Coarse task graph with per-task placement: ``(ntasks, roots,
+    run_task, priority, placement, counters, logs)``.
+
+    CPU-placed supernodes run the threaded executor's real-BLAS coarse
+    body (:func:`~repro.numeric.executor._run_coarse` — fresh per-task
+    workspaces, per-task kernel logs, thread-safe); GPU-placed supernodes
+    run the RL offload pipeline on the modeled streams.  Both commit
+    through one ordered committer, so the factor is bit-identical to the
+    serial twin.  Only GPU-side scatters advance the modeled clocks — CPU
+    tasks are measured, not modeled, so they impose no modeled delay on
+    downstream GPU tasks.
+    """
+    expected, roots = _coarse_plan(symb)
+    committer = _build_committer(expected)
+    ready = {}
+    counters = {"on_gpu": 0}
+    logs = [_KernelLog() for _ in range(symb.nsup)]
+    scatter = _coarse_scatter(symb, storage, backend, committer, ready, acc)
+    run_gpu = _coarse_gpu_body(symb, storage, backend, scatter, ready,
+                               counters, acc, async_panel_d2h)
+    run_cpu = _run_coarse(symb, storage, committer, logs)
+
+    def placement(s):
+        return bool(offload[s])
+
+    def run_task(s):
+        if offload[s]:
+            return run_gpu(s)
+        return run_cpu(s)
+
+    return symb.nsup, roots, run_task, None, placement, counters, logs
+
+
+def _fine_hybrid_graph(symb, storage, backend, offload, acc, inflight):
+    """Fine task graph with per-task placement: ``(ntasks, roots,
+    run_task, priority, placement, counters, logs)``.
+
+    A supernode's factor task and all of its pair tasks share its
+    placement, so the per-supernode in-flight GPU pipeline state is only
+    ever touched by the hybrid backend's single dispatcher thread.
+    CPU-placed tasks run the threaded executor's fine bodies
+    (:func:`~repro.numeric.executor._run_fine`) on the worker lanes.
+    """
+    host = backend.host
+    nsup = symb.nsup
+    pairs, pair_ids, expected, roots = _fine_plan(symb)
+    committer = _build_committer(expected)
+    ready = {}
+    state = {}
+    counters = {"on_gpu": 0}
+    logs = [_KernelLog() for _ in range(nsup + len(pairs))]
+    priority = _fine_priority(nsup, pairs)
+
+    def bump(p):
+        t = host.cpu
+        if ready.get(p, 0.0) < t:
+            ready[p] = t
+
+    gpu_factor, gpu_pair = _fine_gpu_bodies(
+        symb, storage, backend, committer, pairs, pair_ids, ready, state,
+        counters, acc, inflight, bump)
+    run_cpu = _run_fine(symb, storage, committer, logs, pairs, pair_ids)
+
+    def placement(tid):
+        s = tid if tid < nsup else pairs[tid - nsup][0]
+        return bool(offload[s])
+
+    def run_task(tid):
+        if not placement(tid):
+            return run_cpu(tid)
+        if tid < nsup:
+            return gpu_factor(tid)
+        return gpu_pair(tid)
+
+    return nsup + len(pairs), roots, run_task, priority, placement, \
+        counters, logs
+
+
+def factorize_hybrid(symb, A, *, granularity="coarse", workers=None,
+                     devices=1, machine=None, threshold=None,
+                     device_memory=DEFAULT_DEVICE_MEMORY, backend=None,
+                     tracer=None, async_panel_d2h=True, inflight=2,
+                     thread_choices=CPU_THREAD_CHOICES):
+    """Factorize heterogeneously: one task DAG across CPU workers and GPU
+    streams (engine names ``rl_hybrid`` / ``rlb_hybrid``).
+
+    The paper's CPU+GPU split as a single schedule: supernodes whose
+    dilated panel entries fall below ``threshold`` execute real BLAS on
+    ``workers`` threads (measured wall-clock lanes), the rest dispatch
+    their kernel pipelines onto ``devices`` simulated GPUs (modeled
+    stream/copy lanes), with cross-placement dependencies honored through
+    the shared ready queue and every update reduced through one ordered
+    committer — factors are bit-identical to the serial twin at any
+    ``(workers, devices)``.
+
+    Degenerate thresholds select the pure substrates: ``float("inf")``
+    keeps every supernode on the worker lanes (factors equal the threaded
+    executor's), ``0`` offloads every supernode (factors equal the stream
+    engines').
+
+    Returns a :class:`~repro.numeric.result.HybridResult`, whose combined
+    time keeps the two clock disciplines honest:
+    ``measured_cpu_seconds`` (summed wall-clock of the CPU-placed tasks),
+    ``modeled_gpu_seconds`` (the stream lanes' modeled elapsed) and
+    ``combined_seconds = max(measured/workers, modeled)``.  Passing a
+    ``tracer`` records both lane families on one clock origin: measured
+    task intervals on the ``repro-hybrid-*`` worker lanes next to the
+    modeled ``gpu0``/``copy_in0``/``copy_out0`` device lanes.
+
+    ``backend`` accepts an existing
+    :class:`~repro.numeric.executor.HybridBackend` (overrides ``workers``
+    / ``devices`` / ``machine`` / ``device_memory`` / ``tracer``;
+    mutually exclusive with ``workers``).
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError(
+            f"unknown granularity {granularity!r}; choose from {GRANULARITIES}",
+        )
+    if backend is None:
+        backend = HybridBackend(workers=workers, devices=devices,
+                                machine=machine or MachineModel(),
+                                device_memory=device_memory, tracer=tracer)
+    elif workers is not None:
+        raise ValueError("pass either workers= or backend=, not both")
+    if threshold is None:
+        threshold = (DEFAULT_RL_THRESHOLD if granularity == "coarse"
+                     else DEFAULT_RLB_THRESHOLD)
+    machine = backend.machine
+    tracer = backend.tracer
+    storage = FactorStorage.from_matrix(symb, A)
+    offload = gpu_snode_mask(symb, threshold, machine=machine)
+    acc = GpuCostAccumulator(machine)
+    if granularity == "coarse":
+        ntasks, roots, run_task, priority, placement, counters, logs = \
+            _coarse_hybrid_graph(symb, storage, backend, offload, acc,
+                                 async_panel_d2h)
+        method = "rl_hybrid"
+    else:
+        ntasks, roots, run_task, priority, placement, counters, logs = \
+            _fine_hybrid_graph(symb, storage, backend, offload, acc,
+                               inflight)
+        method = "rlb_hybrid"
+
+    durations = np.zeros(ntasks)
+    label_of = _task_label_fn(symb, granularity)
+    base_run = run_task
+    t0 = time.perf_counter()
+
+    def run_timed(tid):
+        # GPU-placed tasks live on the modeled clocks; only CPU-placed
+        # tasks get measured wall-clock intervals (and trace events on
+        # their worker-thread lane, sharing the modeled lanes' origin)
+        if placement(tid):
+            return base_run(tid)
+        start = time.perf_counter()
+        try:
+            return base_run(tid)
+        finally:
+            stop = time.perf_counter()
+            durations[tid] = stop - start
+            if tracer is not None:
+                tracer.record(threading.current_thread().name,
+                              label_of(tid), start - t0, stop - t0)
+
+    backend.run_graph(ntasks, roots, run_timed, priority=priority,
+                      placement=placement)
+    wall = time.perf_counter() - t0
+
+    cacc = CpuCostAccumulator(machine, thread_choices)
+    for log in logs:
+        log.replay(cacc)
+    best_threads, modeled_cpu = cacc.best()
+    measured_cpu = float(durations.sum())
+    modeled_gpu = backend.elapsed()
+    combined = max(measured_cpu / backend.workers, modeled_gpu)
+    on_gpu = counters["on_gpu"]
+    return HybridResult(
+        method=method,
+        storage=storage,
+        modeled_seconds=combined,
+        total_snodes=symb.nsup,
+        cpu_times_by_threads=dict(cacc.times),
+        best_threads=best_threads,
+        snodes_on_gpu=on_gpu,
+        gpu_stats=_aggregate_stats(backend.gpus),
+        flops=acc.flops + cacc.flops,
+        kernel_count=acc.kernel_count + cacc.kernel_count,
+        assembly_bytes=acc.assembly_bytes + cacc.assembly_bytes,
+        measured_cpu_seconds=measured_cpu,
+        modeled_gpu_seconds=modeled_gpu,
+        combined_seconds=combined,
+        snodes_on_cpu=symb.nsup - on_gpu,
+        extra={
+            "threshold": threshold,
+            "device_memory": backend.gpus[0].capacity,
+            "devices": backend.devices,
+            "workers": backend.workers,
+            "backend": backend.name,
+            "granularity": granularity,
+            "tasks": ntasks,
+            "wall_seconds": wall,
+            "modeled_cpu_seconds": modeled_cpu,
             "device_task_counts": list(backend.task_counts),
             "device_busy_seconds": backend.device_busy_seconds(),
         },

@@ -26,6 +26,12 @@ Kinds
     :mod:`repro.numeric.gpu_dag`: the task-DAG runtime on a
     :class:`~repro.numeric.executor.GpuStreamBackend`.  Accept
     ``devices=`` / ``threshold=`` / ``machine=`` / ``tracer=``.
+``"hybrid"``
+    The heterogeneous engines (``rl_hybrid``, ``rlb_hybrid``) of
+    :func:`repro.numeric.gpu_dag.factorize_hybrid`: one task DAG across
+    measured CPU worker lanes and modeled GPU stream lanes on a
+    :class:`~repro.numeric.executor.HybridBackend`.  Accept ``workers=``
+    AND ``devices=`` / ``threshold=`` / ``machine=`` / ``tracer=``.
 
 :data:`BACKENDS` maps the public backend names of
 ``plan.factorize(..., backend=...)`` and the CLI ``--backend`` flag to the
@@ -39,7 +45,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from .executor import factorize_executor
-from .gpu_dag import factorize_gpu_dag
+from .gpu_dag import factorize_gpu_dag, factorize_hybrid
 from .left_looking import factorize_left_looking
 from .left_looking_gpu import factorize_left_looking_gpu
 from .multifrontal import factorize_multifrontal, factorize_multifrontal_gpu
@@ -93,6 +99,10 @@ class EngineSpec:
     def is_stream(self) -> bool:
         return self.kind == "stream"
 
+    @property
+    def is_hybrid(self) -> bool:
+        return self.kind == "hybrid"
+
 
 def _spec(name, fn, kind, fixed=None, granularity=None, description=""):
     return EngineSpec(name=name, fn=fn, kind=kind, fixed=dict(fixed or {}),
@@ -127,6 +137,14 @@ ENGINES = {
               fixed={"granularity": "fine"}, granularity="fine",
               description="RLB v2 per-pair pipeline scheduled by the task "
                           "DAG on simulated-GPU streams (devices=N)"),
+        _spec("rl_hybrid", factorize_hybrid, "hybrid",
+              fixed={"granularity": "coarse"}, granularity="coarse",
+              description="heterogeneous coarse DAG: small supernodes on "
+                          "CPU worker threads, large ones on GPU streams"),
+        _spec("rlb_hybrid", factorize_hybrid, "hybrid",
+              fixed={"granularity": "fine"}, granularity="fine",
+              description="heterogeneous fine DAG: small supernodes' block "
+                          "pairs on CPU workers, large ones on GPU streams"),
         _spec("left_looking", factorize_left_looking, "cpu",
               description="left-looking baseline (serial)"),
         _spec("left_looking_gpu", factorize_left_looking_gpu, "gpu",
@@ -148,14 +166,19 @@ _SERIAL_TWIN = {
     "rlb_par": "rlb",
     "rl_gpu_dag": "rl_gpu",
     "rlb_gpu_dag": "rlb_gpu_v2",
+    "rl_hybrid": "rl",
+    "rlb_hybrid": "rlb",
 }
 
 #: Public backend names -> the DAG engine of each task granularity.  One
-#: DAG runtime, two scheduling substrates: worker threads (measured
-#: wall-clock) or simulated-GPU streams (modeled offload).
+#: DAG runtime, three scheduling substrates: worker threads (measured
+#: wall-clock), simulated-GPU streams (modeled offload), or both at once
+#: (the hybrid per-task placement).  The single source of truth for the
+#: ``plan.factorize(backend=...)`` API and the CLI ``--backend`` choices.
 BACKENDS = {
     "threads": {"coarse": "rl_par", "fine": "rlb_par"},
     "gpu": {"coarse": "rl_gpu_dag", "fine": "rlb_gpu_dag"},
+    "hybrid": {"coarse": "rl_hybrid", "fine": "rlb_hybrid"},
 }
 
 
@@ -177,18 +200,19 @@ def get_engine(name):
 
 def serial_twin(name):
     """The serial engine producing bit-identical factors to the DAG engine
-    ``name`` (``rl_par -> rl``, ``rlb_par -> rlb``, ``rl_gpu_dag ->
-    rl_gpu``, ``rlb_gpu_dag -> rlb_gpu_v2``); other engines map to
-    themselves."""
+    ``name`` (``rl_par``/``rl_hybrid -> rl``, ``rlb_par``/``rlb_hybrid ->
+    rlb``, ``rl_gpu_dag -> rl_gpu``, ``rlb_gpu_dag -> rlb_gpu_v2``); other
+    engines map to themselves."""
     return _SERIAL_TWIN.get(name, name)
 
 
 def backend_engine(name, backend):
     """The engine running ``name``'s task-DAG granularity on ``backend``.
 
-    ``backend`` is ``"threads"`` or ``"gpu"`` (:data:`BACKENDS`); ``name``
-    is any engine with a DAG granularity (``rl_par``, ``rlb_par``,
-    ``rl_gpu_dag``, ``rlb_gpu_dag``) or a serial engine whose family
+    ``backend`` is a :data:`BACKENDS` key (``"threads"``, ``"gpu"``,
+    ``"hybrid"``); ``name`` is any engine with a DAG granularity
+    (``rl_par``, ``rlb_par``, ``rl_gpu_dag``, ``rlb_gpu_dag``,
+    ``rl_hybrid``, ``rlb_hybrid``) or a serial engine whose family
     implies one (``rl``/``rl_gpu`` -> coarse, ``rlb``/``rlb_gpu_v*`` ->
     fine).  Raises ``ValueError`` for unknown backends or engines without
     a DAG granularity.
@@ -206,8 +230,9 @@ def backend_engine(name, backend):
     if granularity is None:
         raise ValueError(
             f"engine {name!r} has no task-DAG granularity; backends apply "
-            "to the RL/RLB families (rl, rl_par, rl_gpu, rl_gpu_dag, rlb, "
-            "rlb_par, rlb_gpu_v1, rlb_gpu_v2, rlb_gpu_dag)"
+            "to the RL/RLB families (rl, rl_par, rl_gpu, rl_gpu_dag, "
+            "rl_hybrid, rlb, rlb_par, rlb_gpu_v1, rlb_gpu_v2, rlb_gpu_dag, "
+            "rlb_hybrid)"
         )
     return granularities[granularity]
 

@@ -7,7 +7,12 @@ from typing import Optional
 
 from ..gpu.costmodel import CPU_THREAD_CHOICES, MachineModel
 
-__all__ = ["CpuCostAccumulator", "GpuCostAccumulator", "FactorizeResult"]
+__all__ = [
+    "CpuCostAccumulator",
+    "GpuCostAccumulator",
+    "FactorizeResult",
+    "HybridResult",
+]
 
 
 class CpuCostAccumulator:
@@ -141,3 +146,38 @@ class FactorizeResult:
         """Measured wall-clock seconds, when the engine records one (the
         threaded executor does; modeled-only engines return ``None``)."""
         return self.extra.get("wall_seconds")
+
+
+@dataclass
+class HybridResult(FactorizeResult):
+    """Outcome of one heterogeneous CPU+GPU factorization
+    (:func:`~repro.numeric.gpu_dag.factorize_hybrid`).
+
+    The hybrid engines mix two clock disciplines, so the combined report
+    keeps them apart instead of pretending they share a unit:
+
+    Attributes
+    ----------
+    measured_cpu_seconds:
+        Sum of the *measured* wall-clock durations of every CPU-placed
+        task (real BLAS on the worker lanes).  Total work, not elapsed
+        time — divide by the worker count for the ideal-overlap span.
+    modeled_gpu_seconds:
+        The stream lanes' modeled elapsed time
+        (:meth:`~repro.numeric.executor.GpuStreamBackend.elapsed` of the
+        hybrid backend): device kernels, DMA transfers and GPU-side host
+        assembly on the simulated clocks.
+    combined_seconds:
+        ``max(measured_cpu_seconds / workers, modeled_gpu_seconds)`` — the
+        two substrates run concurrently, so the schedule is bounded by
+        whichever lane family finishes last.  Also mirrored as
+        ``modeled_seconds`` so generic reporting keeps working.
+    snodes_on_cpu:
+        Supernodes kept on the worker lanes
+        (``snodes_on_cpu + snodes_on_gpu == total_snodes``).
+    """
+
+    measured_cpu_seconds: float = 0.0
+    modeled_gpu_seconds: float = 0.0
+    combined_seconds: float = 0.0
+    snodes_on_cpu: int = 0

@@ -16,6 +16,8 @@ empirically, mirroring the paper's "determined empirically" protocol.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 __all__ = [
@@ -78,10 +80,30 @@ def gpu_snode_mask(symb, threshold, *, machine=None):
     array expression over all supernodes (every GPU factorize evaluates
     this once per plan; the historical per-supernode Python loop was a
     measurable fixed cost on repeated small factorizations).
+
+    Degenerate thresholds have defined semantics, relied on by the hybrid
+    engines' substrate-parity contract: ``0`` offloads *every* supernode
+    (a panel always has at least one dilated entry, so the all-GPU mask
+    makes the hybrid engines equal the pure stream backend), and
+    ``float("inf")`` keeps every supernode on the CPU (all-False mask;
+    hybrid equals the pure thread backend).  A pattern with no supernodes
+    yields a well-formed empty mask, and a singleton supernode list yields
+    a one-element mask under the same comparison.  ``NaN`` and negative
+    thresholds are rejected with ``ValueError`` — a NaN compares False
+    everywhere, which would silently mean "all CPU", and a negative cutoff
+    is always a spelling of 0.
     """
     from ..gpu.costmodel import MachineModel
 
+    threshold = float(threshold)
+    if math.isnan(threshold):
+        raise ValueError("threshold must not be NaN")
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
     machine = machine or MachineModel()
     m = np.diff(symb.rowptr)
     w = np.diff(symb.snptr)
-    return scaled_panel_entries_array(machine, m * w) >= threshold
+    if m.size == 0:
+        return np.zeros(0, dtype=bool)
+    return np.asarray(scaled_panel_entries_array(machine, m * w) >= threshold,
+                      dtype=bool)

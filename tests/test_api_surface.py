@@ -58,11 +58,16 @@ DOCUMENTED_SUBPACKAGE = [
     ("repro.numeric.registry", "backend_engine"),
     ("repro.numeric", "factorize_executor_batch"),
     ("repro.numeric", "factorize_gpu_dag"),
+    ("repro.numeric", "factorize_hybrid"),
+    ("repro.numeric", "HybridResult"),
+    ("repro.numeric", "HybridBackend"),
     ("repro.numeric", "scaled_panel_entries_array"),
+    ("repro.numeric.result", "HybridResult"),
     ("repro.numeric.executor", "run_task_graph"),
     ("repro.numeric.executor", "Backend"),
     ("repro.numeric.executor", "ThreadBackend"),
     ("repro.numeric.executor", "GpuStreamBackend"),
+    ("repro.numeric.executor", "HybridBackend"),
     ("repro.numeric.executor", "StreamPool"),
     ("repro.numeric.executor", "stream_factorize_job"),
     ("repro.numeric.executor", "warm_executor_plan"),
@@ -112,7 +117,7 @@ def test_registry_consistency():
         spec = get_engine(name)
         assert spec.fn is fn
         assert spec.fixed == fixed
-        assert spec.kind in ("cpu", "threaded", "gpu", "stream")
+        assert spec.kind in ("cpu", "threaded", "gpu", "stream", "hybrid")
 
 
 def test_facade_methods_is_registry_view():
