@@ -3,8 +3,8 @@
 Measures, on a 3-D grid Laplacian (default ``24,24,8``), the throughput of
 :meth:`repro.api.SymbolicPlan.factorize_batch` — B same-pattern numeric
 factorizations pushed through ONE threaded task-DAG worker pool — against
-the pre-batching protocol: a serial ``CholeskySolver.refactorize`` loop
-(same shared symbolic plan, one factorization after another).  Every batch
+the pre-batching protocol: a serial same-plan ``factorize`` loop (shared
+symbolic work, one numeric factorization after another).  Every batch
 factor is verified bit-identical to the looped serial factor of the same
 matrix (the determinism contract extends across the batch dimension).
 
@@ -43,7 +43,6 @@ sys.path.insert(0, str(pathlib.Path(__file__).parent))
 from harness import best_of
 import repro
 from repro.numeric.registry import get_engine, serial_twin
-from repro.solve.driver import CholeskySolver
 from repro.sparse import grid_laplacian, spd_value_sweep
 
 
@@ -96,11 +95,10 @@ def main(argv=None):
         # warm every pattern cache (scatter plan, DAG plans, block offsets)
         # outside the timed region — both protocols amortize the same plan
         plan.factorize(datas[0], engine=engine, workers=args.workers)
-        solver = CholeskySolver(A, method=loop_engine)
-        solver.factorize()
+        plan.factorize(engine=loop_engine)
 
         def looped():
-            return [solver.refactorize(d) for d in datas]
+            return [plan.factorize(d, engine=loop_engine) for d in datas]
 
         def batched():
             return plan.factorize_batch(datas, engine=engine,

@@ -8,9 +8,9 @@ problem):
    scatter (re-implemented here as the reference) against the vectorised
    :class:`~repro.numeric.storage.ScatterPlan` path, cold (plan built) and
    warm (plan cached on the symbolic factor);
-2. a repeated same-pattern factorize+solve cycle — a fresh
-   ``CholeskySolver`` per iteration (ordering + symbolic + numeric every
-   time) against one solver driven by ``refactorize`` (numeric only).
+2. a repeated same-pattern factorize+solve cycle — a fresh ``repro.plan``
+   per iteration (ordering + symbolic + numeric every time) against one
+   reused plan refactorizing values only (numeric only).
 
 Exits non-zero when the from_matrix or cycle speedup falls below
 ``--min-speedup`` (default: the ``BENCH_MIN_SPEEDUP`` env var, else 3.0 —
@@ -32,8 +32,8 @@ import sys
 import numpy as np
 
 from harness import best_of
+import repro
 from repro.numeric.storage import FactorStorage, ScatterPlan
-from repro.solve.driver import CholeskySolver
 from repro.sparse import SymmetricCSC, grid_laplacian
 from repro.symbolic import analyze
 
@@ -106,19 +106,18 @@ def main(argv=None):
         xs = []
         for data in datas:
             At = SymmetricCSC(A.n, A.indptr, A.indices, data, check=False)
-            solver = CholeskySolver(At, method=args.method)
-            solver.factorize()
-            xs.append(solver.solve(b))
+            factor = repro.plan(At).factorize(engine=args.method)
+            xs.append(factor.solve(b))
         return xs
 
-    reuse_solver = CholeskySolver(A, method=args.method)
-    reuse_solver.factorize()  # symbolic + plan warm-up outside the loop
+    reuse_plan = repro.plan(A)
+    reuse_plan.factorize(engine=args.method)  # plan warm-up outside the loop
 
     def reuse_cycle():
         xs = []
         for data in datas:
-            reuse_solver.refactorize(data)
-            xs.append(reuse_solver.solve(b))
+            factor = reuse_plan.factorize(data, engine=args.method)
+            xs.append(factor.solve(b))
         return xs
 
     # full best-of-N here too: the halved repeat count made the cycle
@@ -129,7 +128,7 @@ def main(argv=None):
         assert np.allclose(u, v, atol=1e-10)
     print(f"{args.cycles}-cycle same-pattern factorize+solve "
           f"({args.method}):")
-    print(f"  fresh solver per cycle  : {t_fresh * 1e3:9.2f} ms")
+    print(f"  fresh plan per cycle    : {t_fresh * 1e3:9.2f} ms")
     print(f"  refactorize reuse       : {t_reuse * 1e3:9.2f} ms "
           f"({t_fresh / t_reuse:5.1f}x)\n")
 

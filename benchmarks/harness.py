@@ -48,13 +48,18 @@ def save_snapshot(name, payload, *, directory=None):
     """Persist a bench's results as ``BENCH_<NAME>.json``.
 
     ``directory`` defaults to the ``BENCH_SNAPSHOT_DIR`` environment
-    variable; when neither is set the call is a silent no-op (local runs
-    stay file-free) and returns ``None``.  CI's perf-smoke job sets the
-    env var and uploads the directory as a build artifact, so every run
-    leaves a machine-readable record of the measured numbers next to the
-    pass/fail log.  Returns the written path.
+    variable, and — when that is unset too — to ``bench-snapshots/`` at
+    the repo root, so every bench run (local or CI) leaves a
+    machine-readable perf trajectory the next change can diff against.
+    CI's perf-smoke job uploads the directory as a build artifact next to
+    the pass/fail log.  Set ``BENCH_SNAPSHOT_DIR=`` (empty) to opt out of
+    writing any file; the call then returns ``None``.
     """
-    directory = directory or os.environ.get("BENCH_SNAPSHOT_DIR")
+    if directory is None:
+        directory = os.environ.get("BENCH_SNAPSHOT_DIR")
+        if directory is None:
+            directory = pathlib.Path(__file__).resolve().parent.parent \
+                / "bench-snapshots"
     if not directory:
         return None
     directory = pathlib.Path(directory)

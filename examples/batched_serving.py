@@ -32,7 +32,6 @@ import time
 import numpy as np
 
 import repro
-from repro import CholeskySolver
 from repro.sparse import grid_laplacian
 
 
@@ -60,11 +59,11 @@ def main():
     batch = plan.factorize_batch(sweep, engine="rlb_par", workers=4)
     t_batch = time.perf_counter() - t0
 
-    # -- looped: the pre-batching protocol, one refactorize at a time -----
-    solver = CholeskySolver(A, method="rlb")
-    solver.factorize()
+    # -- looped: one same-plan factorize at a time (symbolic work shared,
+    # but no cross-matrix overlap) ----------------------------------------
+    plan.factorize(engine="rlb")  # prime the index caches, like the batch
     t0 = time.perf_counter()
-    loop = [solver.refactorize(data) for data in sweep]
+    loop = [plan.factorize(data, engine="rlb") for data in sweep]
     t_loop = time.perf_counter() - t0
 
     for res, ref in zip(batch, loop):

@@ -13,39 +13,39 @@ import sys
 
 import numpy as np
 
+import repro
 from repro.analysis import breakdown, format_table, render_breakdowns
-from repro.numeric import factorize_rl_multigpu, plan
-from repro.solve import METHODS
+from repro.numeric import factorize_rl_multigpu
+from repro.numeric.registry import ENGINES
 from repro.sparse import get_entry
-from repro.symbolic import analyze
 
 BIG_MEM = 10 ** 15
 
 
 def main(name="Serena"):
-    system = analyze(get_entry(name).builder())
-    symb, B = system.symb, system.matrix
+    A = get_entry(name).builder()
+    p = repro.plan(A)  # symbolic analysis, shared by every engine below
+    symb = p.symb
     print(f"{name}: n = {symb.n}, {symb.nsup} supernodes, "
-          f"{symb.factor_flops():.2e} factor flops\n")
+          f"{symb.factor_flops():.2e} factor flops  "
+          f"[pattern {p.fingerprint}]\n")
 
     rows = []
     reference = None
-    for method, (fn, fixed) in METHODS.items():
-        kwargs = dict(fixed)
-        if "gpu" in method:
-            kwargs["device_memory"] = BIG_MEM
-        res = fn(symb, B, **kwargs)
+    for engine in ENGINES:
+        kwargs = {"device_memory": BIG_MEM} if "gpu" in engine else {}
+        res = p.factorize(engine=engine, **kwargs).result
         L = res.storage.to_dense_lower()
         if reference is None:
             reference = L
         err = np.abs(L - reference).max()
-        assert err < 1e-8, f"{method} disagrees with reference ({err})"
+        assert err < 1e-8, f"{engine} disagrees with reference ({err})"
         gpu = (f"{res.snodes_on_gpu}/{res.total_snodes}"
                if res.snodes_on_gpu else "--")
-        rows.append((method, f"{res.modeled_seconds:.4f}",
+        rows.append((engine, f"{res.modeled_seconds:.4f}",
                      str(res.kernel_count), gpu))
-    mg = factorize_rl_multigpu(symb, B, num_devices=4, threshold=0,
-                               device_memory=BIG_MEM)
+    mg = factorize_rl_multigpu(symb, p.system.matrix, num_devices=4,
+                               threshold=0, device_memory=BIG_MEM)
     rows.append((mg.method, f"{mg.modeled_seconds:.4f}",
                  str(mg.kernel_count), f"{mg.snodes_on_gpu}/{mg.total_snodes}"))
     print(format_table(
@@ -59,7 +59,7 @@ def main(name="Serena"):
                                       "(resource seconds per class)"))
     print()
 
-    mp = plan(symb)
+    mp = repro.memory_plan(symb)
     print(f"Memory planner at the default device "
           f"({mp.device_memory / 2**20:.0f} MiB):")
     for m, need in mp.predictions.items():

@@ -13,10 +13,10 @@ refactorizing, this example
 3. serves sparse right-hand sides with the reach-limited forward sweep
    (:func:`repro.solve.forward_solve_sparse`), reporting how few supernodes
    each solve touches,
-4. runs a same-pattern value sweep through
-   :meth:`repro.solve.driver.CholeskySolver.refactorize` — the symbolic
-   analysis, relative-index caches and panel scatter plan are computed once
-   and every subsequent factorization pays only for the numeric kernels.
+4. runs a same-pattern value sweep through one reused
+   :class:`repro.api.SymbolicPlan` — the symbolic analysis, relative-index
+   caches and panel scatter plan are computed once and every subsequent
+   factorization pays only for the numeric kernels.
    (When the whole sweep is known up front, prefer
    :meth:`repro.api.SymbolicPlan.factorize_batch` — the batched serving
    mode demonstrated in ``examples/batched_serving.py``.)
@@ -29,7 +29,7 @@ import time
 import numpy as np
 import scipy.linalg as sla
 
-from repro import CholeskySolver
+import repro
 from repro.numeric import column_structure, factorize_rl_cpu, rank1_update
 from repro.solve import backward_solve, forward_solve_sparse
 from repro.sparse import grid_laplacian
@@ -83,24 +83,25 @@ def main():
 
     # -- same-pattern value sweeps: the symbolic-reuse API ----------------
     print("\nsame-pattern refactorization (symbolic + scatter plan reused):")
-    solver = CholeskySolver(A, method="rl")
     t0 = time.perf_counter()
-    solver.factorize()
+    plan = repro.plan(A)
+    factor = plan.factorize(engine="rl")
     first = time.perf_counter() - t0
     b = A.matvec(np.ones(A.n))
+    data = A.data
     for step in range(3):
         # e.g. a time-step-dependent diagonal shift: values change,
         # pattern (and therefore all symbolic work) does not
-        data = solver.A.data.copy()
-        data[solver.A.indptr[:-1]] *= 1.0 + 0.05 * (step + 1)
+        data = data.copy()
+        data[A.indptr[:-1]] *= 1.0 + 0.05 * (step + 1)
         t0 = time.perf_counter()
-        solver.refactorize(data)
+        factor = plan.factorize(data, engine="rl")
         dt = time.perf_counter() - t0
-        x = solver.solve(b)
+        x = factor.solve(b)
         print(f"  sweep {step}: refactorize {dt * 1e3:7.2f} ms "
               f"(first factorize incl. analysis {first * 1e3:7.2f} ms), "
-              f"residual {solver.residual_norm(x, b):.2e}")
-        assert solver.residual_norm(x, b) < 1e-10
+              f"residual {factor.residual_norm(x, b):.2e}")
+        assert factor.residual_norm(x, b) < 1e-10
     print("\nall incremental operations verified against dense references")
 
 

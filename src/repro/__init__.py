@@ -71,7 +71,7 @@ Subpackages
 """
 
 from .sparse import SymmetricCSC
-from .symbolic import analyze
+from .symbolic import analyze, pattern_fingerprint
 from .solve import CholeskySolver
 from .numeric import (
     factorize_rl_cpu,
@@ -100,6 +100,7 @@ __version__ = "1.2.0"
 __all__ = [
     "SymmetricCSC",
     "analyze",
+    "pattern_fingerprint",
     "plan",
     "SymbolicPlan",
     "SolvePlan",

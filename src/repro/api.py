@@ -67,6 +67,8 @@ from .dense.kernels import NotPositiveDefiniteError
 from .gpu.costmodel import CPU_THREAD_CHOICES, MachineModel
 from .numeric.executor import (
     StreamPool,
+    _task_label_fn,
+    _traced_run,
     default_workers,
     factorize_executor_batch,
     stream_factorize_job,
@@ -81,6 +83,7 @@ from .sparse.csc import SymmetricCSC
 from .sparse.permute import permutation_gather
 from .symbolic.analyze import analyze
 from .symbolic.levels import solve_schedule
+from .symbolic.structure import pattern_digest
 
 __all__ = ["plan", "SymbolicPlan", "SolvePlan", "Factor", "FactorBatch",
            "ServingSession", "same_pattern_values"]
@@ -169,6 +172,7 @@ class SymbolicPlan:
         self._A = A
         self._system = system
         self._gather = None  # values → permuted values; computed on demand
+        self._fingerprint = None
         # pre-warm the panel scatter plan so every factorize is index-free
         ScatterPlan.get(system.symb, system.matrix)
 
@@ -212,6 +216,28 @@ class SymbolicPlan:
         if self._gather is None:
             self._gather = permutation_gather(self._A, self._system.perm)
         return self._gather
+
+    @property
+    def fingerprint(self):
+        """Stable hash of the plan's *permuted* pattern — 16 hex chars.
+
+        Covers the composed fill-reducing permutation and the permuted
+        ``indptr``/``indices`` arrays, so two plans share a fingerprint
+        exactly when they would produce interchangeable factorizations:
+        same input pattern *and* same ordering decisions.  Stable across
+        processes (SHA-256 over the ``int64`` index bytes, not ``hash()``),
+        which is what lets a serving gateway key its warm-plan cache on it.
+
+        Related: :func:`repro.pattern_fingerprint` hashes the *raw*
+        (unpermuted) pattern of a matrix — computable without running
+        symbolic analysis, hence the request key of
+        :class:`repro.serving.Gateway`.
+        """
+        if self._fingerprint is None:
+            B = self._system.matrix
+            self._fingerprint = pattern_digest(
+                B.n, self._system.perm, B.indptr, B.indices)
+        return self._fingerprint
 
     def __repr__(self):  # pragma: no cover - cosmetic
         return (f"SymbolicPlan(n={self.n}, nsup={self.nsup}, "
@@ -388,7 +414,9 @@ class SymbolicPlan:
         this plan shares it."""
         return SolvePlan(self, solve_schedule(self._system.symb))
 
-    def serve(self, *, engine="rlb_par", workers=None, machine=None):
+    def serve(self, *, engine="rlb_par", workers=None, machine=None,
+              backend=None, devices=None, threshold=None, pool=None,
+              tracer=None, trace_origin=None):
         """Open a streaming :class:`ServingSession` on this pattern.
 
         Where :meth:`factorize_batch` needs the whole batch up front, a
@@ -403,13 +431,31 @@ class SymbolicPlan:
                 futs = [session.submit_solve(v, b) for v in value_stream]
                 xs = [f.result() for f in futs]
 
-        ``engine`` must be one of the threaded engines (``rl_par`` /
-        ``rlb_par``); every produced factor and solution is bit-identical
-        to its serial counterpart (same ordered-commit contract as the
-        batch path).
+        ``engine`` / ``backend`` / ``devices`` / ``threshold`` select the
+        scheduling substrate exactly as in :meth:`factorize`: the threaded
+        engines (``rl_par`` / ``rlb_par``) drain each submission's task DAG
+        across the pool's workers; ``backend="gpu"`` (engines
+        ``rl_gpu_dag`` / ``rlb_gpu_dag``) and ``backend="hybrid"``
+        (``rl_hybrid`` / ``rlb_hybrid``, which also take ``workers=`` and
+        ``threshold=``) run each submission through the stream/hybrid
+        engines instead.  Every produced factor and solution is
+        bit-identical to its serial counterpart regardless of substrate
+        (same ordered-commit contract as the batch path).
+
+        ``pool=`` binds the session to an externally owned
+        :class:`~repro.numeric.executor.StreamPool` instead of creating
+        (and later closing) its own — the sharing seam the multi-tenant
+        :class:`repro.serving.Gateway` uses to multiplex many per-pattern
+        sessions over one set of workers.  ``tracer=`` records measured
+        per-task (threaded) or per-submission (gpu/hybrid) spans, with
+        times relative to ``trace_origin`` (a ``time.perf_counter()``
+        value; default: session creation).
         """
         return ServingSession(self, engine=engine, workers=workers,
-                              machine=machine)
+                              machine=machine, backend=backend,
+                              devices=devices, threshold=threshold,
+                              pool=pool, tracer=tracer,
+                              trace_origin=trace_origin)
 
 
 class SolvePlan:
@@ -855,22 +901,61 @@ class ServingSession:
     """
 
     def __init__(self, plan, *, engine="rlb_par", workers=None,
-                 machine=None, thread_choices=CPU_THREAD_CHOICES):
+                 machine=None, thread_choices=CPU_THREAD_CHOICES,
+                 backend=None, devices=None, threshold=None, pool=None,
+                 tracer=None, trace_origin=None):
+        if backend is not None:
+            engine = backend_engine(engine, backend)
         spec = get_engine(engine)
-        if not spec.is_threaded:
+        if not (spec.is_threaded or spec.is_stream or spec.is_hybrid):
             raise ValueError(
-                f"serve() runs on the threaded engines only "
-                f"(rl_par, rlb_par), not {engine!r}"
+                f"serve() runs on the task-DAG engines only (rl_par, "
+                f"rlb_par — or backend='gpu'/'hybrid' for rl_gpu_dag, "
+                f"rlb_gpu_dag, rl_hybrid, rlb_hybrid), not {engine!r}"
             )
-        workers = default_workers() if workers is None else int(workers)
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
+        if workers is not None:
+            if not (spec.is_threaded or spec.is_hybrid):
+                raise ValueError(
+                    f"workers= applies to the threaded and hybrid engines "
+                    f"only (rl_par, rlb_par, rl_hybrid, rlb_hybrid), not "
+                    f"{engine!r}"
+                )
+            workers = int(workers)
+            if workers < 1:
+                raise ValueError("workers must be >= 1")
+        engine_kwargs = _with_devices(spec, engine, devices, {})
+        if threshold is not None:
+            if not (spec.is_stream or spec.is_hybrid):
+                raise ValueError(
+                    f"threshold= applies to the GPU stream and hybrid "
+                    f"engines only (rl_gpu_dag, rlb_gpu_dag, rl_hybrid, "
+                    f"rlb_hybrid — or backend='gpu'/'hybrid'), not "
+                    f"{engine!r}"
+                )
+            engine_kwargs = dict(engine_kwargs, threshold=threshold)
         self._plan = plan
         self._engine = engine
+        self._spec = spec
         self._granularity = spec.granularity
         self._machine = machine or MachineModel()
         self._thread_choices = thread_choices
-        self.workers = workers
+        self._tracer = tracer
+        self._t0 = (time.perf_counter() if trace_origin is None
+                    else trace_origin)
+        if spec.is_threaded:
+            # the pool's threads ARE the engine's parallelism
+            self._engine_kwargs = None
+            pool_width = workers
+        else:
+            # each submission runs its stream/hybrid engine as ONE task;
+            # the pool only sequences submissions (hybrid spawns its own
+            # worker threads per call, so width 1 avoids oversubscription)
+            if spec.is_hybrid and workers is not None:
+                engine_kwargs = dict(engine_kwargs, workers=workers)
+            if machine is not None:
+                engine_kwargs = dict(engine_kwargs, machine=machine)
+            self._engine_kwargs = engine_kwargs
+            pool_width = 1
         # pre-build every memoised pattern structure on this (caller)
         # thread: worker-thread callbacks may then only *read* the symbolic
         # cache (DAG plan, solve schedule, scatter plan, block offsets);
@@ -879,7 +964,16 @@ class ServingSession:
         warm_executor_plan(plan.symb, self._granularity)
         solve_schedule(plan.symb)
         plan.matrix._matvec_plan()
-        self._pool = StreamPool(workers, name="repro-serve")
+        if pool is not None:
+            if workers is not None and spec.is_threaded:
+                raise ValueError("pass either workers= or pool=, not both")
+            self._pool = pool
+            self._owns_pool = False
+            self.workers = pool.workers
+        else:
+            self._pool = StreamPool(pool_width, name="repro-serve")
+            self._owns_pool = True
+            self.workers = self._pool.workers
         self._submitted = 0
         self._closed = False
 
@@ -914,9 +1008,12 @@ class ServingSession:
 
     def close(self):
         """Drain every in-flight submission, then stop the worker pool.
-        Futures already handed out keep resolving during the drain."""
+        Futures already handed out keep resolving during the drain.
+        A session bound to an external ``pool=`` only marks itself closed —
+        the pool belongs to its owner (the gateway) and keeps running."""
         self._closed = True
-        self._pool.close()
+        if self._owns_pool:
+            self._pool.close()
 
     # ------------------------------------------------------------------
     def _factor_job(self, values, future, on_factor):
@@ -930,18 +1027,45 @@ class ServingSession:
         index = self._submitted
         data = plan._values_of(values)
         matrix = plan._original_matrix(data)  # copies: the Factor owns it
-        storage, ntasks, roots, run_task, finish = stream_factorize_job(
-            plan.symb, plan._permuted_matrix(data), self._granularity,
-            self._machine, self._thread_choices,
-            extra={"workers": self.workers,
-                   "granularity": self._granularity,
-                   "stream_index": index},
-        )
+        M = plan._permuted_matrix(data)
+        if self._spec.is_threaded:
+            _, ntasks, roots, run_task, finish = stream_factorize_job(
+                plan.symb, M, self._granularity,
+                self._machine, self._thread_choices,
+                extra={"workers": self.workers,
+                       "granularity": self._granularity,
+                       "stream_index": index},
+            )
+            label_of = _task_label_fn(plan.symb, self._granularity)
+        else:
+            # stream/hybrid engines: the whole factorization is ONE pool
+            # task (the engine schedules its own device/worker lanes
+            # internally); the pool still provides the streaming futures,
+            # failure isolation and drain semantics
+            spec, kwargs = self._spec, self._engine_kwargs
+            holder = {}
+
+            def run_task(tid):
+                holder["result"] = spec.fn(plan.symb, M,
+                                           **spec.fixed, **kwargs)
+                return ()
+
+            def finish(wall_seconds):
+                result = holder["result"]
+                result.extra["stream_index"] = index
+                result.extra["wall_seconds"] = wall_seconds
+                return result
+
+            ntasks, roots = 1, (0,)
+            label_of = (lambda tid: f"factorize:{index}")
+        if self._tracer is not None:
+            run_task = _traced_run(run_task, label_of, self._tracer,
+                                   self._t0)
         t0 = time.perf_counter()
 
         def done():
             result = finish(time.perf_counter() - t0)
-            on_factor(Factor(plan, result, matrix), storage)
+            on_factor(Factor(plan, result, matrix), result.storage)
 
         def err(exc):
             if isinstance(exc, NotPositiveDefiniteError):

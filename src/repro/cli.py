@@ -22,10 +22,17 @@ Commands
     Streaming same-pattern serving demo: a ``ServingSession`` (one
     persistent worker pool) consumes ``--count`` matrices arriving one at
     a time via ``submit_solve`` futures.
+``serve MATRIX --gateway``
+    Multi-tenant gateway demo: ``--tenants`` concurrent tenants submit a
+    Zipf-popular mix of ``--patterns`` distinct sparsity patterns through
+    one :class:`repro.serving.Gateway` (pattern-keyed warm-plan cache,
+    admission control, per-pattern stats).
 
-``factorize``/``batch`` accept ``--trace FILE`` with the threaded engines
-to export *measured* per-task start/stop intervals (one Chrome-trace lane
-per worker thread) — real occupancy next to the modeled Gantt charts.
+``factorize``/``batch``/``serve`` accept ``--trace FILE`` with the
+threaded engines to export *measured* per-task start/stop intervals (one
+Chrome-trace lane per worker thread) — real occupancy next to the modeled
+Gantt charts; ``--gateway`` traces add request/analysis spans and
+in-flight counter tracks.
 ``suite [MATRIX ...]``
     The paper's Tables I/II protocol over (a subset of) the suite.
 ``breakdown MATRIX``
@@ -368,22 +375,25 @@ def cmd_serve(args):
 
     from .analysis import format_table
     from .api import plan as make_plan
-    from .numeric.registry import get_engine, serial_twin
+    from .numeric.registry import backend_engine, get_engine, serial_twin
     from .sparse import spd_value_sweep
 
+    engine = args.engine
+    if args.backend is not None:
+        try:
+            engine = backend_engine(engine, args.backend)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
     try:
-        spec = get_engine(args.engine)
+        spec = get_engine(engine)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
-    if not spec.is_threaded:
-        print("serve runs on the threaded engines only (rl_par, rlb_par), "
-              f"not --engine {args.engine}", file=sys.stderr)
-        return 2
-    if not args.stream:
-        print("closed-batch serving lives under `python -m repro batch`; "
-              "pass --stream for the streaming ServingSession demo",
-              file=sys.stderr)
+    if not (spec.is_threaded or spec.is_stream or spec.is_hybrid):
+        print("serve runs on the task-DAG engines only (rl_par, rlb_par — "
+              "or --backend gpu/hybrid), "
+              f"not --engine {engine}", file=sys.stderr)
         return 2
     if args.count < 1:
         print("--count must be >= 1", file=sys.stderr)
@@ -391,16 +401,35 @@ def cmd_serve(args):
     if args.workers is not None and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.devices is not None and not (spec.is_stream or spec.is_hybrid):
+        print("--devices applies to the GPU stream and hybrid engines only "
+              "(use --backend gpu/hybrid)", file=sys.stderr)
+        return 2
+    if args.gateway:
+        return _cmd_serve_gateway(args, engine)
+    if not args.stream:
+        print("closed-batch serving lives under `python -m repro batch`; "
+              "pass --stream for the streaming ServingSession demo or "
+              "--gateway for the multi-tenant gateway demo",
+              file=sys.stderr)
+        return 2
     A = _load_matrix(args.matrix)
     rng = np.random.default_rng(args.seed)
     datas = spd_value_sweep(A, args.count, seed=args.seed)
     b = rng.standard_normal(A.n)
     plan = make_plan(A, ordering=args.ordering)
-    plan.factorize(datas[0], engine=args.engine)  # warm the pattern caches
+    plan.factorize(datas[0], engine=engine)  # warm the pattern caches
 
+    tracer = None
+    if args.trace:
+        from .gpu import Tracer
+
+        tracer = Tracer()
     t0 = time.perf_counter()
     first_latency = None
-    with plan.serve(engine=args.engine, workers=args.workers) as session:
+    with plan.serve(engine=args.engine, workers=args.workers,
+                    backend=args.backend, devices=args.devices,
+                    threshold=args.threshold, tracer=tracer) as session:
         futures = [session.submit_solve(d, b) for d in datas]
         xs = []
         for fut in futures:
@@ -411,7 +440,7 @@ def cmd_serve(args):
     t_stream = time.perf_counter() - t0
 
     # the pre-streaming protocol: factorize + solve one arrival at a time
-    loop_engine = serial_twin(args.engine)
+    loop_engine = serial_twin(engine)
     t0 = time.perf_counter()
     ref_factors = [plan.factorize(d, engine=loop_engine) for d in datas]
     ref_xs = [f.solve(b) for f in ref_factors]
@@ -420,7 +449,7 @@ def cmd_serve(args):
     identical = all(np.array_equal(x, r) for x, r in zip(xs, ref_xs))
     worst = max(f.residual_norm(x, b) for f, x in zip(ref_factors, xs))
     rows = [
-        ("engine (streamed)", args.engine),
+        ("engine (streamed)", engine),
         ("engine (looped)", loop_engine),
         ("submissions", str(args.count)),
         ("workers", str(workers)),
@@ -435,9 +464,113 @@ def cmd_serve(args):
     ]
     print(format_table(["field", "value"], rows,
                        title=f"Streaming serving session: {args.matrix}"))
+    if tracer is not None:
+        tracer.save_chrome_trace(args.trace)
+        print(f"\nwrote Chrome trace to {args.trace}")
     if not identical:
         return 1
     return 0 if worst < 1e-8 else 1
+
+
+def _cmd_serve_gateway(args, engine):
+    """The `repro serve --gateway` demo: N tenants submit a Zipf-popular
+    mix of M sparsity patterns through one multi-tenant Gateway; every
+    returned solution is checked bit-identical to a direct
+    plan→factorize→solve of the same matrix."""
+    import asyncio
+    import time
+
+    from .analysis import format_table
+    from .api import plan as make_plan
+    from .numeric.registry import serial_twin
+    from .serving import Gateway
+    from .sparse import spd_value_sweep
+    from .sparse.csc import SymmetricCSC
+    from .sparse.permute import random_permutation, symmetric_permute
+
+    if args.tenants < 1 or args.patterns < 1:
+        print("--tenants and --patterns must be >= 1", file=sys.stderr)
+        return 2
+    A = _load_matrix(args.matrix)
+    rng = np.random.default_rng(args.seed)
+    patterns = [A] + [symmetric_permute(A, random_permutation(A.n, rng))
+                      for _ in range(args.patterns - 1)]
+    sweeps = [spd_value_sweep(P, 8, seed=args.seed + m)
+              for m, P in enumerate(patterns)]
+    weights = 1.0 / np.arange(1, args.patterns + 1) ** 1.1  # Zipf popularity
+    weights /= weights.sum()
+    picks = rng.choice(args.patterns, size=args.count, p=weights)
+    b = rng.standard_normal(A.n)
+    tracer = None
+    if args.trace:
+        from .gpu import Tracer
+
+        tracer = Tracer()
+
+    async def run():
+        async with Gateway(capacity=args.capacity,
+                           max_in_flight=args.max_in_flight,
+                           workers=args.workers, engine=args.engine,
+                           backend=args.backend, devices=args.devices,
+                           threshold=args.threshold,
+                           ordering=args.ordering, tracer=tracer) as gw:
+
+            async def tenant(t):
+                out = []
+                for i in range(t, args.count, args.tenants):
+                    m = int(picks[i])
+                    P = patterns[m]
+                    v = sweeps[m][i % len(sweeps[m])]
+                    M = SymmetricCSC(P.n, P.indptr, P.indices, v,
+                                     check=False)
+                    x = await gw.submit(M, b, tenant=f"tenant{t}")
+                    out.append((i, m, i % len(sweeps[m]), x))
+                return out
+
+            results = await asyncio.gather(
+                *[tenant(t) for t in range(args.tenants)])
+            return results, gw.stats()
+
+    t0 = time.perf_counter()
+    results, stats = asyncio.run(run())
+    wall = time.perf_counter() - t0
+
+    # oracle: the serial twin of the gateway's engine, one direct
+    # plan→factorize→solve per served request
+    twin = serial_twin(engine)
+    plans = [make_plan(P, ordering=args.ordering) for P in patterns]
+    identical = all(
+        np.array_equal(x, plans[m].factorize(sweeps[m][k],
+                                             engine=twin).solve(b))
+        for chunk in results for (_, m, k, x) in chunk
+    )
+    rows = [
+        ("engine", engine),
+        ("tenants x patterns", f"{args.tenants} x {args.patterns}"),
+        ("requests", str(stats.requests)),
+        ("hit rate", f"{stats.hit_rate:.2f} "
+                     f"({stats.hits} hits / {stats.misses} misses)"),
+        ("warm plans (cached bytes)",
+         f"{stats.cached_plans} ({stats.cached_bytes})"),
+        ("evictions", str(stats.evictions)),
+        ("rejections", f"{stats.rejected_overloaded} overloaded, "
+                       f"{stats.rejected_tenant} over tenant budget"),
+        ("wall time", f"{wall * 1e3:.2f} ms "
+                      f"({wall / max(stats.requests, 1) * 1e3:.2f} "
+                      f"ms/request)"),
+        ("bit-identical to direct solve", "yes" if identical else "NO"),
+    ]
+    for fp, ps in stats.per_pattern.items():
+        rows.append((f"pattern {fp[:8]}",
+                     f"{ps.requests} reqs, {ps.hits} hits, "
+                     f"avg {ps.avg_latency_s * 1e3:.2f} ms"))
+    print(format_table(["field", "value"], rows,
+                       title=f"Multi-tenant gateway: {args.matrix}"))
+    if tracer is not None:
+        tracer.save_chrome_trace(args.trace)
+        print(f"\nwrote Chrome trace to {args.trace} (request spans + "
+              f"in-flight/queue-depth counters next to the worker lanes)")
+    return 0 if identical else 1
 
 
 def cmd_batch(args):
@@ -446,7 +579,6 @@ def cmd_batch(args):
     from .analysis import format_table
     from .api import plan as make_plan
     from .numeric.registry import backend_engine, get_engine, serial_twin
-    from .solve import CholeskySolver
     from .sparse import spd_value_sweep
 
     engine = args.engine
@@ -512,13 +644,13 @@ def cmd_batch(args):
     t_batch = time.perf_counter() - t0
 
     # the pre-batching protocol: one serial refactorize after another
+    # (fresh plan, so the loop pays its own cache warm-up outside the timer)
     loop_engine = serial_twin(engine)
-    solver = CholeskySolver(A, method=loop_engine,
-                            analyze_kwargs={"ordering": args.ordering})
-    solver.factorize()  # symbolic + cache warm-up outside the loop
+    loop_plan = make_plan(A, ordering=args.ordering)
+    loop_plan.factorize(engine=loop_engine)  # symbolic + cache warm-up
     t0 = time.perf_counter()
     for data in datas:
-        solver.refactorize(data)
+        loop_plan.factorize(data, engine=loop_engine)
     t_loop = time.perf_counter() - t0
 
     shape = A.n if args.rhs == 1 else (A.n, args.rhs)
@@ -737,20 +869,51 @@ def build_parser():
 
     sp = sub.add_parser("serve",
                         help="streaming same-pattern serving "
-                             "(ServingSession demo)")
+                             "(ServingSession / Gateway demos)")
     sp.add_argument("matrix")
     sp.add_argument("--stream", action="store_true",
                     help="run the streaming ServingSession demo "
-                         "(matrices submitted one at a time; required — "
-                         "closed batches live under `batch`)")
+                         "(matrices submitted one at a time; closed "
+                         "batches live under `batch`)")
+    sp.add_argument("--gateway", action="store_true",
+                    help="run the multi-tenant Gateway demo instead: "
+                         "N tenants submit a Zipf-popular mix of M "
+                         "sparsity patterns through one pattern-keyed "
+                         "plan cache")
     sp.add_argument("--engine", default="rlb_par",
-                    help="threaded factorization engine (default: rlb_par)")
+                    help="task-DAG factorization engine (default: "
+                         "rlb_par)")
     sp.add_argument("--workers", type=int, default=None,
                     help="worker threads of the persistent pool")
+    sp.add_argument("--backend", default=None,
+                    choices=backend_names,
+                    help="scheduling substrate for the serving engine "
+                         "(gpu = modeled stream offload; hybrid = CPU "
+                         "workers + GPU streams)")
+    sp.add_argument("--devices", type=int, default=None,
+                    help="simulated GPUs per factorize for --backend "
+                         "gpu/hybrid")
+    sp.add_argument("--threshold", type=int, default=None,
+                    help="GPU offload threshold (stream/hybrid engines)")
     sp.add_argument("--count", type=int, default=8,
-                    help="number of streamed same-pattern matrices "
+                    help="number of streamed matrices / gateway requests "
                          "(default: 8)")
+    sp.add_argument("--tenants", type=int, default=4,
+                    help="concurrent tenants for --gateway (default: 4)")
+    sp.add_argument("--patterns", type=int, default=3,
+                    help="distinct sparsity patterns for --gateway "
+                         "(default: 3)")
+    sp.add_argument("--capacity", type=int, default=8,
+                    help="warm-plan cache capacity for --gateway "
+                         "(default: 8)")
+    sp.add_argument("--max-in-flight", type=int, default=64,
+                    help="global in-flight admission cap for --gateway "
+                         "(default: 64)")
     sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--trace", metavar="FILE",
+                    help="write a Chrome/Perfetto trace (request spans, "
+                         "analysis spans and in-flight counters for "
+                         "--gateway; worker lanes either way)")
     common(sp)
 
     sp = sub.add_parser("suite", help="Tables I/II over the suite")

@@ -77,12 +77,29 @@ class Tracer:
     """
 
     events: list = field(default_factory=list)
+    counters: list = field(default_factory=list)
 
     def record(self, lane, name, start, end, nbytes=0.0):
         """Record one interval (ignored if empty or inverted)."""
         if end > start:
             self.events.append(TraceEvent(lane, name, float(start),
                                           float(end), float(nbytes)))
+
+    def counter(self, lane, name, t, value):
+        """Record one counter sample: series ``name`` on ``lane`` had
+        ``value`` at time ``t``.
+
+        Counters are instantaneous levels, not intervals — queue depth,
+        in-flight requests, cache occupancy.  The serving gateway samples
+        its admission-control state through this, so the Chrome trace shows
+        the load curves stacked above the worker/stream lanes (Chrome
+        ``"ph": "C"`` counter tracks)."""
+        self.counters.append((lane, name, float(t), float(value)))
+
+    def counter_samples(self, lane, name):
+        """``(t, value)`` samples of one counter series, in time order."""
+        return sorted((t, v) for ln, nm, t, v in self.counters
+                      if ln == lane and nm == name)
 
     @classmethod
     def merged(cls, *tracers):
@@ -98,6 +115,7 @@ class Tracer:
         merged = cls()
         for t in tracers:
             merged.events.extend(t.events)
+            merged.counters.extend(t.counters)
         return merged
 
     # -- queries ---------------------------------------------------------
@@ -182,6 +200,15 @@ class Tracer:
             if e.nbytes:
                 rec["args"] = {"dilated_bytes": e.nbytes}
             out.append(rec)
+        counter_pids = {}
+        for lane, name, t, value in sorted(self.counters, key=lambda c: c[2]):
+            pid = counter_pids.get(lane)
+            if pid is None:
+                pid = counter_pids[lane] = len(pids) + len(counter_pids)
+                out.append({"name": "process_name", "ph": "M", "pid": pid,
+                            "tid": 0, "args": {"name": f"{lane} (counters)"}})
+            out.append({"name": name, "ph": "C", "pid": pid, "tid": 0,
+                        "ts": t * 1e6, "args": {name: value}})
         return out
 
     def save_chrome_trace(self, path):

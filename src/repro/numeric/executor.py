@@ -785,6 +785,17 @@ class StreamPool:
             self._finish(job)
         return job
 
+    @property
+    def active(self):
+        """Number of submitted graphs not yet completed or failed.
+
+        The pool-sharing seam: a front door multiplexing many serving
+        sessions over ONE pool (:class:`repro.serving.Gateway`) samples
+        this for queue-depth metrics and back-pressure decisions without
+        reaching into the pool's internals."""
+        with self._cv:
+            return self._active
+
     def close(self):
         """Drain all in-flight graphs, then stop and join the workers."""
         with self._cv:

@@ -50,6 +50,8 @@ factorizations on one worker pool instead of running them back to back.)
 
 from __future__ import annotations
 
+import warnings
+
 from ..numeric.registry import METHODS
 from ..sparse.csc import SymmetricCSC
 from .refine import relative_residual
@@ -85,6 +87,13 @@ class CholeskySolver:
 
     def __init__(self, A, *, method="rl", analyze_kwargs=None,
                  factor_kwargs=None):
+        warnings.warn(
+            "CholeskySolver is deprecated; use the staged pipeline — "
+            "plan = repro.plan(A); factor = plan.factorize(...); "
+            "x = factor.solve(b) — see docs/api.md for the migration "
+            "table. Behavior is unchanged.",
+            DeprecationWarning, stacklevel=2,
+        )
         if method not in METHODS:
             raise ValueError(
                 f"unknown method {method!r}; choose from {sorted(METHODS)}"

@@ -14,7 +14,7 @@ from .colcounts import column_counts, column_counts_reference
 from .supernodes import fundamental_supernodes, snode_of_column, validate_snptr
 from .amalgamate import amalgamate, merge_extra_fill
 from .treeviz import render_tree, tree_stats, TreeStats
-from .structure import SymbolicFactor, symbolic_factorization
+from .structure import SymbolicFactor, pattern_fingerprint, symbolic_factorization
 from .relind import assembly_plan, relative_indices, relative_indices_bottom
 from .blocks import Block, snode_blocks, all_blocks, count_blocks
 from .partition_refinement import partition_refinement
@@ -40,6 +40,7 @@ __all__ = [
     "merge_extra_fill",
     "SymbolicFactor",
     "symbolic_factorization",
+    "pattern_fingerprint",
     "assembly_plan",
     "relative_indices",
     "relative_indices_bottom",

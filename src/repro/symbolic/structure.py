@@ -20,13 +20,57 @@ bookkeeping idiom of the HPC guide.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .supernodes import snode_of_column, validate_snptr
 
-__all__ = ["SymbolicFactor", "symbolic_factorization"]
+__all__ = ["SymbolicFactor", "symbolic_factorization", "pattern_fingerprint"]
+
+
+def pattern_digest(n, *arrays):
+    """Stable 64-bit hex digest of integer index arrays describing a
+    sparsity structure.
+
+    The digest covers ``n`` plus each array's length and ``int64`` byte
+    content (SHA-256, truncated to 16 hex characters), so it is stable
+    across processes, platforms and NumPy versions — unlike ``hash()`` —
+    and collision-safe enough to key caches that *also* verify the pattern
+    on use (the staged API validates ``indptr``/``indices`` equality when
+    values are pushed through a plan, so a collision can never silently
+    mix patterns).
+    """
+    h = hashlib.sha256()
+    h.update(f"repro-pattern-v1:{int(n)}".encode())
+    for arr in arrays:
+        a = np.ascontiguousarray(arr, dtype=np.int64)
+        h.update(str(a.size).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()[:16]
+
+
+def pattern_fingerprint(A):
+    """Stable fingerprint of ``A``'s sparsity pattern.
+
+    ``A`` is anything with ``n`` / ``indptr`` / ``indices`` attributes
+    (a :class:`~repro.sparse.csc.SymmetricCSC`); the returned 16-hex-char
+    string depends only on the *pattern* — every same-pattern matrix maps
+    to the same fingerprint, values never enter the hash.  This is the
+    request key of the multi-tenant serving gateway
+    (:class:`repro.serving.Gateway`): clients that know their pattern is
+    already warm can skip shipping the structure arrays entirely and
+    submit values under the fingerprint alone.
+
+    The symbolic pipeline is deterministic, so equal pattern fingerprints
+    imply equal orderings, equal permuted patterns and interchangeable
+    :class:`~repro.api.SymbolicPlan` objects (for fixed ``analyze``
+    options).  :attr:`repro.api.SymbolicPlan.fingerprint` is the related
+    *plan* identity: a hash of the permuted pattern and its permutation,
+    which additionally distinguishes plans built with different orderings.
+    """
+    return pattern_digest(A.n, A.indptr, A.indices)
 
 
 @dataclass

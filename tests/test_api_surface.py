@@ -21,11 +21,20 @@ DOCUMENTED_TOP_LEVEL = [
     "ServingSession",
     "CholeskySolver",
     "analyze",
+    "pattern_fingerprint",
     "SymmetricCSC",
     "ENGINES",
     "engine_names",
     "get_engine",
     "NotPositiveDefiniteError",
+    # direct engine entry points (power users; the staged API wraps these)
+    "factorize_rl_cpu",
+    "factorize_rlb_cpu",
+    "factorize_rl_gpu",
+    "factorize_rlb_gpu",
+    "factorize_rl_multigpu",
+    "factorize_multifrontal",
+    "rank1_update",
     "memory_plan",
     "SimulatedGpu",
     "MachineModel",
@@ -86,6 +95,29 @@ DOCUMENTED_SUBPACKAGE = [
     ("repro.symbolic", "solve_schedule"),
     ("repro.symbolic", "solve_levels"),
     ("repro.symbolic", "SolveSchedule"),
+    ("repro.symbolic", "pattern_fingerprint"),
+    ("repro.serving", "Gateway"),
+    ("repro.serving", "GatewayStats"),
+    ("repro.serving", "PatternStats"),
+    ("repro.serving", "GatewayRejected"),
+    ("repro.serving", "GatewayOverloaded"),
+    ("repro.serving", "TenantBudgetExceeded"),
+    ("repro.serving", "UnknownPatternError"),
+    ("repro.serving", "plan_nbytes"),
+]
+
+#: The complete intended ``repro.serving.__all__`` — pinned exactly, so an
+#: accidental export (or a dropped one) fails loudly rather than silently
+#: widening the documented gateway surface.
+SERVING_ALL = [
+    "Gateway",
+    "GatewayStats",
+    "PatternStats",
+    "GatewayRejected",
+    "GatewayOverloaded",
+    "TenantBudgetExceeded",
+    "UnknownPatternError",
+    "plan_nbytes",
 ]
 
 
@@ -99,6 +131,21 @@ def test_all_is_complete_and_importable():
         assert hasattr(repro, name), f"repro.{name} in __all__ but missing"
     for name in DOCUMENTED_TOP_LEVEL:
         assert name in repro.__all__, f"{name} documented but not in __all__"
+
+
+def test_top_level_all_has_no_accidental_additions():
+    """``repro.__all__`` must equal the documented surface exactly — a new
+    export has to be added to docs/api.md and this guard deliberately."""
+    assert sorted(repro.__all__) == sorted(DOCUMENTED_TOP_LEVEL)
+
+
+def test_serving_all_is_exact():
+    """``repro.serving.__all__`` is pinned exactly (and importable)."""
+    import repro.serving
+
+    assert sorted(repro.serving.__all__) == sorted(SERVING_ALL)
+    for name in repro.serving.__all__:
+        assert hasattr(repro.serving, name), f"repro.serving.{name} missing"
 
 
 @pytest.mark.parametrize("module,name", DOCUMENTED_SUBPACKAGE)

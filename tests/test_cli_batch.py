@@ -145,7 +145,7 @@ class TestServeCommand:
         assert main(["serve", SMALL, "--stream", "--workers", "0"]) == 2
         assert main(["serve", SMALL, "--stream", "--engine", "nope"]) == 2
         err = capsys.readouterr().err
-        assert "threaded engines" in err
+        assert "task-DAG engines only" in err
         assert "--count must be >= 1" in err
         assert "--workers must be >= 1" in err
         assert "unknown engine" in err

@@ -300,7 +300,7 @@ class TestServingSession:
             assert session.submitted == 0
 
     def test_serial_engine_rejected(self, aplan):
-        with pytest.raises(ValueError, match="threaded engines"):
+        with pytest.raises(ValueError, match="task-DAG engines only"):
             aplan.serve(engine="rl")
 
     def test_counts_and_default_values(self, aplan):
