@@ -1,0 +1,34 @@
+"""Benchmark-side BLAS pinning (import before numpy).
+
+Thin loader around :mod:`repro.numeric.blas_limits` — the helper must run
+*before* numpy first loads its BLAS, so importing the ``repro`` package
+(which imports numpy) to reach it would defeat the point.  The module is
+numpy-free by contract, so it is executed here directly from its source
+file instead.
+
+Usage, at the very top of a benchmark (before any numpy import)::
+
+    import sys, pathlib
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+    from _blas import pin_blas_threads
+
+    pin_blas_threads()  # setdefault: an exported env override still wins
+"""
+
+import importlib.util
+import pathlib
+
+_SOURCE = (pathlib.Path(__file__).resolve().parent.parent
+           / "src" / "repro" / "numeric" / "blas_limits.py")
+_spec = importlib.util.spec_from_file_location("_repro_blas_limits", _SOURCE)
+_blas_limits = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_blas_limits)
+
+BLAS_ENV_VARS = _blas_limits.BLAS_ENV_VARS
+
+
+def pin_blas_threads(n=1, *, override=False):
+    """Pin the BLAS/OpenMP env knobs to ``n`` threads (``setdefault``
+    semantics unless ``override=True``); returns the mapping in effect.
+    Call before numpy's first import — BLAS reads these at load time."""
+    return _blas_limits.limit_blas_threads(n, override=override)

@@ -37,21 +37,22 @@ Run:  PYTHONPATH=src python benchmarks/bench_gateway.py
 from __future__ import annotations
 
 import os
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
 # Task-level parallelism is the thing being measured: pin the BLAS pool to
 # one thread per call (MA87-style) *before* NumPy/SciPy load the libraries.
-for _var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
-    os.environ.setdefault(_var, "1")
+from _blas import pin_blas_threads
+
+pin_blas_threads()
 
 import argparse
 import asyncio
-import pathlib
-import sys
 import time
 
 import numpy as np
-
-sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
 from harness import save_snapshot
 import repro

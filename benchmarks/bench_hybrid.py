@@ -35,19 +35,20 @@ Run:  PYTHONPATH=src python benchmarks/bench_hybrid.py
 from __future__ import annotations
 
 import os
-
-# The CPU side of the hybrid split measures real task-level parallelism:
-# pin the BLAS pool to one thread per call *before* NumPy loads it.
-for _var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
-    os.environ.setdefault(_var, "1")
-
-import argparse
 import pathlib
 import sys
 
-import numpy as np
-
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+# The CPU side of the hybrid split measures real task-level parallelism:
+# pin the BLAS pool to one thread per call *before* NumPy loads it.
+from _blas import pin_blas_threads
+
+pin_blas_threads()
+
+import argparse
+
+import numpy as np
 
 from harness import best_of, save_snapshot
 from repro.gpu.costmodel import MachineModel

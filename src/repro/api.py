@@ -308,17 +308,21 @@ class SymbolicPlan:
             ``"rlb"``, ``"rl_par"``, ``"rlb_par"``, ``"rl_gpu"``,
             ``"rl_gpu_dag"``, ...).
         workers:
-            Worker-thread count for the threaded and hybrid engines;
-            rejected for serial/GPU engines.
+            Worker count for the threaded, hybrid and process engines
+            (threads or processes respectively); rejected for serial/GPU
+            engines.
         backend:
-            ``"threads"``, ``"gpu"`` or ``"hybrid"``: run ``engine``'s
-            task-DAG granularity on that scheduling substrate
+            ``"threads"``, ``"gpu"``, ``"hybrid"`` or ``"process"``: run
+            ``engine``'s task-DAG granularity on that scheduling substrate
             (:func:`repro.numeric.registry.backend_engine`) — e.g.
             ``engine="rlb_par", backend="gpu"`` runs the fine DAG on
-            simulated-GPU streams (``rlb_gpu_dag``), and
+            simulated-GPU streams (``rlb_gpu_dag``),
             ``backend="hybrid", workers=N, devices=M, threshold=...``
             splits the same DAG across CPU worker threads and GPU streams
-            (``rl_hybrid`` / ``rlb_hybrid``).  Factors are bit-identical
+            (``rl_hybrid`` / ``rlb_hybrid``), and ``backend="process",
+            workers=N`` drains it through a shared-memory worker-process
+            pool (``rl_proc`` / ``rlb_proc`` —
+            :mod:`repro.numeric.procpool`).  Factors are bit-identical
             across backends.
         devices:
             Simulated-GPU count for the stream and hybrid engines
@@ -331,11 +335,11 @@ class SymbolicPlan:
             engine = backend_engine(engine, backend)
         spec = get_engine(engine)
         if workers is not None:
-            if not (spec.is_threaded or spec.is_hybrid):
+            if not (spec.is_threaded or spec.is_hybrid or spec.is_process):
                 raise ValueError(
-                    f"workers= applies to the threaded and hybrid engines "
-                    f"only (rl_par, rlb_par, rl_hybrid, rlb_hybrid), not "
-                    f"{engine!r}"
+                    f"workers= applies to the threaded, hybrid and process "
+                    f"engines only (rl_par, rlb_par, rl_hybrid, rlb_hybrid, "
+                    f"rl_proc, rlb_proc), not {engine!r}"
                 )
             engine_kwargs = dict(engine_kwargs, workers=workers)
         engine_kwargs = _with_devices(spec, engine, devices, engine_kwargs)
@@ -372,15 +376,17 @@ class SymbolicPlan:
         datas = [self._values_of(v) for v in values_list]
         if not spec.is_threaded:
             if workers is not None:
-                if spec.is_hybrid:
-                    # hybrid runs the amortized loop; each matrix keeps its
-                    # heterogeneous worker/stream split
+                if spec.is_hybrid or spec.is_process:
+                    # hybrid/process run the amortized loop; each matrix
+                    # keeps its worker setting (the process pool itself is
+                    # cached per (workers, start_method) and stays warm
+                    # across the loop)
                     engine_kwargs = dict(engine_kwargs, workers=workers)
                 else:
                     raise ValueError(
-                        f"workers= applies to the threaded and hybrid "
-                        f"engines only (rl_par, rlb_par, rl_hybrid, "
-                        f"rlb_hybrid), not {engine!r}"
+                        f"workers= applies to the threaded, hybrid and "
+                        f"process engines only (rl_par, rlb_par, rl_hybrid, "
+                        f"rlb_hybrid, rl_proc, rlb_proc), not {engine!r}"
                     )
             factors = []
             for b, data in enumerate(datas):
@@ -435,10 +441,14 @@ class SymbolicPlan:
         scheduling substrate exactly as in :meth:`factorize`: the threaded
         engines (``rl_par`` / ``rlb_par``) drain each submission's task DAG
         across the pool's workers; ``backend="gpu"`` (engines
-        ``rl_gpu_dag`` / ``rlb_gpu_dag``) and ``backend="hybrid"``
+        ``rl_gpu_dag`` / ``rlb_gpu_dag``), ``backend="hybrid"``
         (``rl_hybrid`` / ``rlb_hybrid``, which also take ``workers=`` and
-        ``threshold=``) run each submission through the stream/hybrid
-        engines instead.  Every produced factor and solution is
+        ``threshold=``) and ``backend="process"`` (``rl_proc`` /
+        ``rlb_proc``: each submission drains its DAG through the shared
+        worker-process pool — create it on the main thread first via
+        :func:`repro.numeric.procpool.default_process_pool` when using
+        ``fork``) run each submission through those engines instead.
+        Every produced factor and solution is
         bit-identical to its serial counterpart regardless of substrate
         (same ordered-commit contract as the batch path).
 
@@ -907,18 +917,20 @@ class ServingSession:
         if backend is not None:
             engine = backend_engine(engine, backend)
         spec = get_engine(engine)
-        if not (spec.is_threaded or spec.is_stream or spec.is_hybrid):
+        if not (spec.is_threaded or spec.is_stream or spec.is_hybrid
+                or spec.is_process):
             raise ValueError(
                 f"serve() runs on the task-DAG engines only (rl_par, "
-                f"rlb_par — or backend='gpu'/'hybrid' for rl_gpu_dag, "
-                f"rlb_gpu_dag, rl_hybrid, rlb_hybrid), not {engine!r}"
+                f"rlb_par — or backend='gpu'/'hybrid'/'process' for "
+                f"rl_gpu_dag, rlb_gpu_dag, rl_hybrid, rlb_hybrid, rl_proc, "
+                f"rlb_proc), not {engine!r}"
             )
         if workers is not None:
-            if not (spec.is_threaded or spec.is_hybrid):
+            if not (spec.is_threaded or spec.is_hybrid or spec.is_process):
                 raise ValueError(
-                    f"workers= applies to the threaded and hybrid engines "
-                    f"only (rl_par, rlb_par, rl_hybrid, rlb_hybrid), not "
-                    f"{engine!r}"
+                    f"workers= applies to the threaded, hybrid and process "
+                    f"engines only (rl_par, rlb_par, rl_hybrid, rlb_hybrid, "
+                    f"rl_proc, rlb_proc), not {engine!r}"
                 )
             workers = int(workers)
             if workers < 1:
@@ -947,10 +959,11 @@ class ServingSession:
             self._engine_kwargs = None
             pool_width = workers
         else:
-            # each submission runs its stream/hybrid engine as ONE task;
-            # the pool only sequences submissions (hybrid spawns its own
-            # worker threads per call, so width 1 avoids oversubscription)
-            if spec.is_hybrid and workers is not None:
+            # each submission runs its stream/hybrid/process engine as ONE
+            # task; the pool only sequences submissions (hybrid spawns its
+            # own worker threads per call and the process engine runs on
+            # its worker-process pool, so width 1 avoids oversubscription)
+            if (spec.is_hybrid or spec.is_process) and workers is not None:
                 engine_kwargs = dict(engine_kwargs, workers=workers)
             if machine is not None:
                 engine_kwargs = dict(engine_kwargs, machine=machine)

@@ -167,16 +167,18 @@ def cmd_factorize(args):
                   f"--method {method}", file=sys.stderr)
             return 2
         if spec.granularity != args.granularity:
-            kind_backend = {"stream": "gpu", "hybrid": "hybrid"}
+            kind_backend = {"stream": "gpu", "hybrid": "hybrid",
+                            "process": "process"}
             want = BACKENDS[kind_backend.get(spec.kind, "threads")][
                 args.granularity]
             print(f"--granularity {args.granularity} conflicts with "
                   f"--method {method} (use {want})", file=sys.stderr)
             return 2
-    if args.workers is not None and not (spec.is_threaded or spec.is_hybrid):
-        print("--workers applies to the threaded and hybrid engines only "
-              f"(rl_par, rlb_par, rl_hybrid, rlb_hybrid), not "
-              f"--method {method}", file=sys.stderr)
+    if args.workers is not None and not (spec.is_threaded or spec.is_hybrid
+                                         or spec.is_process):
+        print("--workers applies to the threaded, hybrid and process "
+              "engines only (rl_par, rlb_par, rl_hybrid, rlb_hybrid, "
+              f"rl_proc, rlb_proc), not --method {method}", file=sys.stderr)
         return 2
     if args.devices is not None and not (spec.is_stream or spec.is_hybrid):
         print("--devices applies to the GPU stream and hybrid engines only "
@@ -191,12 +193,13 @@ def cmd_factorize(args):
         return 2
     if ((args.gantt or args.trace)
             and not (spec.is_gpu or spec.is_stream or spec.is_hybrid
-                     or spec.is_threaded)):
+                     or spec.is_threaded or spec.is_process)):
         # refuse loudly instead of exiting 0 with no trace written (the
         # batch subcommand treats --trace the same way)
         print("--gantt/--trace need a timeline: a GPU/stream/hybrid engine "
-              "(modeled) or the threaded executor (rl_par, rlb_par; "
-              f"measured), not --method {method}", file=sys.stderr)
+              "(modeled) or the threaded/process executors (rl_par, "
+              f"rlb_par, rl_proc, rlb_proc; measured), not --method "
+              f"{method}", file=sys.stderr)
         return 2
     system = _analyzed(args.matrix, args.ordering)
     fn, fixed = METHODS[method]
@@ -225,8 +228,9 @@ def cmd_factorize(args):
             kwargs["device_memory"] = args.device_memory
         tracer = Tracer()
         kwargs["tracer"] = tracer
-    elif spec.is_threaded and (args.gantt or args.trace):
+    elif (spec.is_threaded or spec.is_process) and (args.gantt or args.trace):
         # measured per-task occupancy: one trace lane per worker thread
+        # (threaded) or worker process (proc0, proc1, ...)
         tracer = Tracer()
         kwargs["tracer"] = tracer
     res = fn(system.symb, system.matrix, **kwargs)
@@ -255,6 +259,13 @@ def cmd_factorize(args):
         rows.append(("devices (stream DAG)", str(res.extra["devices"])))
         rows.append(("task granularity", res.extra["granularity"]))
         rows.append(("DAG tasks", str(res.extra["tasks"])))
+    elif "start_method" in res.extra:
+        rows.append(("workers (process DAG)", str(res.extra["workers"])))
+        rows.append(("start method", res.extra["start_method"]))
+        rows.append(("task granularity", res.extra["granularity"]))
+        rows.append(("DAG tasks", str(res.extra["tasks"])))
+        rows.append(("measured wall seconds",
+                     f"{res.extra['wall_seconds']:.4f}"))
     elif "wall_seconds" in res.extra:
         rows.append(("workers (threaded DAG)", str(res.extra["workers"])))
         rows.append(("task granularity", res.extra["granularity"]))
@@ -390,9 +401,10 @@ def cmd_serve(args):
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
-    if not (spec.is_threaded or spec.is_stream or spec.is_hybrid):
+    if not (spec.is_threaded or spec.is_stream or spec.is_hybrid
+            or spec.is_process):
         print("serve runs on the task-DAG engines only (rl_par, rlb_par — "
-              "or --backend gpu/hybrid), "
+              "or --backend gpu/hybrid/process), "
               f"not --engine {engine}", file=sys.stderr)
         return 2
     if args.count < 1:
@@ -599,10 +611,11 @@ def cmd_batch(args):
     if args.workers is not None and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
-    if args.workers is not None and not (spec.is_threaded or spec.is_hybrid):
-        print("--workers applies to the threaded and hybrid engines only "
-              f"(rl_par, rlb_par, rl_hybrid, rlb_hybrid), not "
-              f"--engine {engine}", file=sys.stderr)
+    if args.workers is not None and not (spec.is_threaded or spec.is_hybrid
+                                         or spec.is_process):
+        print("--workers applies to the threaded, hybrid and process "
+              f"engines only (rl_par, rlb_par, rl_hybrid, rlb_hybrid, "
+              f"rl_proc, rlb_proc), not --engine {engine}", file=sys.stderr)
         return 2
     if args.devices is not None and args.devices < 1:
         print("--devices must be >= 1", file=sys.stderr)

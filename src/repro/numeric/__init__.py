@@ -29,6 +29,14 @@ from .executor import (
     default_workers,
 )
 from .gpu_dag import factorize_gpu_dag, factorize_hybrid
+from .procpool import (
+    ProcessBackend,
+    ProcessPool,
+    factorize_process,
+    default_process_pool,
+    close_default_pools,
+)
+from .blas_limits import BLAS_ENV_VARS, limit_blas_threads, pinned_blas_env
 from .rl_gpu import factorize_rl_gpu
 from .rlb_gpu import factorize_rlb_gpu
 from .left_looking import factorize_left_looking
@@ -110,6 +118,14 @@ __all__ = [
     "ThreadBackend",
     "GpuStreamBackend",
     "HybridBackend",
+    "ProcessBackend",
+    "ProcessPool",
+    "factorize_process",
+    "default_process_pool",
+    "close_default_pools",
+    "BLAS_ENV_VARS",
+    "limit_blas_threads",
+    "pinned_blas_env",
     "OrderedCommitter",
     "GRANULARITIES",
     "default_workers",

@@ -1,0 +1,97 @@
+"""Centralized BLAS thread-pool pinning (env-var based, numpy-free).
+
+Every dense kernel in this project runs through BLAS, and every BLAS
+distribution (OpenBLAS, MKL, the OpenMP reference) sizes its internal
+thread pool from environment variables *read once, when the library is
+first loaded*.  Two places need to control that:
+
+* **Benchmarks** — the perf harness pins BLAS to one thread so the
+  task-DAG executors measure *their* parallelism, not BLAS's.  The
+  helper used to be copy-pasted across ``benchmarks/*``; it lives here
+  now (``benchmarks/_blas.py`` loads this file directly, without
+  importing the ``repro`` package, so numpy is still unimported when
+  the knobs are set).
+* **The process backend** (:mod:`repro.numeric.procpool`) — worker
+  processes must not oversubscribe cores with ``workers x blas_threads``
+  BLAS pools.  Under ``spawn`` the child's interpreter imports numpy
+  while unpickling the worker entry point, *before* any worker code
+  runs, so the only reliable hook is the inherited environment:
+  :func:`pinned_blas_env` pins the parent's env around
+  ``Process.start()`` and restores it afterwards.  Under ``fork`` the
+  child inherits the parent's already-loaded BLAS; pin the parent's own
+  environment early (as the benchmarks do) for full control.
+
+This module must stay importable without numpy (no numpy / ``repro``
+imports at module level) — that is the whole point.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+__all__ = [
+    "BLAS_ENV_VARS",
+    "limit_blas_threads",
+    "pinned_blas_env",
+    "process_worker_main",
+]
+
+#: The env knobs honoured by the BLAS builds numpy commonly ships with.
+BLAS_ENV_VARS = ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS")
+
+
+def limit_blas_threads(n=1, *, override=False):
+    """Pin the BLAS/OpenMP thread-pool env knobs to ``n`` threads.
+
+    Call BEFORE numpy is first imported — BLAS reads these variables at
+    library load time.  By default existing settings are respected
+    (``setdefault``); ``override=True`` hard-sets every knob.  Returns
+    the ``{var: value}`` mapping now in effect for the three knobs.
+    """
+    value = str(int(n))
+    if override:
+        for var in BLAS_ENV_VARS:
+            os.environ[var] = value
+    else:
+        for var in BLAS_ENV_VARS:
+            os.environ.setdefault(var, value)
+    return {var: os.environ[var] for var in BLAS_ENV_VARS}
+
+
+@contextlib.contextmanager
+def pinned_blas_env(n=1):
+    """Hard-pin the BLAS env knobs to ``n`` threads for the duration of
+    the ``with`` block, restoring the previous values on exit.
+
+    This is how the process backend controls its children: environment
+    is the one channel that reaches a ``spawn`` child before its numpy
+    import, so the parent wraps ``Process.start()`` in this context and
+    the children inherit single-threaded BLAS.
+    """
+    saved = {var: os.environ.get(var) for var in BLAS_ENV_VARS}
+    limit_blas_threads(n, override=True)
+    try:
+        yield
+    finally:
+        for var, old in saved.items():
+            if old is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = old
+
+
+def process_worker_main(conn, worker_index, blas_threads=1):
+    """Entry point of one :class:`~repro.numeric.procpool.ProcessPool`
+    worker process.
+
+    Lives here (not in ``procpool``) so the spawn pickle references a
+    module whose *own* import is numpy-free; the env pin below is
+    belt-and-braces — the load-bearing pin is the environment inherited
+    from :func:`pinned_blas_env` around ``Process.start()``, because a
+    spawn child imports numpy while unpickling this very function.
+    """
+    limit_blas_threads(blas_threads, override=True)
+    from repro.numeric.procpool import _worker_loop
+
+    _worker_loop(conn, worker_index)

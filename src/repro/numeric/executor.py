@@ -1113,7 +1113,10 @@ def factorize_executor(
         a fresh :class:`ThreadBackend` (mutually exclusive with
         ``workers``).  The task bodies here charge the *CPU* cost model,
         so any substrate yields the same report; the GPU-charging engines
-        live in :mod:`repro.numeric.gpu_dag`.
+        live in :mod:`repro.numeric.gpu_dag`.  A backend that cannot run
+        in-process closures (e.g.
+        :class:`~repro.numeric.procpool.ProcessBackend`) instead exposes
+        ``factorize_dag`` and the whole job is delegated to it.
     """
     if granularity not in GRANULARITIES:
         raise ValueError(
@@ -1123,6 +1126,15 @@ def factorize_executor(
         backend = ThreadBackend(workers)
     elif workers is not None:
         raise ValueError("pass either workers= or backend=, not both")
+    if hasattr(backend, "factorize_dag"):
+        return backend.factorize_dag(
+            symb,
+            A,
+            granularity=granularity,
+            machine=machine,
+            thread_choices=thread_choices,
+            tracer=tracer,
+        )
     machine = machine or MachineModel()
     storage = FactorStorage.from_matrix(symb, A)
     t0 = time.perf_counter()

@@ -1,0 +1,845 @@
+"""Shared-memory multiprocess execution of the factorization task DAGs.
+
+:class:`ThreadBackend` only scales where BLAS releases the GIL; the
+scatter/commit/bookkeeping Python inside the task bodies serializes on
+real multicore hosts.  This module escapes the GIL with a third
+``Backend`` substrate: a persistent pool of **worker processes** draining
+the same coarse/fine task DAGs as :mod:`repro.numeric.executor`, with the
+:class:`~repro.numeric.storage.FactorStorage` panels living in a
+``multiprocessing.shared_memory`` arena so the per-task protocol is
+pickle-free — the symbolic factor, scatter offsets and DAG plan ship
+once at pool warm-up, and every task message is just ``("task", tid)``.
+
+Determinism (the ``OrderedCommitter`` contract, deferred)
+---------------------------------------------------------
+The threaded runtime serializes cross-panel updates through a per-target
+lock, applying them in ascending source order.  Locks don't cross
+process boundaries, so the process backend *defers* instead: every
+source task writes its update matrix (coarse: the SYRK ``U_s``; fine:
+one block-pair product per pair task) into a private slot of a shared
+scratch arena, and each target's own factor task begins by applying the
+buffered contributions in ascending source order — exactly the serial
+engines' per-panel accumulation order, and exactly the order the
+threaded :class:`~repro.numeric.executor.OrderedCommitter` enforces.
+Factors are therefore bit-identical to the serial twins at any worker
+count, under both ``fork`` and ``spawn``.  (This is sound because RL
+assembly delivers each (source, target) contribution exactly once and a
+single source's fine pairs touch pairwise-disjoint target regions.)
+
+Scheduling & failure
+--------------------
+The parent owns the DAG: it tracks indegrees, dispatches ready tasks to
+the least-loaded worker over per-worker pipes (a small prefetch depth
+keeps workers busy between round trips), and collects per-task kernel
+logs at job end to replay the same deterministic modeled-cost report as
+the threaded engines.  A worker that hits a non-SPD pivot reports
+``("error", tid, "npd", pivot)``; the parent stops dispatching, drains
+in-flight tasks and re-raises
+:class:`~repro.dense.kernels.NotPositiveDefiniteError` with the original
+pivot, so the ``batch_index`` / ``for_stream`` annotation layers above
+work unchanged.
+
+Lifecycle
+---------
+Workers are started once per :class:`ProcessPool` (BLAS pinned to one
+thread via :mod:`repro.numeric.blas_limits` — the env is inherited, which
+is the only channel that reaches a spawn child before its numpy import)
+and reused across any number of same- or different-pattern jobs; the
+parent is the sole owner of every shared-memory segment (create / close /
+unlink), so :meth:`ProcessPool.close` leaves nothing behind in
+``/dev/shm``.  Prefer creating the pool (or calling
+:func:`factorize_process` once) from the main thread before starting
+thread pools or serving sessions — ``fork`` with live threads is the
+classic multiprocessing footgun; ``start_method="spawn"`` sidesteps it
+at the cost of a slower warm-up.
+"""
+
+from __future__ import annotations
+
+import atexit
+import dataclasses
+import heapq
+import itertools
+import os
+import pickle
+import threading
+import time
+import traceback
+import multiprocessing as mp
+from multiprocessing import shared_memory
+from multiprocessing.connection import wait as _connection_wait
+
+import numpy as np
+
+from ..dense.kernels import NotPositiveDefiniteError
+from ..gpu.costmodel import CPU_THREAD_CHOICES, MachineModel
+from ..symbolic.relind import assembly_plan
+from .blas_limits import pinned_blas_env, process_worker_main
+from .executor import (
+    GRANULARITIES,
+    Backend,
+    _KernelLog,
+    _coarse_plan,
+    _fine_plan,
+    _replayed_result,
+    _task_label_fn,
+    default_workers,
+)
+from .rl import factor_snode, snode_update
+from .rlb import commit_block_pair, compute_block_pair
+from .storage import FactorStorage, ScatterPlan
+
+__all__ = [
+    "ProcessBackend",
+    "ProcessPool",
+    "factorize_process",
+    "default_process_pool",
+    "close_default_pools",
+]
+
+_ITEMSIZE = 8  # float64
+_WATCHDOG_S = 120.0  # give up on a silent worker after this long
+_PREFETCH = 2  # tasks in flight per worker (hides pipe round trips)
+_SHM_COUNTER = itertools.count()
+
+
+def _resolve_start_method(start_method):
+    methods = mp.get_all_start_methods()
+    if start_method is None:
+        return mp.get_start_method()
+    if start_method not in methods:
+        raise ValueError(
+            f"unknown start method {start_method!r}; this platform supports "
+            f"{methods}"
+        )
+    return start_method
+
+
+# ---------------------------------------------------------------------------
+# Shared layouts & deferred-commit plans (memoised on the symbolic factor;
+# computed identically — and independently — by the parent and every worker)
+# ---------------------------------------------------------------------------
+def _panel_layout(symb):
+    """Byte offset of each supernode's F-order ``(m, w)`` float64 panel in
+    the panels arena, plus the arena's total size."""
+    cache = symb.cache()
+    got = cache.get("procpool_panel_layout")
+    if got is not None:
+        return got
+    offsets = []
+    total = 0
+    for s in range(symb.nsup):
+        m, w = symb.panel_shape(s)
+        offsets.append(total)
+        total += m * w * _ITEMSIZE
+    got = (tuple(offsets), total)
+    cache["procpool_panel_layout"] = got
+    return got
+
+
+def _scratch_layout(symb, granularity):
+    """Per-slot ``(offset, shape)`` of the deferred-update scratch arena.
+
+    Coarse: one ``(b_s, b_s)`` slot per supernode (its RL update matrix).
+    Fine: one slot per block pair — ``(len(B_i), len(B_i))`` for a
+    diagonal pair, ``(len(B_j), len(B_i))`` otherwise.
+    """
+    cache = symb.cache()
+    key = "procpool_scratch_" + granularity
+    got = cache.get(key)
+    if got is not None:
+        return got
+    offsets = []
+    shapes = []
+    total = 0
+    if granularity == "coarse":
+        for s in range(symb.nsup):
+            m, w = symb.panel_shape(s)
+            b = m - w
+            offsets.append(total)
+            shapes.append((b, b))
+            total += b * b * _ITEMSIZE
+    else:
+        pairs, _, _, _ = _fine_plan(symb)
+        for _, bi, bj in pairs:
+            shape = ((bi.length, bi.length) if bj is bi
+                     else (bj.length, bi.length))
+            offsets.append(total)
+            shapes.append(shape)
+            total += shape[0] * shape[1] * _ITEMSIZE
+    got = (tuple(offsets), tuple(shapes), total)
+    cache[key] = got
+    return got
+
+
+def _deferred_coarse(symb):
+    """Deferred-commit coarse plan: ``(incoming, out_nbytes, children,
+    indeg)``.
+
+    ``incoming[p]`` lists ``(src, run)`` in ascending source order (the
+    serial accumulation order) with ``run`` the cached
+    :func:`~repro.symbolic.relind.assembly_plan` entry; ``out_nbytes[s]``
+    is the total assembly bytes source ``s`` delivers (one cost charge on
+    the source task, matching the serial/threaded engines' event order);
+    ``children``/``indeg`` are the parent scheduler's DAG edges.
+    """
+    cache = symb.cache()
+    got = cache.get("procpool_coarse")
+    if got is not None:
+        return got
+    _coarse_plan(symb)  # pre-warm every assembly_plan on this thread
+    nsup = symb.nsup
+    incoming = [[] for _ in range(nsup)]
+    out_nbytes = [0] * nsup
+    children = [[] for _ in range(nsup)]
+    for s in range(nsup):
+        total = 0
+        for run in assembly_plan(symb, s):
+            incoming[run[0]].append((s, run))
+            children[s].append(run[0])
+            total += run[5]
+        out_nbytes[s] = total
+    indeg = tuple(len(x) for x in incoming)
+    got = (incoming, tuple(out_nbytes), children, indeg)
+    cache["procpool_coarse"] = got
+    return got
+
+
+def _deferred_fine(symb):
+    """Deferred-commit fine plan: ``(pairs, incoming, children, indeg,
+    ntasks)`` over the fine task ids (``0..nsup-1`` factor tasks,
+    ``nsup..`` pair tasks, exactly :func:`executor._fine_plan`'s
+    numbering).  ``incoming[p]`` lists the pair-task ids targeting
+    supernode ``p`` in ascending id order — which is ascending source
+    order, then the serial engine's pair enumeration order."""
+    cache = symb.cache()
+    got = cache.get("procpool_fine")
+    if got is not None:
+        return got
+    pairs, pair_ids, _, _ = _fine_plan(symb)
+    nsup = symb.nsup
+    npairs = len(pairs)
+    ntasks = nsup + npairs
+    incoming = [[] for _ in range(nsup)]
+    for i, (_, bi, _) in enumerate(pairs):
+        incoming[bi.owner].append(nsup + i)
+    children = [list(pair_ids[s]) for s in range(nsup)]
+    children += [[pairs[i][1].owner] for i in range(npairs)]
+    indeg = tuple(len(x) for x in incoming) + (1,) * npairs
+    got = (pairs, incoming, children, indeg, ntasks)
+    cache["procpool_fine"] = got
+    return got
+
+
+def _panel_views(symb, buf):
+    """Per-supernode panel views over a panels-arena buffer."""
+    offsets, _ = _panel_layout(symb)
+    views = []
+    for s in range(symb.nsup):
+        m, w = symb.panel_shape(s)
+        views.append(np.ndarray((m, w), dtype=np.float64, buffer=buf,
+                                offset=offsets[s], order="F"))
+    return views
+
+
+def _scratch_views(symb, granularity, buf):
+    """Per-slot update-matrix views over a scratch-arena buffer (``None``
+    for empty slots — supernodes with no below-diagonal rows)."""
+    offsets, shapes, _ = _scratch_layout(symb, granularity)
+    views = []
+    for off, shape in zip(offsets, shapes):
+        if shape[0] == 0 or shape[1] == 0:
+            views.append(None)
+            continue
+        views.append(np.ndarray(shape, dtype=np.float64, buffer=buf,
+                                offset=off, order="F"))
+    return views
+
+
+def _shm_name():
+    return f"repro_pp_{os.getpid()}_{next(_SHM_COUNTER)}"
+
+
+def _create_shm(nbytes):
+    while True:
+        try:
+            return shared_memory.SharedMemory(
+                create=True, size=max(int(nbytes), 1), name=_shm_name()
+            )
+        except FileExistsError:  # pragma: no cover - stale segment
+            continue
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+def _attach_shm(name):
+    """Attach an existing segment.  Workers share the parent's resource
+    tracker (:class:`ProcessPool` starts it before the first worker, so
+    fork children inherit a live tracker fd and spawn children receive it
+    in their preparation data) — the attach-side registration is therefore
+    an idempotent duplicate of the parent's own and must NOT be
+    unregistered, or the parent's leak protection goes with it."""
+    return shared_memory.SharedMemory(name=name)
+
+
+class _WorkerState:
+    """One warmed pattern inside a worker process: shared-memory views plus
+    the locally rebuilt deferred-commit plan."""
+
+    def __init__(self, symb, granularity, panels_name, scratch_name):
+        self.symb = symb
+        self.granularity = granularity
+        self.nsup = symb.nsup
+        self.panels_shm = _attach_shm(panels_name)
+        self.scratch_shm = _attach_shm(scratch_name)
+        self.storage = FactorStorage(symb, _panel_views(symb, self.panels_shm.buf))
+        self.scratch = _scratch_views(symb, granularity, self.scratch_shm.buf)
+        if granularity == "coarse":
+            self.incoming, self.out_nbytes, _, _ = _deferred_coarse(symb)
+            self.pairs = None
+        else:
+            self.pairs, self.incoming, _, _, _ = _deferred_fine(symb)
+
+    def run_task(self, tid, log):
+        symb = self.symb
+        storage = self.storage
+        if self.granularity == "coarse":
+            panel = storage.panel(tid)
+            for src, run in self.incoming[tid]:
+                _, k0, k1, relrows, colpos, _ = run
+                U = self.scratch[src]
+                panel[relrows, colpos] -= U[k0:, k0:k1]
+            _, _, b = factor_snode(symb, storage, tid, acc=log)
+            if b:
+                snode_update(symb, storage, tid, W=self.scratch[tid], acc=log)
+                log.assembly(self.out_nbytes[tid])
+            return
+        if tid < self.nsup:
+            for pid in self.incoming[tid]:
+                _, bi, bj = self.pairs[pid - self.nsup]
+                commit_block_pair(symb, storage, bi, bj,
+                                  self.scratch[pid - self.nsup])
+            factor_snode(symb, storage, tid, acc=log)
+            return
+        s, bi, bj = self.pairs[tid - self.nsup]
+        panel = storage.panel(s)
+        w = symb.snode_ncols(s)
+        u = compute_block_pair(panel, w, bi, bj, acc=log)
+        np.copyto(self.scratch[tid - self.nsup], u)
+
+    def release(self):
+        # drop every numpy view before closing, else the exported
+        # memoryviews keep the mapping alive (BufferError)
+        self.storage = None
+        self.scratch = None
+        for shm in (self.panels_shm, self.scratch_shm):
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - defensive
+                pass
+
+
+def _worker_loop(conn, worker_index):
+    """Message loop of one worker process (entered via
+    :func:`repro.numeric.blas_limits.process_worker_main`)."""
+    states = {}
+    state = None
+    events = None
+    spans = None
+    want_trace = False
+    t0 = 0.0
+    try:
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "task":
+                tid = msg[1]
+                log = _KernelLog()
+                start = time.perf_counter() - t0
+                try:
+                    state.run_task(tid, log)
+                except NotPositiveDefiniteError as exc:
+                    events[tid] = log.events
+                    conn.send(("error", tid, "npd", int(exc.pivot)))
+                    continue
+                except BaseException:
+                    events[tid] = log.events
+                    conn.send(("error", tid, "exc", traceback.format_exc()))
+                    continue
+                stop = time.perf_counter() - t0
+                events[tid] = log.events
+                if want_trace:
+                    spans.append((tid, start, stop))
+                conn.send(("done", tid))
+            elif cmd == "job":
+                state = states[msg[1]]
+                t0 = msg[2]
+                want_trace = msg[3]
+                events = {}
+                spans = []
+            elif cmd == "endjob":
+                conn.send(("logs", events, spans))
+                events = None
+                spans = None
+            elif cmd == "warm":
+                _, key, blob, granularity, panels_name, scratch_name = msg
+                symb = pickle.loads(blob)
+                states[key] = _WorkerState(symb, granularity, panels_name,
+                                           scratch_name)
+                conn.send(("warmed", key))
+            elif cmd == "close":
+                break
+    except (EOFError, OSError, KeyboardInterrupt):  # parent went away
+        pass
+    finally:
+        for st in states.values():
+            st.release()
+        try:
+            conn.send(("bye",))
+        except Exception:
+            pass
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+class _WarmEntry:
+    """Parent-side record of one warmed pattern: the arenas it owns plus
+    the scheduler's DAG edges."""
+
+    __slots__ = ("key", "wkey", "symb", "granularity", "panels_shm",
+                 "scratch_shm", "children", "indeg", "ntasks")
+
+    def __init__(self, key, symb, granularity):
+        self.key = key
+        self.wkey = f"{id(symb):x}:{granularity}"
+        self.symb = symb
+        self.granularity = granularity
+        _, panel_total = _panel_layout(symb)
+        _, _, scratch_total = _scratch_layout(symb, granularity)
+        self.panels_shm = _create_shm(panel_total)
+        self.scratch_shm = _create_shm(scratch_total)
+        if granularity == "coarse":
+            _, _, self.children, self.indeg = _deferred_coarse(symb)
+            self.ntasks = symb.nsup
+        else:
+            _, _, self.children, self.indeg, self.ntasks = _deferred_fine(symb)
+
+    def close(self):
+        for shm in (self.panels_shm, self.scratch_shm):
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - defensive
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double close
+                pass
+
+
+class ProcessPool:
+    """Persistent pool of worker processes draining factorization DAGs.
+
+    One pool serves any number of patterns (warm state is cached per
+    ``(symbolic factor, granularity)``) and any number of sequential jobs;
+    concurrent callers (e.g. several gateway serving sessions sharing the
+    default pool) serialize on an internal lock — one DAG at a time, which
+    is also what keeps per-job wall time honest.  Create pools on the main
+    thread before starting thread pools where possible (see module
+    docstring for the fork-with-threads caveat; ``start_method="spawn"``
+    is the robust alternative).
+    """
+
+    def __init__(self, workers=None, *, start_method=None):
+        self.workers = default_workers() if workers is None else int(workers)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.start_method = _resolve_start_method(start_method)
+        ctx = mp.get_context(self.start_method)
+        self._lock = threading.Lock()
+        self._warm = {}
+        self._closed = False
+        self._procs = []
+        self._conns = []
+        # Start the resource tracker BEFORE the first worker so every
+        # child shares the parent's tracker (fork children inherit the
+        # live fd, spawn children receive it in their preparation data).
+        # Otherwise a fork worker would lazily spawn its OWN tracker on
+        # first shm attach, which then "cleans up" the parent's segments
+        # when the worker exits.
+        try:  # pragma: no branch
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        with pinned_blas_env(1):
+            for i in range(self.workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=process_worker_main,
+                    args=(child_conn, i),
+                    name=f"repro-proc-{i}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self):
+        return self._closed
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (f"ProcessPool(workers={self.workers}, "
+                f"start_method={self.start_method!r}, {state})")
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def shm_names(self):
+        """Names of every live shared-memory segment this pool owns
+        (leak-test hook: all must be gone after :meth:`close`)."""
+        names = []
+        for entry in self._warm.values():
+            names.append(entry.panels_shm.name)
+            names.append(entry.scratch_shm.name)
+        return names
+
+    # ------------------------------------------------------------------
+    def _check_alive(self):
+        dead = [i for i, p in enumerate(self._procs) if not p.is_alive()]
+        if dead:
+            self._closed = True
+            raise RuntimeError(
+                f"process backend worker(s) {dead} died unexpectedly "
+                f"(exitcodes {[self._procs[i].exitcode for i in dead]})"
+            )
+
+    def _recv(self, conn, timeout=_WATCHDOG_S):
+        deadline = time.monotonic() + timeout
+        while True:
+            if conn.poll(1.0):
+                try:
+                    return conn.recv()
+                except (EOFError, OSError):
+                    self._check_alive()
+                    raise RuntimeError(
+                        "process backend worker closed its pipe"
+                    ) from None
+            self._check_alive()
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    "timed out waiting for a process backend worker"
+                )
+
+    def _warm_entry(self, symb, granularity):
+        key = (id(symb), granularity)  # entry keeps symb alive, id is stable
+        entry = self._warm.get(key)
+        if entry is not None:
+            return entry
+        entry = _WarmEntry(key, symb, granularity)
+        blob = pickle.dumps(dataclasses.replace(symb, _cache=None))
+        try:
+            for conn in self._conns:
+                conn.send(("warm", entry.wkey, blob, granularity,
+                           entry.panels_shm.name, entry.scratch_shm.name))
+            for conn in self._conns:
+                msg = self._recv(conn)
+                if msg[0] != "warmed" or msg[1] != entry.wkey:
+                    raise RuntimeError(
+                        f"unexpected worker reply during warm-up: {msg[:2]}"
+                    )
+        except BaseException:
+            entry.close()
+            raise
+        self._warm[key] = entry
+        return entry
+
+    def _scatter(self, entry, A):
+        """Scatter ``A``'s values into the shared panels arena (the
+        :class:`FactorStorage.from_matrix` hot path, writing into shm)."""
+        plan = ScatterPlan.get(entry.symb, A)
+        data, seg, dst = A.data, plan.seg, plan.dst
+        for s, view in enumerate(_panel_views(entry.symb, entry.panels_shm.buf)):
+            flat = view.reshape(-1, order="F")
+            flat[:] = 0.0
+            flat[dst[seg[s]:seg[s + 1]]] = data[seg[s]:seg[s + 1]]
+
+    # ------------------------------------------------------------------
+    def run_job(self, symb, A, granularity, *, tracer=None):
+        """Factorize one matrix on the pool.  Returns ``(storage, logs,
+        wall_seconds, ntasks)`` with ``storage`` a fresh (non-shared)
+        :class:`FactorStorage` and ``logs`` the per-task kernel logs in
+        task-id order (for :func:`executor._replayed_result`)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("process pool is closed")
+            entry = self._warm_entry(symb, granularity)
+            self._scatter(entry, A)
+            return self._drain(entry, tracer)
+
+    def _drain(self, entry, tracer):
+        conns = self._conns
+        nworkers = self.workers
+        t0 = time.perf_counter()
+        want_trace = tracer is not None
+        for conn in conns:
+            conn.send(("job", entry.wkey, t0, want_trace))
+        indeg = list(entry.indeg)
+        children = entry.children
+        ntasks = entry.ntasks
+        heap = [t for t in range(ntasks) if indeg[t] == 0]
+        heapq.heapify(heap)
+        inflight = [0] * nworkers
+        assigned = {}
+        done = 0
+        failure = None
+
+        def dispatch():
+            while heap:
+                wid = min(range(nworkers), key=inflight.__getitem__)
+                if inflight[wid] >= _PREFETCH:
+                    return
+                tid = heapq.heappop(heap)
+                conns[wid].send(("task", tid))
+                assigned[tid] = wid
+                inflight[wid] += 1
+
+        dispatch()
+        last_progress = time.monotonic()
+        while (failure is None and done < ntasks) or any(inflight):
+            if failure is None and not any(inflight):
+                raise RuntimeError(
+                    f"process backend deadlock: ran {done} of {ntasks} tasks"
+                )
+            ready = _connection_wait(conns, timeout=1.0)
+            if not ready:
+                self._check_alive()
+                if time.monotonic() - last_progress > _WATCHDOG_S:
+                    raise RuntimeError(
+                        "timed out waiting for process backend workers"
+                    )
+                continue
+            last_progress = time.monotonic()
+            for conn in ready:
+                msg = conn.recv()
+                tid = msg[1]
+                wid = assigned.pop(tid)
+                inflight[wid] -= 1
+                done += 1
+                if msg[0] == "done":
+                    for c in children[tid]:
+                        indeg[c] -= 1
+                        if indeg[c] == 0:
+                            heapq.heappush(heap, c)
+                elif failure is None:
+                    failure = msg
+            if failure is None:
+                dispatch()
+        for conn in conns:
+            conn.send(("endjob",))
+        all_events = {}
+        spans_by_worker = []
+        for wid, conn in enumerate(conns):
+            msg = self._recv(conn)
+            if msg[0] != "logs":  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unexpected worker reply: {msg[:1]}")
+            all_events.update(msg[1])
+            spans_by_worker.append(msg[2])
+        wall = time.perf_counter() - t0
+        if failure is not None:
+            raise self._rebuild_error(failure)
+        logs = []
+        for tid in range(ntasks):
+            log = _KernelLog()
+            log.events = all_events.get(tid, [])
+            logs.append(log)
+        panels = [np.array(view, order="F")
+                  for view in _panel_views(entry.symb, entry.panels_shm.buf)]
+        storage = FactorStorage(entry.symb, panels)
+        if tracer is not None:
+            label_of = _task_label_fn(entry.symb, entry.granularity)
+            for wid, spans in enumerate(spans_by_worker):
+                lane = f"proc{wid}"
+                for tid, start, stop in spans:
+                    tracer.record(lane, label_of(tid), start, stop)
+        return storage, logs, wall, ntasks
+
+    @staticmethod
+    def _rebuild_error(failure):
+        _, tid, kind, payload = failure
+        if kind == "npd":
+            return NotPositiveDefiniteError(payload)
+        return RuntimeError(
+            f"process backend task {tid} failed in a worker:\n{payload}"
+        )
+
+    # ------------------------------------------------------------------
+    def close(self):
+        """Stop the workers and release every shared-memory arena.  Safe
+        to call more than once; afterwards the pool rejects jobs."""
+        with self._lock:
+            if self._closed and not self._procs:
+                return
+            self._closed = True
+            for conn in self._conns:
+                try:
+                    conn.send(("close",))
+                except (OSError, BrokenPipeError):
+                    pass
+            for proc in self._procs:
+                proc.join(timeout=10.0)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=10.0)
+            for conn in self._conns:
+                conn.close()
+            self._procs = []
+            self._conns = []
+            for entry in self._warm.values():
+                entry.close()
+            self._warm.clear()
+
+
+# ---------------------------------------------------------------------------
+# Default pools (module-level cache, one per (workers, start_method))
+# ---------------------------------------------------------------------------
+_DEFAULT_POOLS = {}
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_process_pool(workers=None, start_method=None):
+    """The shared :class:`ProcessPool` for ``(workers, start_method)``,
+    creating (or re-creating, after a close) it on first use.  This is the
+    pool :func:`factorize_process` and :class:`ProcessBackend` use when no
+    explicit ``pool=`` is given — serving sessions and the gateway
+    therefore share worker processes instead of spawning per request."""
+    workers = default_workers() if workers is None else int(workers)
+    start_method = _resolve_start_method(start_method)
+    key = (workers, start_method)
+    with _DEFAULT_LOCK:
+        pool = _DEFAULT_POOLS.get(key)
+        if pool is None or pool.closed:
+            pool = ProcessPool(workers, start_method=start_method)
+            _DEFAULT_POOLS[key] = pool
+        return pool
+
+
+def close_default_pools():
+    """Close every cached default pool (also runs at interpreter exit)."""
+    with _DEFAULT_LOCK:
+        pools = list(_DEFAULT_POOLS.values())
+        _DEFAULT_POOLS.clear()
+    for pool in pools:
+        pool.close()
+
+
+atexit.register(close_default_pools)
+
+
+# ---------------------------------------------------------------------------
+# Engine + Backend seam
+# ---------------------------------------------------------------------------
+def factorize_process(symb, A, *, granularity="coarse", workers=None,
+                      start_method=None, machine=None,
+                      thread_choices=CPU_THREAD_CHOICES, tracer=None,
+                      pool=None):
+    """Factorize with the task-DAG runtime on a worker-*process* pool
+    (engines ``rl_proc`` / ``rlb_proc``).
+
+    Same contract as :func:`~repro.numeric.executor.factorize_executor`:
+    factors are bit-identical to the serial twins at any worker count (the
+    deferred-commit scheme above), the modeled-cost report replays the
+    same per-task kernel logs, and ``extra`` carries ``workers`` /
+    ``backend`` / ``granularity`` / ``start_method`` / measured
+    ``wall_seconds`` / ``tasks``.  Pass ``tracer=`` to record measured
+    per-task spans on ``proc0``, ``proc1``, ... lanes.  ``pool=`` reuses
+    an explicit :class:`ProcessPool` (mutually exclusive with ``workers=``
+    / ``start_method=``); otherwise the module's default pool for
+    ``(workers, start_method)`` is used and kept warm across calls.
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError(
+            f"unknown granularity {granularity!r}; choose from {GRANULARITIES}"
+        )
+    if pool is not None:
+        if workers is not None or start_method is not None:
+            raise ValueError(
+                "pass either pool= or workers=/start_method=, not both"
+            )
+    else:
+        pool = default_process_pool(workers, start_method)
+    machine = machine or MachineModel()
+    storage, logs, wall, ntasks = pool.run_job(symb, A, granularity,
+                                               tracer=tracer)
+    return _replayed_result(
+        "rl_proc" if granularity == "coarse" else "rlb_proc",
+        storage,
+        logs,
+        machine,
+        thread_choices,
+        extra={
+            "workers": pool.workers,
+            "backend": "process",
+            "granularity": granularity,
+            "start_method": pool.start_method,
+            "wall_seconds": wall,
+            "tasks": ntasks,
+        },
+    )
+
+
+class ProcessBackend(Backend):
+    """The worker-process scheduling substrate behind ``rl_proc`` /
+    ``rlb_proc`` and ``backend="process"``.
+
+    Unlike the thread/stream/hybrid backends this one cannot execute
+    arbitrary Python task closures — closures don't cross the process
+    boundary — so :meth:`run_graph` raises and
+    :func:`~repro.numeric.executor.factorize_executor` instead delegates
+    whole factorization DAGs through :meth:`factorize_dag`, which ships
+    the shared plan to the workers once at pool warm-up.
+    """
+
+    name = "process"
+
+    def __init__(self, workers=None, *, start_method=None, pool=None):
+        if pool is not None:
+            if workers is not None or start_method is not None:
+                raise ValueError(
+                    "pass either pool= or workers=/start_method=, not both"
+                )
+            self.pool = pool
+        else:
+            self.pool = default_process_pool(workers, start_method)
+        self.workers = self.pool.workers
+        self.start_method = self.pool.start_method
+
+    def run_graph(self, ntasks, roots, run_task, *, priority=None,
+                  placement=None):
+        raise TypeError(
+            "ProcessBackend cannot run arbitrary task closures: Python "
+            "closures do not cross the process boundary.  Use "
+            "factorize_executor(..., backend=ProcessBackend(...)) or "
+            "factorize_process(), which ship the shared task-DAG plan to "
+            "the worker processes at pool warm-up."
+        )
+
+    def factorize_dag(self, symb, A, *, granularity, machine=None,
+                      thread_choices=CPU_THREAD_CHOICES, tracer=None):
+        """Run one factorization DAG on the pool (the delegation hook
+        :func:`factorize_executor` uses for pickle-free backends)."""
+        return factorize_process(
+            symb, A, granularity=granularity, machine=machine,
+            thread_choices=thread_choices, tracer=tracer, pool=self.pool,
+        )

@@ -32,6 +32,12 @@ Kinds
     measured CPU worker lanes and modeled GPU stream lanes on a
     :class:`~repro.numeric.executor.HybridBackend`.  Accept ``workers=``
     AND ``devices=`` / ``threshold=`` / ``machine=`` / ``tracer=``.
+``"process"``
+    The multiprocess engines (``rl_proc``, ``rlb_proc``) of
+    :mod:`repro.numeric.procpool`: the same task DAGs drained by a
+    persistent worker-process pool over shared-memory panels — real
+    parallelism for the GIL-bound scatter/commit python.  Accept
+    ``workers=`` / ``start_method=`` / ``tracer=``.
 
 :data:`BACKENDS` maps the public backend names of
 ``plan.factorize(..., backend=...)`` and the CLI ``--backend`` flag to the
@@ -49,6 +55,7 @@ from .gpu_dag import factorize_gpu_dag, factorize_hybrid
 from .left_looking import factorize_left_looking
 from .left_looking_gpu import factorize_left_looking_gpu
 from .multifrontal import factorize_multifrontal, factorize_multifrontal_gpu
+from .procpool import factorize_process
 from .rl import factorize_rl_cpu
 from .rl_gpu import factorize_rl_gpu
 from .rlb import factorize_rlb_cpu
@@ -103,6 +110,10 @@ class EngineSpec:
     def is_hybrid(self) -> bool:
         return self.kind == "hybrid"
 
+    @property
+    def is_process(self) -> bool:
+        return self.kind == "process"
+
 
 def _spec(name, fn, kind, fixed=None, granularity=None, description=""):
     return EngineSpec(name=name, fn=fn, kind=kind, fixed=dict(fixed or {}),
@@ -137,6 +148,14 @@ ENGINES = {
               fixed={"granularity": "fine"}, granularity="fine",
               description="RLB v2 per-pair pipeline scheduled by the task "
                           "DAG on simulated-GPU streams (devices=N)"),
+        _spec("rl_proc", factorize_process, "process",
+              fixed={"granularity": "coarse"}, granularity="coarse",
+              description="multiprocess coarse DAG over shared-memory "
+                          "panels (escapes the GIL; workers=N processes)"),
+        _spec("rlb_proc", factorize_process, "process",
+              fixed={"granularity": "fine"}, granularity="fine",
+              description="multiprocess fine DAG over shared-memory "
+                          "panels (escapes the GIL; workers=N processes)"),
         _spec("rl_hybrid", factorize_hybrid, "hybrid",
               fixed={"granularity": "coarse"}, granularity="coarse",
               description="heterogeneous coarse DAG: small supernodes on "
@@ -168,17 +187,21 @@ _SERIAL_TWIN = {
     "rlb_gpu_dag": "rlb_gpu_v2",
     "rl_hybrid": "rl",
     "rlb_hybrid": "rlb",
+    "rl_proc": "rl",
+    "rlb_proc": "rlb",
 }
 
 #: Public backend names -> the DAG engine of each task granularity.  One
-#: DAG runtime, three scheduling substrates: worker threads (measured
-#: wall-clock), simulated-GPU streams (modeled offload), or both at once
-#: (the hybrid per-task placement).  The single source of truth for the
+#: DAG runtime, four scheduling substrates: worker threads (measured
+#: wall-clock), simulated-GPU streams (modeled offload), both at once
+#: (the hybrid per-task placement), or worker processes over shared
+#: memory (measured, GIL-free).  The single source of truth for the
 #: ``plan.factorize(backend=...)`` API and the CLI ``--backend`` choices.
 BACKENDS = {
     "threads": {"coarse": "rl_par", "fine": "rlb_par"},
     "gpu": {"coarse": "rl_gpu_dag", "fine": "rlb_gpu_dag"},
     "hybrid": {"coarse": "rl_hybrid", "fine": "rlb_hybrid"},
+    "process": {"coarse": "rl_proc", "fine": "rlb_proc"},
 }
 
 
@@ -200,9 +223,10 @@ def get_engine(name):
 
 def serial_twin(name):
     """The serial engine producing bit-identical factors to the DAG engine
-    ``name`` (``rl_par``/``rl_hybrid -> rl``, ``rlb_par``/``rlb_hybrid ->
-    rlb``, ``rl_gpu_dag -> rl_gpu``, ``rlb_gpu_dag -> rlb_gpu_v2``); other
-    engines map to themselves."""
+    ``name`` (``rl_par``/``rl_hybrid``/``rl_proc -> rl``,
+    ``rlb_par``/``rlb_hybrid``/``rlb_proc -> rlb``, ``rl_gpu_dag ->
+    rl_gpu``, ``rlb_gpu_dag -> rlb_gpu_v2``); other engines map to
+    themselves."""
     return _SERIAL_TWIN.get(name, name)
 
 

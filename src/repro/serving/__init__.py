@@ -18,6 +18,7 @@ from .gateway import (
     GatewayOverloaded,
     GatewayRejected,
     GatewayStats,
+    GatewayTimeout,
     PatternStats,
     TenantBudgetExceeded,
     UnknownPatternError,
@@ -31,6 +32,7 @@ __all__ = [
     "GatewayRejected",
     "GatewayOverloaded",
     "TenantBudgetExceeded",
+    "GatewayTimeout",
     "UnknownPatternError",
     "plan_nbytes",
 ]

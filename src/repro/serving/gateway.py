@@ -47,8 +47,11 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..api import plan as build_plan
 from ..numeric.executor import StreamPool, default_workers
+from ..sparse.csc import SymmetricCSC
 from ..symbolic.structure import pattern_fingerprint
 
 __all__ = [
@@ -58,6 +61,7 @@ __all__ = [
     "GatewayRejected",
     "GatewayOverloaded",
     "TenantBudgetExceeded",
+    "GatewayTimeout",
     "UnknownPatternError",
     "plan_nbytes",
 ]
@@ -76,6 +80,17 @@ class GatewayOverloaded(GatewayRejected):
 
 class TenantBudgetExceeded(GatewayRejected):
     """The submitting tenant is at its per-tenant queue budget."""
+
+
+class GatewayTimeout(TimeoutError):
+    """An awaited ``submit``/``submit_values`` exceeded its ``timeout=``.
+
+    Raised to the timed-out caller only: the underlying numeric future is
+    cancelled if still queued (a task already running on the pool finishes
+    harmlessly into a cancelled future), the admission slot and tenant
+    budget are released immediately, and the per-pattern session keeps
+    serving every other request — no poisoning.  Counted in
+    :attr:`GatewayStats.timeouts`."""
 
 
 class UnknownPatternError(KeyError):
@@ -150,6 +165,7 @@ class GatewayStats:
     misses: int
     rejected_overloaded: int
     rejected_tenant: int
+    timeouts: int
     evictions: int
     in_flight: int
     queue_depth: int
@@ -252,6 +268,7 @@ class Gateway:
         self._misses = 0
         self._rejected_overloaded = 0
         self._rejected_tenant = 0
+        self._timeouts = 0
         self._evictions = 0
         self._tenant_requests = {}
         self._closed = False
@@ -449,7 +466,7 @@ class Gateway:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    async def submit(self, A, b=None, *, tenant="default"):
+    async def submit(self, A, b=None, *, tenant="default", timeout=None):
         """Serve one system: factorize ``A`` (and solve for ``b``).
 
         ``A`` is a same-as-anything :class:`~repro.sparse.csc.SymmetricCSC`
@@ -458,23 +475,33 @@ class Gateway:
         the :class:`~repro.api.Factor` otherwise.  Admission rejections
         (:class:`GatewayOverloaded` / :class:`TenantBudgetExceeded`) and
         numeric failures (non-SPD) fail only this call.
+
+        ``timeout`` (seconds) bounds the *numeric* stage: past it the call
+        raises :class:`GatewayTimeout`, cancelling the queued work and
+        releasing this request's admission slot, while the session and
+        every other request keep running.  A cache-miss symbolic analysis
+        is deliberately not under the timeout — it is shared by every
+        concurrent same-pattern request, so cancelling it for one caller
+        would fail the others.
         """
         self._bind_loop()
         fp = pattern_fingerprint(A)
-        return await self._serve(fp, A, A, b, tenant)
+        return await self._serve(fp, A, A, b, tenant, timeout)
 
     async def submit_values(self, fingerprint, values, b=None, *,
-                            tenant="default"):
+                            tenant="default", timeout=None):
         """Serve one system by pattern fingerprint + values only.
 
         The fast path for clients on a known-warm pattern: no structure
         arrays are shipped or hashed.  ``values`` is a flat array aligned
         with the pattern host's lower-triangle CSC data (or a full
         same-pattern matrix); raises :class:`UnknownPatternError` if
-        ``fingerprint`` has no warm or pending plan.
+        ``fingerprint`` has no warm or pending plan.  ``timeout`` behaves
+        exactly as in :meth:`submit`.
         """
         self._bind_loop()
-        return await self._serve(fingerprint, None, values, b, tenant)
+        return await self._serve(fingerprint, None, values, b, tenant,
+                                 timeout)
 
     async def register(self, A):
         """Warm the plan cache for ``A``'s pattern without factorizing;
@@ -492,7 +519,59 @@ class Gateway:
         (:func:`repro.pattern_fingerprint`)."""
         return pattern_fingerprint(A)
 
-    async def _serve(self, fp, matrix, values, b, tenant):
+    # ------------------------------------------------------------------
+    # pattern-cache persistence
+    # ------------------------------------------------------------------
+    def save_manifest(self, path):
+        """Persist the warm patterns (fingerprint + structure, no values)
+        to ``path`` as a ``.npz`` manifest, LRU → MRU order.
+
+        A restarted gateway replays it with :meth:`prewarm` so hot
+        patterns are re-analyzed *before* traffic arrives.  Fingerprints
+        are process-stable (:func:`repro.pattern_fingerprint` hashes the
+        structure arrays only), so a manifest written by one process
+        admits ``submit_values`` fast-path traffic in another.  Returns
+        the number of patterns saved."""
+        arrays = {"fps": np.array(list(self._cache), dtype="U64")}
+        for i, entry in enumerate(self._cache.values()):
+            A = entry.plan.matrix
+            arrays[f"n{i}"] = np.asarray(A.n)
+            arrays[f"indptr{i}"] = np.asarray(A.indptr)
+            arrays[f"indices{i}"] = np.asarray(A.indices)
+        np.savez(path, **arrays)
+        return len(self._cache)
+
+    async def prewarm(self, path):
+        """Re-plan every pattern of a :meth:`save_manifest` manifest.
+
+        Runs the misses through the normal analysis executor (deduplicated
+        with any concurrent traffic, not counted against hit/miss stats or
+        admission budgets, oldest first so the LRU order survives a
+        save/restore round trip).  Entries whose stored structure no
+        longer matches their recorded fingerprint are skipped.  Returns
+        the list of fingerprints now warm."""
+        self._bind_loop()
+        if self._closed:
+            raise RuntimeError("gateway is closed")
+        with np.load(path) as manifest:
+            fps = [str(fp) for fp in manifest["fps"]]
+            structures = [
+                (int(manifest[f"n{i}"]), manifest[f"indptr{i}"],
+                 manifest[f"indices{i}"])
+                for i in range(len(fps))
+            ]
+        warmed = []
+        for fp, (n, indptr, indices) in zip(fps, structures):
+            A = SymmetricCSC(n, indptr, indices,
+                             np.ones(len(indices), dtype=np.float64),
+                             check=False)
+            if pattern_fingerprint(A) != fp:  # stale/corrupt manifest row
+                continue
+            await self._entry_for(fp, A, count=False)
+            warmed.append(fp)
+        return warmed
+
+    async def _serve(self, fp, matrix, values, b, tenant, timeout=None):
         self._admit(tenant)
         t0 = time.perf_counter()
         try:
@@ -504,7 +583,22 @@ class Gateway:
                     cf = entry.session.submit(values)
                 else:
                     cf = entry.session.submit_solve(values, b)
-                return await asyncio.wrap_future(cf)
+                if timeout is None:
+                    return await asyncio.wrap_future(cf)
+                try:
+                    return await asyncio.wait_for(
+                        asyncio.wrap_future(cf), timeout)
+                except asyncio.TimeoutError:
+                    # still-queued work is cancelled outright; a task
+                    # already running finishes into the cancelled future
+                    # (every completion callback is guarded), so the
+                    # session is never poisoned
+                    cf.cancel()
+                    self._timeouts += 1
+                    raise GatewayTimeout(
+                        f"request on pattern {fp[:8]} timed out after "
+                        f"{timeout}s"
+                    ) from None
             finally:
                 entry.pins -= 1
                 dt = time.perf_counter() - t0
@@ -544,6 +638,7 @@ class Gateway:
             misses=self._misses,
             rejected_overloaded=self._rejected_overloaded,
             rejected_tenant=self._rejected_tenant,
+            timeouts=self._timeouts,
             evictions=self._evictions,
             in_flight=self._in_flight,
             queue_depth=self._pool.active,

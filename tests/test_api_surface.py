@@ -80,6 +80,17 @@ DOCUMENTED_SUBPACKAGE = [
     ("repro.numeric.executor", "StreamPool"),
     ("repro.numeric.executor", "stream_factorize_job"),
     ("repro.numeric.executor", "warm_executor_plan"),
+    ("repro.numeric", "ProcessBackend"),
+    ("repro.numeric", "ProcessPool"),
+    ("repro.numeric", "factorize_process"),
+    ("repro.numeric.procpool", "ProcessBackend"),
+    ("repro.numeric.procpool", "ProcessPool"),
+    ("repro.numeric.procpool", "factorize_process"),
+    ("repro.numeric.procpool", "default_process_pool"),
+    ("repro.numeric.procpool", "close_default_pools"),
+    ("repro.numeric.blas_limits", "BLAS_ENV_VARS"),
+    ("repro.numeric.blas_limits", "limit_blas_threads"),
+    ("repro.numeric.blas_limits", "pinned_blas_env"),
     ("repro.solve", "CholeskySolver"),
     ("repro.solve", "METHODS"),
     ("repro.solve", "solve_factored"),
@@ -102,6 +113,7 @@ DOCUMENTED_SUBPACKAGE = [
     ("repro.serving", "GatewayRejected"),
     ("repro.serving", "GatewayOverloaded"),
     ("repro.serving", "TenantBudgetExceeded"),
+    ("repro.serving", "GatewayTimeout"),
     ("repro.serving", "UnknownPatternError"),
     ("repro.serving", "plan_nbytes"),
 ]
@@ -116,6 +128,7 @@ SERVING_ALL = [
     "GatewayRejected",
     "GatewayOverloaded",
     "TenantBudgetExceeded",
+    "GatewayTimeout",
     "UnknownPatternError",
     "plan_nbytes",
 ]
@@ -164,7 +177,9 @@ def test_registry_consistency():
         spec = get_engine(name)
         assert spec.fn is fn
         assert spec.fixed == fixed
-        assert spec.kind in ("cpu", "threaded", "gpu", "stream", "hybrid")
+        assert spec.kind in (
+            "cpu", "threaded", "gpu", "stream", "hybrid", "process",
+        )
 
 
 def test_facade_methods_is_registry_view():

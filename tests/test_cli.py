@@ -82,7 +82,7 @@ class TestCommands:
                      "--threshold", "0"]) == 2
         err = capsys.readouterr().err
         assert "--workers must be >= 1" in err
-        assert "threaded and hybrid engines" in err
+        assert "threaded, hybrid and process engines" in err
         assert "conflicts" in err
         assert "--threshold" in err
 

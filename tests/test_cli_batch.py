@@ -65,7 +65,7 @@ class TestBatchCommand:
         assert "--workers must be >= 1" in err
         assert "--rhs must be >= 1" in err
         assert "unknown engine" in err
-        assert "threaded and hybrid engines" in err
+        assert "threaded, hybrid and process engines" in err
 
     def test_batch_parser_defaults(self):
         args = build_parser().parse_args(["batch", "x"])

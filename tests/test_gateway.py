@@ -25,6 +25,7 @@ from repro.serving import (
     Gateway,
     GatewayOverloaded,
     GatewayStats,
+    GatewayTimeout,
     TenantBudgetExceeded,
     UnknownPatternError,
     plan_nbytes,
@@ -311,6 +312,115 @@ def test_non_spd_fails_only_its_own_request(base_matrix):
     assert np.array_equal(x0, direct_solution(base_matrix, good[0], b))
     assert np.array_equal(x1, direct_solution(base_matrix, good[1], b))
     assert stats.in_flight == 0  # the failed request was released
+
+
+# ---------------------------------------------------------------------------
+# request timeouts
+# ---------------------------------------------------------------------------
+def test_timeout_fails_only_its_own_request(base_matrix):
+    """A timed-out submit raises :class:`GatewayTimeout`, releases its
+    admission slot, bumps the stats counter — and the shared session keeps
+    serving the same pattern bit-identically afterwards."""
+    b = np.ones(base_matrix.n)
+    v = sweep(base_matrix, 2)
+
+    async def go():
+        async with Gateway(workers=1) as gw:
+            await gw.register(base_matrix)  # analysis outside the timeout
+            # timeout=0 expires before the queued numeric work can start
+            with pytest.raises(GatewayTimeout):
+                await gw.submit(with_values(base_matrix, v[0]), b,
+                                timeout=0.0)
+            x = await gw.submit(with_values(base_matrix, v[1]), b)
+            return x, gw.stats()
+
+    x, stats = run(go())
+    assert issubclass(GatewayTimeout, TimeoutError)
+    assert np.array_equal(x, direct_solution(base_matrix, v[1], b))
+    assert stats.timeouts == 1
+    assert stats.in_flight == 0  # the timed-out slot was released
+
+
+def test_generous_timeout_serves_normally(base_matrix):
+    b = np.ones(base_matrix.n)
+    v = sweep(base_matrix, 1)[0]
+
+    async def go():
+        async with Gateway(workers=1) as gw:
+            fp = await gw.register(base_matrix)
+            x = await gw.submit(with_values(base_matrix, v), b, timeout=60.0)
+            y = await gw.submit_values(fp, v, b, timeout=60.0)
+            return x, y, gw.stats()
+
+    x, y, stats = run(go())
+    ref = direct_solution(base_matrix, v, b)
+    assert np.array_equal(x, ref)
+    assert np.array_equal(y, ref)
+    assert stats.timeouts == 0
+
+
+# ---------------------------------------------------------------------------
+# manifest save / prewarm round trip
+# ---------------------------------------------------------------------------
+def test_save_manifest_prewarm_roundtrip(patterns, tmp_path):
+    """A restarted gateway prewarmed from a manifest admits values-only
+    traffic on every saved pattern without re-shipping structure."""
+    path = tmp_path / "manifest.npz"
+    b = np.ones(patterns[0].n)
+    values = {m: sweep(P, 1, seed=40 + m)[0]
+              for m, P in enumerate(patterns)}
+    fps = [repro.pattern_fingerprint(P) for P in patterns]
+
+    async def first_life():
+        async with Gateway() as gw:
+            for m, P in enumerate(patterns):
+                await gw.submit(with_values(P, values[m]), b)
+            return gw.save_manifest(path)
+
+    saved = run(first_life())
+    assert saved == len(patterns)
+
+    async def second_life():
+        async with Gateway() as gw:
+            warmed = await gw.prewarm(path)
+            cold_stats = gw.stats()
+            # the values-only fast path works for every saved pattern
+            xs = [await gw.submit_values(fp, values[m], b)
+                  for m, fp in enumerate(fps)]
+            return warmed, cold_stats, xs, gw.stats()
+
+    warmed, cold_stats, xs, stats = run(second_life())
+    assert warmed == fps  # oldest-first: LRU order survives the round trip
+    # prewarming is traffic-neutral: no hits/misses counted for the replay
+    assert (cold_stats.hits, cold_stats.misses) == (0, 0)
+    assert cold_stats.cached_plans == len(patterns)
+    for m, x in enumerate(xs):
+        assert np.array_equal(x, direct_solution(patterns[m], values[m], b))
+    assert stats.misses == 0  # every submission landed on a warm plan
+
+
+def test_prewarm_skips_fingerprint_mismatch(patterns, tmp_path):
+    """Manifest rows whose structure no longer hashes to the recorded
+    fingerprint are skipped, not served wrong."""
+    path = tmp_path / "manifest.npz"
+
+    async def save():
+        async with Gateway() as gw:
+            for P in patterns[:2]:
+                await gw.register(P)
+            gw.save_manifest(path)
+
+    run(save())
+    data = dict(np.load(path))
+    data["fps"][0] = "0" * 16  # corrupt one recorded fingerprint
+    np.savez(path, **data)
+
+    async def restore():
+        async with Gateway() as gw:
+            return await gw.prewarm(path)
+
+    warmed = run(restore())
+    assert warmed == [repro.pattern_fingerprint(patterns[1])]
 
 
 # ---------------------------------------------------------------------------
