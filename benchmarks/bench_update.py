@@ -1,0 +1,280 @@
+"""Serve-time rank-k update/downdate benchmark: the crossover guard.
+
+Default mode sweeps entry-column depth (elimination-tree path length) and
+rank on a 3-D grid Laplacian and checks four things:
+
+* a short-path rank-k ``Factor.update`` beats a warm same-pattern
+  refactorize by ``--min-speedup`` (env ``BENCH_UPDATE_MIN_SPEEDUP``,
+  else 1.5) in measured wall time;
+* the *modeled* crossover flips inside the rank sweep — small ranks
+  recommend ``update``, large ranks ``refactorize`` (the deterministic
+  half of the guard: the cost model prices both roads, no runner noise);
+* ``Factor.apply(policy="auto")`` actually takes the recommended road on
+  BOTH sides of that flip (``result.extra["applied_policy"]``);
+* the updated factor solves the modified system to oracle accuracy
+  against a scratch factorization of ``A + W W^T``.
+
+``--determinism-only`` skips timings and checks the bit-reproducibility
+contract instead: base factors from the serial engines and all four
+scheduling backends (threads / gpu / hybrid / process), updated and
+downdated at ranks 1 and 4, must all be bit-identical within each
+granularity family and across repeated runs — an update of bit-identical
+factors is bit-identical, so serve-time updates inherit the runtime's
+determinism contract.  A rotation sweep and a scratch Cholesky are
+different floating-point programs, so *numerical* agreement with the
+scratch factorization of the updated matrix is verified to oracle
+tolerance (solve-vector agreement at ~1e-9), not bitwise.
+
+Run:  PYTHONPATH=src python benchmarks/bench_update.py
+      PYTHONPATH=src python benchmarks/bench_update.py \\
+          --shape 20,20,6 --determinism-only     # CI determinism gate
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+# the sweep is level-1 python-orchestrated math and the refactorize
+# baseline is the real BLAS DAG: pin the BLAS pool like every other bench
+from _blas import pin_blas_threads
+
+pin_blas_threads()
+
+import argparse
+
+import numpy as np
+
+from harness import best_of, save_snapshot
+from repro.api import plan as make_plan
+from repro.sparse import grid_laplacian
+from repro.update.vectors import structured_update
+
+FAMILIES = ("rl", "rlb")
+BACKENDS = ("threads", "gpu", "hybrid", "process")
+
+
+def _identical(storage_a, storage_b):
+    if len(storage_a.panels) != len(storage_b.panels):
+        return False
+    pairs = zip(storage_a.panels, storage_b.panels)
+    return all(np.array_equal(p, q) for p, q in pairs)
+
+
+def _make_w(plan, rank, *, depth=0.0, seed=0, scale=0.02):
+    """Structurally valid rank-``rank`` modification with entry columns at
+    ``depth`` (fraction of n; path length to the root varies with where
+    the entry column sits in the elimination tree)."""
+    n = plan.n
+    j0 = min(n - 1, max(0, int(round(depth * (n - 1)))))
+    roots = [min(n - 1, j0 + 3 * i) for i in range(rank)]
+    return structured_update(plan.symb, plan.perm, roots, nent=4,
+                             seed=seed, scale=scale)
+
+
+def _scratch_factor(plan, factor, W, *, downdate=False):
+    """Oracle: factorize ``A ± W W^T`` from scratch (fresh analysis when
+    the modification grew the pattern)."""
+    from repro.update.matrix import UpdatedMatrix
+
+    B = UpdatedMatrix(factor.matrix, W, downdate=downdate).materialize()
+    try:
+        return plan.factorize(B, engine="rl")
+    except ValueError:
+        return make_plan(B).factorize(engine="rl")
+
+
+def _backend_factor(plan, family, backend):
+    kwargs = {"engine": family, "backend": backend}
+    if backend in ("threads", "hybrid", "process"):
+        kwargs["workers"] = 4
+    else:
+        kwargs["devices"] = 2
+    return plan.factorize(**kwargs)
+
+
+def check_determinism(plan, b):
+    """Update/downdate bit-identity across engines, backends and repeated
+    runs, plus oracle accuracy vs a scratch factorization."""
+    failures = []
+    for rank in (1, 4):
+        W = _make_w(plan, rank, depth=0.0, seed=rank)
+        for family in FAMILIES:
+            base_ref = plan.factorize(engine=family)
+            up_ref = base_ref.update(W)
+            down_ref = up_ref.downdate(W)
+            # oracle: the updated factor must solve A + W W^T like a
+            # scratch factorization of it (numerical agreement)
+            scratch = _scratch_factor(plan, base_ref, W)
+            x_up = up_ref.solve(b)
+            x_ref = scratch.solve(b)
+            close = np.allclose(x_up, x_ref, rtol=1e-9, atol=1e-11)
+            mark = "ok" if close else "MISMATCH"
+            print(f"  rank={rank} {family:>4} update vs scratch solve: "
+                  f"{mark}")
+            if not close:
+                failures.append((rank, family, "oracle"))
+            for backend in BACKENDS:
+                for run in (1, 2):
+                    base = _backend_factor(plan, family, backend)
+                    up = base.update(W)
+                    down = up.downdate(W)
+                    ok = (_identical(base.storage, base_ref.storage)
+                          and _identical(up.storage, up_ref.storage)
+                          and _identical(down.storage, down_ref.storage))
+                    mark = "ok" if ok else "MISMATCH"
+                    print(f"  rank={rank} {family:>4} backend={backend:<8}"
+                          f" run {run} vs serial: {mark}")
+                    if not ok:
+                        failures.append((rank, family, backend, run))
+    return failures
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--shape", default="24,24,8",
+                    help="grid Laplacian shape, comma separated")
+    ap.add_argument("--rank", type=int, default=2,
+                    help="rank of the depth-sweep modification (default 2)")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="timing repeats (best-of)")
+    ap.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail when the short-path measured update speedup over a warm "
+             "refactorize is below this (env default: "
+             "BENCH_UPDATE_MIN_SPEEDUP, else 1.5)")
+    ap.add_argument(
+        "--determinism-only", action="store_true",
+        help="skip timings; only verify bit-identity across "
+             "engines/backends and the scratch-factorization oracle")
+    args = ap.parse_args(argv)
+    if args.min_speedup is None:
+        args.min_speedup = float(
+            os.environ.get("BENCH_UPDATE_MIN_SPEEDUP", "1.5"))
+
+    shape = tuple(int(t) for t in args.shape.split(","))
+    A = grid_laplacian(shape)
+    plan = make_plan(A)
+    n = plan.n
+    rng = np.random.default_rng(7)
+    b = rng.standard_normal(n)
+    print(f"grid_laplacian{shape}: n = {n}, {plan.nsup} supernodes, "
+          f"refactorize flops = {plan.symb.factor_flops():.3e}\n")
+
+    if args.determinism_only:
+        print("determinism contract (updated factors bit-identical across "
+              "backends, oracle-accurate vs scratch):")
+        failures = check_determinism(plan, b)
+        if failures:
+            print(f"\nFAIL: {len(failures)} broken run(s)")
+            return 1
+        print("\nOK: updates bit-identical across engines/backends, "
+              "oracle-accurate vs scratch factorization")
+        return 0
+
+    factor = plan.factorize(engine="rl")
+    ok = True
+
+    # --- measured depth sweep: path length vs a warm refactorize --------
+    print(f"depth sweep (rank {args.rank}, measured, best of "
+          f"{args.repeats}):")
+    t_refz, _ = best_of(lambda: plan.factorize(engine="rl"), args.repeats)
+    depth_rows = []
+    short_path_speedup = 0.0
+    for depth in (0.95, 0.5, 0.0):
+        W = _make_w(plan, args.rank, depth=depth, seed=3)
+        cost = factor.update_cost(W)
+        t_up, updated = best_of(lambda: factor.update(W), args.repeats)
+        x = updated.solve(b)
+        x_ref = _scratch_factor(plan, factor, W).solve(b)
+        close = np.allclose(x, x_ref, rtol=1e-9, atol=1e-11)
+        ok = ok and close
+        speedup = t_refz / t_up
+        short_path_speedup = max(short_path_speedup, speedup)
+        depth_rows.append({
+            "depth": depth,
+            "path_cols": cost.path_cols,
+            "update_seconds": t_up,
+            "refactorize_seconds": t_refz,
+            "speedup": speedup,
+            "modeled_update_seconds": cost.update_seconds,
+            "modeled_refactorize_seconds": cost.refactorize_seconds,
+            "oracle_ok": bool(close),
+        })
+        print(f"  depth={depth:4.2f} path={cost.path_cols:5d} "
+              f"update {t_up * 1e3:8.2f} ms vs refactorize "
+              f"{t_refz * 1e3:8.2f} ms ({speedup:6.2f}x, "
+              f"oracle {'ok' if close else 'MISMATCH'})")
+
+    # --- modeled rank sweep: find the crossover flip --------------------
+    print("\nrank sweep at depth 0 (modeled, deterministic):")
+    rank_rows = []
+    flip_rank = None
+    last_reco = None
+    for rank in (1, 2, 4, 8, 16, 32):
+        W = _make_w(plan, rank, depth=0.0, seed=5)
+        cost = factor.update_cost(W)
+        if last_reco == "update" and cost.recommended == "refactorize":
+            flip_rank = rank
+        last_reco = cost.recommended
+        rank_rows.append({
+            "rank": rank,
+            "path_cols": cost.path_cols,
+            "modeled_update_seconds": cost.update_seconds,
+            "modeled_refactorize_seconds": cost.refactorize_seconds,
+            "recommended": cost.recommended,
+        })
+        print(f"  k={rank:<3d} path={cost.path_cols:5d} "
+              f"update {cost.update_seconds * 1e3:8.3f} ms vs "
+              f"refactorize {cost.refactorize_seconds * 1e3:8.3f} ms "
+              f"-> {cost.recommended}")
+    if flip_rank is None:
+        print("FAIL: modeled crossover never flips update -> refactorize "
+              "in the rank sweep")
+        ok = False
+    else:
+        print(f"  crossover flips at k={flip_rank}")
+
+    # --- policy=auto must take the recommended road on both sides -------
+    auto_ok = True
+    if flip_rank is not None:
+        for rank, side in ((1, "update"), (flip_rank, "refactorize")):
+            W = _make_w(plan, rank, depth=0.0, seed=5)
+            applied = factor.apply(W, policy="auto")
+            chosen = applied.result.extra["applied_policy"]
+            good = chosen == side
+            auto_ok = auto_ok and good
+            print(f"  policy=auto at k={rank}: chose {chosen} "
+                  f"(expected {side}) {'ok' if good else 'WRONG'}")
+    ok = ok and auto_ok
+
+    path = save_snapshot("update", {
+        "shape": list(shape),
+        "rank": args.rank,
+        "repeats": args.repeats,
+        "min_speedup": args.min_speedup,
+        "short_path_speedup": short_path_speedup,
+        "flip_rank": flip_rank,
+        "depth_rows": depth_rows,
+        "rank_rows": rank_rows,
+    })
+    if path:
+        print(f"\nwrote snapshot {path}")
+    if not ok:
+        print("FAIL: oracle/crossover/auto-policy check broke (see above)")
+        return 1
+    if short_path_speedup < args.min_speedup:
+        print(f"FAIL: short-path update speedup {short_path_speedup:.2f}x "
+              f"< {args.min_speedup}x")
+        return 1
+    print(f"OK: short-path update beats refactorize "
+          f"{short_path_speedup:.2f}x >= {args.min_speedup}x, crossover "
+          f"flips at k={flip_rank}, policy=auto correct on both sides")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

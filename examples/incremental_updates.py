@@ -10,6 +10,11 @@ refactorizing, this example
 2. applies a stream of structurally valid rank-1 updates and downdates via
    hyperbolic rotations (:func:`repro.numeric.rank1_update`), checking each
    against a dense refactorization,
+2b. walks the staged copy-on-write road — immutable
+   :meth:`repro.api.Factor.update` / ``downdate`` at rank k, priced by
+   :meth:`repro.api.Factor.update_cost`, with
+   :meth:`repro.api.Factor.apply` taking the modeled
+   update-vs-refactorize crossover automatically (``docs/updates.md``),
 3. serves sparse right-hand sides with the reach-limited forward sweep
    (:func:`repro.solve.forward_solve_sparse`), reporting how few supernodes
    each solve touches,
@@ -65,6 +70,32 @@ def main():
               f"path length {len(path):3d} of {symb.n} columns, "
               f"max error vs refactorization {err:.2e}")
         assert err < 1e-8
+
+    # -- staged rank-k updates: copy-on-write + the crossover -------------
+    print("\nstaged rank-k updates (immutable factors, policy='auto'):")
+    from repro.update import structured_update
+
+    plan = repro.plan(A)
+    factor = plan.factorize(engine="rl")
+    b = A.matvec(np.ones(A.n))
+    for rank in (1, 4):
+        W = structured_update(plan.symb, plan.perm,
+                              [3 * i for i in range(rank)],
+                              nent=4, seed=rank, scale=0.1)
+        cost = factor.update_cost(W)
+        applied = factor.apply(W, policy="auto")
+        shared = sum(p is q for p, q in zip(factor.storage.panels,
+                                            applied.storage.panels))
+        x = applied.solve(b)
+        print(f"  rank {rank}: path {cost.path_cols:4d} cols, modeled "
+              f"update {cost.update_seconds * 1e3:6.2f} ms vs refactorize "
+              f"{cost.refactorize_seconds * 1e3:6.2f} ms -> "
+              f"{applied.result.extra['applied_policy']:<11s} "
+              f"(shares {shared}/{len(factor.storage.panels)} panels), "
+              f"residual {applied.residual_norm(x, b):.2e}")
+        assert applied.residual_norm(x, b) < 1e-8
+        # the parent factor is untouched: still solves the ORIGINAL system
+        assert factor.residual_norm(factor.solve(b), b) < 1e-10
 
     # -- sparse right-hand sides ------------------------------------------
     print("\nsparse right-hand sides (reach-limited forward sweep):")

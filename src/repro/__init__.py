@@ -81,6 +81,7 @@ from .numeric import (
     factorize_rl_multigpu,
     factorize_multifrontal,
     rank1_update,
+    rank_k_update,
 )
 from .numeric import plan as memory_plan
 from .numeric.registry import ENGINES, engine_names, get_engine
@@ -119,6 +120,7 @@ __all__ = [
     "factorize_rl_multigpu",
     "factorize_multifrontal",
     "rank1_update",
+    "rank_k_update",
     "memory_plan",
     "SimulatedGpu",
     "MachineModel",

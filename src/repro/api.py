@@ -58,6 +58,7 @@ table).
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from concurrent.futures import Future
 
@@ -74,8 +75,14 @@ from .numeric.executor import (
     stream_factorize_job,
     warm_executor_plan,
 )
-from .numeric.registry import backend_engine, get_engine, get_solve_mode
-from .numeric.storage import ScatterPlan
+from .numeric.registry import (
+    backend_engine,
+    get_engine,
+    get_solve_mode,
+    serial_twin,
+)
+from .numeric.storage import FactorStorage, ScatterPlan
+from .numeric.updown import path_union, rank_k_update
 from .solve.gpu_solve import solve_factored_gpu_dag, solve_offload_estimate
 from .solve.refine import _relative_residual_norm, refine, relative_residual
 from .solve.triangular import check_rhs, solve_factored, solve_graph
@@ -84,6 +91,8 @@ from .sparse.permute import permutation_gather
 from .symbolic.analyze import analyze
 from .symbolic.levels import solve_schedule
 from .symbolic.structure import pattern_digest
+from .update.crossover import update_cost as _modeled_update_cost
+from .update.matrix import UpdatedMatrix
 
 __all__ = ["plan", "SymbolicPlan", "SolvePlan", "Factor", "FactorBatch",
            "ServingSession", "same_pattern_values"]
@@ -756,6 +765,135 @@ class Factor:
         return relative_residual(self._matrix, x, b)
 
     # ------------------------------------------------------------------
+    # serve-time rank-k update / downdate (repro.update)
+    # ------------------------------------------------------------------
+    def _permuted_W(self, W):
+        """Validate a modification matrix and gather it into the factor's
+        ordering (``B = P A P^T`` means ``W_perm = W[perm]``)."""
+        W = np.asarray(W, dtype=np.float64)
+        if W.ndim == 1:
+            W = W[:, None]
+        if W.ndim != 2 or W.shape[0] != self.n:
+            raise ValueError("W must have shape (n,) or (n, k)")
+        return W, W[self._plan.perm]
+
+    def update(self, W, *, downdate=False):
+        """Factor of ``A + W W^T`` (or ``A - W W^T``) as a NEW immutable
+        :class:`Factor`, by the rank-k GGMS path sweep
+        (:func:`repro.numeric.updown.rank_k_update`) — O(path · k), not a
+        refactorization.
+
+        Copy-on-write: only the panels of supernodes on the merged
+        elimination-tree path union are copied; every untouched panel is
+        *shared* with this factor, which stays valid and unmodified.  Each
+        column of ``W`` must satisfy the no-new-fill containment condition
+        (``ValueError`` otherwise — use :meth:`apply` to fall back to a
+        refactorize automatically).  A downdate that destroys positive
+        definiteness raises
+        :class:`~repro.dense.kernels.NotPositiveDefiniteError` and leaves
+        both factors intact.
+
+        The new factor's :attr:`matrix` is the implicit
+        :class:`~repro.update.matrix.UpdatedMatrix`, so ``solve_refined``
+        and ``residual_norm`` keep working against the *updated* system.
+        """
+        W, Wp = self._permuted_W(W)
+        symb = self.storage.symb
+        roots = []
+        for r in range(Wp.shape[1]):
+            nz = np.flatnonzero(Wp[:, r])
+            if nz.size:
+                roots.append(int(nz[0]))
+        storage = self.storage
+        cols = []
+        if roots:
+            path = path_union(symb, roots)
+            touched = np.zeros(symb.nsup, dtype=bool)
+            touched[symb.col2sn[path]] = True
+            panels = [panel.copy() if touched[s] else panel
+                      for s, panel in enumerate(storage.panels)]
+            storage = FactorStorage(symb, panels)
+            # the sweep runs on private copies; a failure discards the
+            # whole candidate storage, so the atomicity snapshot is moot
+            cols = rank_k_update(storage, Wp, downdate=downdate,
+                                 snapshot=False)
+        extra = dict(self._result.extra,
+                     update_rank=int(Wp.shape[1]),
+                     update_cols=len(cols),
+                     update_downdate=bool(downdate))
+        result = dataclasses.replace(self._result, storage=storage,
+                                     extra=extra)
+        return Factor(self._plan, result,
+                      UpdatedMatrix(self._matrix, W, downdate=downdate))
+
+    def downdate(self, W):
+        """Factor of ``A - W W^T`` as a new immutable :class:`Factor`
+        (:meth:`update` with ``downdate=True``)."""
+        return self.update(W, downdate=True)
+
+    def update_cost(self, W_pattern):
+        """Price the update-vs-refactorize crossover for a modification
+        with the nonzero pattern of ``W_pattern`` (``(n,)`` or ``(n, k)``,
+        values ignored) — the modeled flops and seconds of both roads,
+        the containment verdict, and what ``policy="auto"`` would pick
+        (:class:`~repro.update.crossover.UpdateCost`)."""
+        W = np.asarray(W_pattern)
+        if W.ndim == 1:
+            W = W[:, None]
+        if W.ndim != 2 or W.shape[0] != self.n:
+            raise ValueError("W_pattern must have shape (n,) or (n, k)")
+        Wp = W[self._plan.perm]
+        patterns = [np.flatnonzero(Wp[:, r]) for r in range(Wp.shape[1])]
+        return _modeled_update_cost(self.storage.symb, patterns)
+
+    def apply(self, W, *, policy="auto", downdate=False, engine=None,
+              **engine_kwargs):
+        """Produce the factor of ``A ± W W^T``, choosing the road.
+
+        ``policy="update"`` forces the O(path·k) sweep (:meth:`update`),
+        ``policy="refactorize"`` materializes the modified matrix and
+        factorizes it from scratch, and ``policy="auto"`` (default) takes
+        the modeled winner from :meth:`update_cost` — automatically
+        falling back to refactorize when the modification fails the
+        no-new-fill containment check, where the sweep is unsound.
+
+        The refactorize road reuses this factor's plan when the modified
+        matrix keeps ``A``'s sparsity pattern and transparently builds a
+        fresh plan when the modification grew it.  ``engine`` (default:
+        this factor's serial twin) and ``engine_kwargs`` configure that
+        road only.  The chosen road lands in
+        ``factor.result.extra["applied_policy"]``.
+        """
+        if policy not in ("auto", "update", "refactorize"):
+            raise ValueError(
+                f"policy must be 'auto', 'update' or 'refactorize', "
+                f"not {policy!r}"
+            )
+        cost = self.update_cost(W)
+        choice = cost.recommended if policy == "auto" else policy
+        if choice == "update":
+            out = self.update(W, downdate=downdate)
+        else:
+            B = UpdatedMatrix(self._matrix, W,
+                              downdate=downdate).materialize()
+            if engine is None:
+                engine = serial_twin(self.engine)
+                try:
+                    get_engine(engine)
+                except (KeyError, ValueError):
+                    engine = "rl"
+            try:
+                out = self._plan.factorize(B, engine=engine,
+                                           **engine_kwargs)
+            except ValueError:
+                # the modification grew A's pattern beyond the plan's:
+                # re-analyze (new fill needs a new symbolic factorization)
+                out = plan(B).factorize(engine=engine, **engine_kwargs)
+        out._result.extra["applied_policy"] = choice
+        out._result.extra["update_recommended"] = cost.recommended
+        return out
+
+    # ------------------------------------------------------------------
     def _diag_permuted(self):
         """Diagonal of ``L`` in the factor's (permuted) ordering."""
         symb = self.storage.symb
@@ -1158,4 +1296,90 @@ class ServingSession:
                 _submit_solve_graph(self._pool, storage, y, future, advance)
 
         self._factor_job(values, future, on_factor)
+        return future
+
+    def submit_update(self, factor, W, *, b=None, downdate=False,
+                      policy="update", on_factor=None):
+        """Enqueue a rank-k update/downdate of ``factor`` on the session's
+        pool; returns a future resolving to the NEW :class:`Factor` (or,
+        with ``b``, to the solution of the *updated* system).
+
+        ``factor`` is a :class:`Factor` of this session's plan or a future
+        from :meth:`submit` / a previous ``submit_update`` — chaining
+        futures streams a whole update trajectory without ever blocking
+        the submitting thread.  The sweep runs as one pool task under the
+        session's failure-isolation contract: a downdate that destroys
+        positive definiteness (or an uncontained pattern under
+        ``policy="update"``) rejects *this* future only, annotated with
+        ``stream_index``; the parent factor and every other submission are
+        untouched (updates are copy-on-write).  ``policy`` is
+        :meth:`Factor.apply`'s knob — ``"update"`` (default) forces the
+        path sweep, ``"auto"`` lets the modeled crossover fall back to a
+        serial refactorize inside the task.
+
+        ``on_factor(new_factor)``, if given, runs on a worker thread as
+        soon as the updated factor exists — before any chained solve —
+        so callers resolving the future to ``x`` can still observe the
+        factor (the gateway records it as the pattern's next update base).
+        """
+        if self._closed:
+            raise RuntimeError("serving session is closed")
+        plan = self._plan
+        index = self._submitted
+        future = Future()
+        W = np.array(W, dtype=np.float64, copy=True)  # capture at submit
+        y = None
+        if b is not None:
+            b = check_rhs(plan.n, b, "b", copy=False)
+            y = b[plan.perm]  # fresh gather, owned by the chain
+        finish = _unpermute(plan.perm)
+
+        def enqueue(parent):
+            holder = {}
+
+            def run_task(tid):
+                holder["factor"] = parent.apply(W, policy=policy,
+                                                downdate=downdate)
+                return ()
+
+            if self._tracer is not None:
+                run_task = _traced_run(run_task,
+                                       lambda tid: f"update:{index}",
+                                       self._tracer, self._t0)
+
+            def done():
+                new_factor = holder["factor"]
+                if on_factor is not None:
+                    on_factor(new_factor)
+                if y is None:
+                    future.set_result(new_factor)
+                else:
+                    _submit_solve_chain(self._pool, new_factor.storage, y,
+                                        future, finish)
+
+            def err(exc):
+                if isinstance(exc, NotPositiveDefiniteError):
+                    exc = NotPositiveDefiniteError.for_stream(exc, index)
+                future.set_exception(exc)
+
+            self._pool.submit_graph(1, (0,), run_task,
+                                    on_complete=_guarded(done, future),
+                                    on_error=err)
+
+        if isinstance(factor, Future):
+            # chained submission: enqueue once the parent resolves — the
+            # callback may run on a worker thread; submit_graph from
+            # worker threads is race-free (the PR-4 contract refinement
+            # chains already rely on)
+            def chain(parent_future):
+                exc = parent_future.exception()
+                if exc is not None:
+                    future.set_exception(exc)
+                    return
+                enqueue(parent_future.result())
+
+            factor.add_done_callback(chain)
+        else:
+            enqueue(factor)
+        self._submitted += 1
         return future

@@ -27,6 +27,11 @@ Commands
     Zipf-popular mix of ``--patterns`` distinct sparsity patterns through
     one :class:`repro.serving.Gateway` (pattern-keyed warm-plan cache,
     admission control, per-pattern stats).
+``update MATRIX``
+    Serve-time rank-k update/downdate: sweep entry-column depths (path
+    lengths), print modeled + measured update-vs-refactorize timings and
+    what ``Factor.apply(policy="auto")`` picks at each depth, verifying
+    the updated factor against a scratch factorization of ``A ± W Wᵀ``.
 
 ``factorize``/``batch``/``serve`` accept ``--trace FILE`` with the
 threaded engines to export *measured* per-task start/stop intervals (one
@@ -701,6 +706,61 @@ def cmd_batch(args):
     return 0 if worst < 1e-8 else 1
 
 
+def cmd_update(args):
+    import time
+
+    from .api import plan as make_plan
+    from .update.vectors import structured_update
+
+    if args.rank < 1:
+        print("--rank must be >= 1", file=sys.stderr)
+        return 2
+    A = _load_matrix(args.matrix)
+    plan = make_plan(A, ordering=args.ordering)
+    try:
+        factor = plan.factorize(engine=args.engine)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    symb, perm = plan.symb, plan.perm
+    n = symb.n
+    kind = "downdate" if args.downdate else "update"
+    print(f"n = {n}, {symb.nsup} supernodes, engine = {args.engine}, "
+          f"rank = {args.rank}, {kind}, policy = {args.policy}")
+    print(f"refactorize flops = {symb.factor_flops():.3e}\n")
+    print(f"{'depth':>6} {'path':>6} {'model up':>10} {'model rfz':>10} "
+          f"{'meas up':>10} {'meas rfz':>10} {'auto':>12} {'chosen':>12} "
+          f"{'resid':>9}")
+    b = np.ones(n)
+    ok = True
+    for frac in (float(t) for t in args.depths.split(",")):
+        j0 = min(n - 1, max(0, int(round(frac * (n - 1)))))
+        roots = [min(n - 1, j0 + 3 * i) for i in range(args.rank)]
+        W = structured_update(symb, perm, roots, nent=args.nent,
+                              seed=args.seed, scale=args.scale)
+        cost = factor.update_cost(W)
+        t_up = min(_timed(lambda: factor.update(W, downdate=args.downdate))
+                   for _ in range(3))
+        t_rfz = min(_timed(lambda: factor.apply(W, policy="refactorize",
+                                                downdate=args.downdate))
+                    for _ in range(3))
+        t0 = time.perf_counter()
+        new = factor.apply(W, policy=args.policy, downdate=args.downdate)
+        _ = time.perf_counter() - t0
+        chosen = new.result.extra["applied_policy"]
+        res = new.residual_norm(new.solve(b), b)
+        ok = ok and res < 1e-8
+        print(f"{frac:6.2f} {cost.path_cols:6d} "
+              f"{cost.update_seconds * 1e3:9.2f}m {cost.refactorize_seconds * 1e3:9.2f}m "
+              f"{t_up * 1e3:9.2f}m {t_rfz * 1e3:9.2f}m "
+              f"{cost.recommended:>12} {chosen:>12} {res:9.1e}")
+    if not ok:
+        print("\nFAIL: a served update's residual exceeded 1e-8",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_suite(args):
     from .analysis import format_table
     from .gpu import DeviceOutOfMemory
@@ -929,6 +989,32 @@ def build_parser():
                          "--gateway; worker lanes either way)")
     common(sp)
 
+    sp = sub.add_parser("update",
+                        help="serve-time rank-k update/downdate vs "
+                             "refactorize (crossover sweep)")
+    sp.add_argument("matrix")
+    sp.add_argument("--engine", default="rl",
+                    help="engine producing the base factor (default: rl)")
+    sp.add_argument("--rank", type=int, default=2,
+                    help="rank k of the modification (default: 2)")
+    sp.add_argument("--nent", type=int, default=4,
+                    help="off-root nonzeros per rank (default: 4)")
+    sp.add_argument("--depths", default="0.9,0.5,0.05",
+                    help="entry-column positions as fractions of n; "
+                         "smaller = deeper in the tree = longer path "
+                         "(default: 0.9,0.5,0.05)")
+    sp.add_argument("--downdate", action="store_true",
+                    help="subtract W W^T instead of adding it")
+    sp.add_argument("--policy", default="auto",
+                    choices=["auto", "update", "refactorize"],
+                    help="Factor.apply road (default: auto = modeled "
+                         "crossover)")
+    sp.add_argument("--scale", type=float, default=0.05,
+                    help="modification magnitude (default: 0.05 — small "
+                         "keeps downdates positive definite)")
+    sp.add_argument("--seed", type=int, default=0)
+    common(sp)
+
     sp = sub.add_parser("suite", help="Tables I/II over the suite")
     sp.add_argument("names", nargs="*")
     common(sp)
@@ -953,6 +1039,7 @@ _COMMANDS = {
     "solve": cmd_solve,
     "batch": cmd_batch,
     "serve": cmd_serve,
+    "update": cmd_update,
     "suite": cmd_suite,
     "breakdown": cmd_breakdown,
     "plan": cmd_plan,

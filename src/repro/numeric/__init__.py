@@ -59,7 +59,13 @@ from .schedule import (
 )
 from .simplicial import simplicial_cholesky
 from .planner import MemoryPlan, plan, predict_peak_device_bytes
-from .updown import rank1_update, affected_columns, column_structure
+from .updown import (
+    rank1_update,
+    rank_k_update,
+    affected_columns,
+    column_structure,
+    path_union,
+)
 from .threshold import (
     DEFAULT_RL_THRESHOLD,
     DEFAULT_RLB_THRESHOLD,
@@ -142,6 +148,8 @@ __all__ = [
     "gpu_snode_mask",
     "scaled_panel_entries_array",
     "rank1_update",
+    "rank_k_update",
+    "path_union",
     "MemoryPlan",
     "plan",
     "predict_peak_device_bytes",

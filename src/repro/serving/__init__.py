@@ -19,6 +19,7 @@ from .gateway import (
     GatewayRejected,
     GatewayStats,
     GatewayTimeout,
+    NoBaseFactorError,
     PatternStats,
     TenantBudgetExceeded,
     UnknownPatternError,
@@ -34,5 +35,6 @@ __all__ = [
     "TenantBudgetExceeded",
     "GatewayTimeout",
     "UnknownPatternError",
+    "NoBaseFactorError",
     "plan_nbytes",
 ]

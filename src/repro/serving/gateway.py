@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+import zipfile
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -63,6 +64,7 @@ __all__ = [
     "TenantBudgetExceeded",
     "GatewayTimeout",
     "UnknownPatternError",
+    "NoBaseFactorError",
     "plan_nbytes",
 ]
 
@@ -98,6 +100,13 @@ class UnknownPatternError(KeyError):
     plan — submit the full matrix once, or :meth:`Gateway.register` it."""
 
 
+class NoBaseFactorError(LookupError):
+    """``submit_update`` named a pattern with no warm base factor.
+
+    Updates ride on the pattern's most recent served factor; serve one
+    full :meth:`Gateway.submit` (without ``b``) on the fingerprint first."""
+
+
 def plan_nbytes(plan):
     """Byte-budget heuristic for one warm :class:`~repro.api.SymbolicPlan`.
 
@@ -121,7 +130,8 @@ class _CacheEntry:
     and the bookkeeping eviction/stats need."""
 
     __slots__ = ("fingerprint", "plan", "session", "nbytes", "pins",
-                 "hits", "misses", "requests", "latency_sum", "latency_max")
+                 "hits", "misses", "requests", "latency_sum", "latency_max",
+                 "latest_factor", "updates")
 
     def __init__(self, fingerprint, plan, session, nbytes):
         self.fingerprint = fingerprint
@@ -134,6 +144,8 @@ class _CacheEntry:
         self.requests = 0
         self.latency_sum = 0.0
         self.latency_max = 0.0
+        self.latest_factor = None  # most recent served factor: update base
+        self.updates = 0
 
 
 @dataclass(frozen=True)
@@ -146,6 +158,7 @@ class PatternStats:
     misses: int
     requests: int
     in_flight: int
+    updates: int
     nbytes: int
     avg_latency_s: float
     max_latency_s: float
@@ -166,6 +179,7 @@ class GatewayStats:
     rejected_overloaded: int
     rejected_tenant: int
     timeouts: int
+    updates: int
     evictions: int
     in_flight: int
     queue_depth: int
@@ -269,6 +283,7 @@ class Gateway:
         self._rejected_overloaded = 0
         self._rejected_tenant = 0
         self._timeouts = 0
+        self._updates = 0
         self._evictions = 0
         self._tenant_requests = {}
         self._closed = False
@@ -548,18 +563,27 @@ class Gateway:
         with any concurrent traffic, not counted against hit/miss stats or
         admission budgets, oldest first so the LRU order survives a
         save/restore round trip).  Entries whose stored structure no
-        longer matches their recorded fingerprint are skipped.  Returns
-        the list of fingerprints now warm."""
+        longer matches their recorded fingerprint are skipped.  A missing
+        or unreadable manifest is likewise a graceful no-op (an empty
+        return): prewarming is an optimization replayed at startup, and a
+        stale path must never poison a gateway that would serve fine cold.
+        Returns the list of fingerprints now warm."""
         self._bind_loop()
         if self._closed:
             raise RuntimeError("gateway is closed")
-        with np.load(path) as manifest:
-            fps = [str(fp) for fp in manifest["fps"]]
-            structures = [
-                (int(manifest[f"n{i}"]), manifest[f"indptr{i}"],
-                 manifest[f"indices{i}"])
-                for i in range(len(fps))
-            ]
+        try:
+            with np.load(path) as manifest:
+                fps = [str(fp) for fp in manifest["fps"]]
+                structures = [
+                    (int(manifest[f"n{i}"]), manifest[f"indptr{i}"],
+                     manifest[f"indices{i}"])
+                    for i in range(len(fps))
+                ]
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile):
+            # missing file, truncated/corrupt archive, or a manifest
+            # missing expected arrays: skip, serve cold
+            return []
         warmed = []
         for fp, (n, indptr, indices) in zip(fps, structures):
             A = SymmetricCSC(n, indptr, indices,
@@ -570,6 +594,22 @@ class Gateway:
             await self._entry_for(fp, A, count=False)
             warmed.append(fp)
         return warmed
+
+    async def _await_numeric(self, cf, fp, timeout):
+        """Await a session future under the gateway's timeout contract."""
+        if timeout is None:
+            return await asyncio.wrap_future(cf)
+        try:
+            return await asyncio.wait_for(asyncio.wrap_future(cf), timeout)
+        except asyncio.TimeoutError:
+            # still-queued work is cancelled outright; a task already
+            # running finishes into the cancelled future (every completion
+            # callback is guarded), so the session is never poisoned
+            cf.cancel()
+            self._timeouts += 1
+            raise GatewayTimeout(
+                f"request on pattern {fp[:8]} timed out after {timeout}s"
+            ) from None
 
     async def _serve(self, fp, matrix, values, b, tenant, timeout=None):
         self._admit(tenant)
@@ -583,22 +623,12 @@ class Gateway:
                     cf = entry.session.submit(values)
                 else:
                     cf = entry.session.submit_solve(values, b)
-                if timeout is None:
-                    return await asyncio.wrap_future(cf)
-                try:
-                    return await asyncio.wait_for(
-                        asyncio.wrap_future(cf), timeout)
-                except asyncio.TimeoutError:
-                    # still-queued work is cancelled outright; a task
-                    # already running finishes into the cancelled future
-                    # (every completion callback is guarded), so the
-                    # session is never poisoned
-                    cf.cancel()
-                    self._timeouts += 1
-                    raise GatewayTimeout(
-                        f"request on pattern {fp[:8]} timed out after "
-                        f"{timeout}s"
-                    ) from None
+                result = await self._await_numeric(cf, fp, timeout)
+                if b is None:
+                    # back on the loop thread: the freshest factor of this
+                    # pattern becomes the base for submit_update
+                    entry.latest_factor = result
+                return result
             finally:
                 entry.pins -= 1
                 dt = time.perf_counter() - t0
@@ -609,6 +639,71 @@ class Gateway:
             self._release(tenant)
             if self._tracer is not None:
                 self._tracer.record("gateway", f"req:{fp[:8]}",
+                                    t0 - self._origin,
+                                    time.perf_counter() - self._origin)
+
+    async def submit_update(self, fingerprint, W, b=None, *,
+                            tenant="default", downdate=False,
+                            policy="update", timeout=None):
+        """Serve a rank-k update/downdate of a warm pattern's latest factor.
+
+        Routes by ``fingerprint`` to the cached entry (like
+        :meth:`submit_values` — :class:`UnknownPatternError` when the
+        pattern has no warm plan) and chains
+        :meth:`~repro.api.ServingSession.submit_update` of its most recent
+        served factor on the shared pool.  The resolved NEW
+        :class:`~repro.api.Factor` becomes the pattern's base for the next
+        update, so a stream of ``submit_update`` calls walks an update
+        trajectory; with ``b`` the call resolves to the solution of the
+        *updated* system instead (the new factor still becomes the base).
+
+        Requires a base: a full :meth:`submit` (without ``b``) must have
+        served a factor for the pattern first
+        (:class:`NoBaseFactorError` otherwise).  Admission control,
+        ``timeout`` and failure isolation behave exactly as in
+        :meth:`submit`; a failed update (non-SPD downdate, uncontained
+        pattern) rejects only this call and leaves the base factor intact
+        (updates are copy-on-write).  Counted in
+        :attr:`GatewayStats.updates`.
+        """
+        self._bind_loop()
+        self._admit(tenant)
+        fp = fingerprint
+        t0 = time.perf_counter()
+        try:
+            entry = await self._entry_for(fp, None)
+            if entry.latest_factor is None:
+                raise NoBaseFactorError(
+                    f"pattern {fp[:8]} has no served base factor; submit "
+                    "the full matrix (without b) before submitting updates"
+                )
+            entry.pins += 1
+            entry.requests += 1
+            try:
+                base = entry.latest_factor
+                holder = {}
+                cf = entry.session.submit_update(
+                    base, W, b=b, downdate=downdate, policy=policy,
+                    on_factor=lambda f: holder.setdefault("factor", f))
+                result = await self._await_numeric(cf, fp, timeout)
+                # a successful await implies the factor stage completed
+                # (any chained solve runs after it), so the holder is
+                # populated; back on the loop thread, advance the base
+                entry.latest_factor = holder.get(
+                    "factor", result if b is None else None)
+                entry.updates += 1
+                self._updates += 1
+                return result
+            finally:
+                entry.pins -= 1
+                dt = time.perf_counter() - t0
+                entry.latency_sum += dt
+                entry.latency_max = max(entry.latency_max, dt)
+                self._evict()
+        finally:
+            self._release(tenant)
+            if self._tracer is not None:
+                self._tracer.record("gateway", f"upd:{fp[:8]}",
                                     t0 - self._origin,
                                     time.perf_counter() - self._origin)
 
@@ -627,6 +722,7 @@ class Gateway:
                 misses=e.misses,
                 requests=e.requests,
                 in_flight=e.pins,
+                updates=e.updates,
                 nbytes=e.nbytes,
                 avg_latency_s=(e.latency_sum / e.requests
                                if e.requests else 0.0),
@@ -639,6 +735,7 @@ class Gateway:
             rejected_overloaded=self._rejected_overloaded,
             rejected_tenant=self._rejected_tenant,
             timeouts=self._timeouts,
+            updates=self._updates,
             evictions=self._evictions,
             in_flight=self._in_flight,
             queue_depth=self._pool.active,

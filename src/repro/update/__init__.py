@@ -1,0 +1,21 @@
+"""Serve-time factor update/downdate: the ``repro.update`` subsystem.
+
+Rank-k Gill-Golub-Murray-Saunders sweeps over the elimination-tree path
+union (:mod:`repro.numeric.updown`) surfaced through the staged API
+(:meth:`repro.api.Factor.update` / ``downdate`` / ``apply``), with a
+modeled update-vs-refactorize crossover (:mod:`.crossover`), an implicit
+``A ± W W^T`` operator for residuals and refinement (:mod:`.matrix`), and
+structured test/bench vector generation (:mod:`.vectors`).
+"""
+
+from .crossover import UpdateCost, UpdateCostModel, update_cost
+from .matrix import UpdatedMatrix
+from .vectors import structured_update
+
+__all__ = [
+    "UpdateCost",
+    "UpdateCostModel",
+    "update_cost",
+    "UpdatedMatrix",
+    "structured_update",
+]

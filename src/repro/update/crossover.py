@@ -1,0 +1,175 @@
+"""The update-vs-refactorize crossover: modeled cost of both roads.
+
+A rank-k up/downdate is a level-1 sweep — ``~6`` flops per touched factor
+entry per rank, at memory-bound throughput with a per-(column, rank)
+rotation overhead — while a refactorize replays the whole task DAG at
+BLAS-3 throughput (the graded-dilation machine model of
+:mod:`repro.gpu.costmodel` prices that road).  Short elimination-tree
+paths make the update a few panels of work against the full factor's
+cubic flops; as the rank grows, or the entry columns sink toward the
+bottom of the tree, ``k ×`` path cost overtakes the one-off DAG replay
+and the crossover flips.  :func:`update_cost` prices both sides for a
+concrete ``W`` pattern so :meth:`repro.api.Factor.apply` can pick the
+winner automatically — and reports when the no-new-fill containment check
+fails, where refactorize is the only sound road regardless of cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..numeric.updown import column_structure, path_union
+
+__all__ = ["UpdateCost", "UpdateCostModel", "update_cost", "DEFAULT_UPDATE_MODEL"]
+
+# flops per touched factor entry per rank: the GGMS rotation reads and
+# rewrites the column (3 flops) and carries the w vector forward (3 flops)
+_FLOPS_PER_ENTRY = 6.0
+
+
+@dataclass(frozen=True)
+class UpdateCostModel:
+    """Throughput/overhead constants pricing the two roads.
+
+    The sweep runs python-orchestrated vectorized level-1 math: a
+    per-(column, rank) rotation overhead plus streaming flops at a
+    memory-bound rate.  The refactorize road reuses the DAG cost shape:
+    the symbolic factor's total flops at a BLAS-3 rate plus a
+    per-supernode scheduling/assembly overhead.
+    """
+
+    sweep_gflops: float = 1.2
+    rotation_overhead_s: float = 2.5e-6
+    refactorize_gflops: float = 10.0
+    snode_overhead_s: float = 6.0e-6
+
+    def update_seconds(self, flops, rotations):
+        """Modeled seconds for a path sweep of ``flops`` total rotation
+        flops issued as ``rotations`` (column, rank) steps."""
+        return rotations * self.rotation_overhead_s + flops / (
+            self.sweep_gflops * 1e9
+        )
+
+    def refactorize_seconds(self, flops, nsup):
+        """Modeled seconds for replaying the full factorization DAG."""
+        return nsup * self.snode_overhead_s + flops / (
+            self.refactorize_gflops * 1e9
+        )
+
+
+DEFAULT_UPDATE_MODEL = UpdateCostModel()
+
+
+@dataclass(frozen=True)
+class UpdateCost:
+    """Both roads priced for one concrete modification pattern.
+
+    ``recommended`` is what ``policy="auto"`` will do: ``"update"`` when
+    the modeled path sweep beats the modeled refactorize *and* the
+    modification creates no new fill, else ``"refactorize"``.
+    """
+
+    rank: int
+    path_cols: int
+    path_snodes: int
+    update_flops: float
+    refactorize_flops: float
+    update_seconds: float
+    refactorize_seconds: float
+    contained: bool
+    recommended: str
+
+    @property
+    def modeled_speedup(self):
+        """Modeled refactorize-over-update ratio (>1 favors the update)."""
+        if self.update_seconds == 0.0:
+            return float("inf")
+        return self.refactorize_seconds / self.update_seconds
+
+
+def _column_entries(symb, path):
+    """Touched factor entries (diagonal included) per path column,
+    vectorized per supernode: column ``first + i`` of a supernode with
+    ``nrows`` panel rows owns ``nrows - i`` entries."""
+    if len(path) == 0:
+        return np.empty(0, dtype=np.int64)
+    path = np.asarray(path, dtype=np.int64)
+    snodes = symb.col2sn[path]
+    first = symb.snptr[snodes]
+    nrows = symb.rowptr[snodes + 1] - symb.rowptr[snodes]
+    return nrows - (path - first)
+
+
+def update_cost(symb, patterns, *, model=None):
+    """Price update vs refactorize for per-rank patterns ``patterns``.
+
+    Parameters
+    ----------
+    symb:
+        The :class:`~repro.symbolic.structure.SymbolicFactor` (permuted
+        ordering — patterns must be row indices into the factor).
+    patterns:
+        Sequence of k index arrays, one per rank: the nonzero rows of each
+        column of ``W`` in the factor's ordering.  Empty patterns are
+        identity columns and are skipped.
+    model:
+        :class:`UpdateCostModel` constants (default
+        :data:`DEFAULT_UPDATE_MODEL`).
+
+    Returns
+    -------
+    :class:`UpdateCost`
+    """
+    model = model or DEFAULT_UPDATE_MODEL
+    roots = []
+    contained = True
+    per_rank_roots = []
+    for pattern in patterns:
+        pattern = np.unique(np.asarray(pattern, dtype=np.int64))
+        if pattern.size == 0:
+            continue
+        j0 = int(pattern[0])
+        if contained:
+            outside = np.setdiff1d(pattern[1:], column_structure(symb, j0))
+            contained = outside.size == 0
+        roots.append(j0)
+        per_rank_roots.append(j0)
+    if not roots:
+        refz_flops = float(symb.factor_flops())
+        return UpdateCost(
+            rank=0,
+            path_cols=0,
+            path_snodes=0,
+            update_flops=0.0,
+            refactorize_flops=refz_flops,
+            update_seconds=0.0,
+            refactorize_seconds=model.refactorize_seconds(refz_flops, symb.nsup),
+            contained=True,
+            recommended="update",
+        )
+    union = path_union(symb, roots)
+    # each rank sweeps its own root-to-tree-root path; price them
+    # individually (the union alone would overprice disjoint short paths)
+    update_flops = 0.0
+    rotations = 0
+    for j0 in per_rank_roots:
+        path = path_union(symb, [j0])
+        update_flops += _FLOPS_PER_ENTRY * float(_column_entries(symb, path).sum())
+        rotations += len(path)
+    refz_flops = float(symb.factor_flops())
+    up_s = model.update_seconds(update_flops, rotations)
+    refz_s = model.refactorize_seconds(refz_flops, symb.nsup)
+    recommended = "update" if (contained and up_s <= refz_s) else "refactorize"
+    return UpdateCost(
+        rank=len(per_rank_roots),
+        path_cols=int(union.size),
+        path_snodes=int(np.unique(symb.col2sn[union]).size) if union.size else 0,
+        update_flops=update_flops,
+        refactorize_flops=refz_flops,
+        update_seconds=up_s,
+        refactorize_seconds=refz_s,
+        contained=contained,
+        recommended=recommended,
+    )

@@ -1,0 +1,93 @@
+"""Implicit ``A ± W W^T``: the matrix an updated factor factorizes.
+
+An updated :class:`~repro.api.Factor` needs its matrix for residuals and
+iterative refinement, but materializing ``A + W W^T`` into a fresh
+:class:`~repro.sparse.csc.SymmetricCSC` on every update would defeat the
+point of an O(path) operation.  Those consumers only ever call
+``matvec`` — so the updated factor carries this implicit operator instead:
+the base matvec plus a rank-k correction ``± W (W^T x)``, O(nnz(A) + nk)
+per product.  ``materialize()`` builds the explicit CSC form on demand
+(the refactorize road of :meth:`repro.api.Factor.apply` needs it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csc import SymmetricCSC
+
+__all__ = ["UpdatedMatrix"]
+
+
+class UpdatedMatrix:
+    """``base + sign * W W^T`` without forming it.
+
+    Stacks: the ``base`` may itself be an :class:`UpdatedMatrix` (chained
+    updates), in which case ``matvec`` recurses and ``materialize()``
+    flattens the whole chain.
+    """
+
+    __slots__ = ("base", "W", "sign")
+
+    def __init__(self, base, W, *, downdate=False):
+        W = np.asarray(W, dtype=np.float64)
+        if W.ndim == 1:
+            W = W[:, None]
+        if W.ndim != 2 or W.shape[0] != base.n:
+            raise ValueError("W must have shape (n,) or (n, k)")
+        self.base = base
+        self.W = W
+        self.sign = -1.0 if downdate else 1.0
+
+    @property
+    def n(self):
+        return self.base.n
+
+    @property
+    def rank(self):
+        return self.W.shape[1]
+
+    def matvec(self, x):
+        """``(base ± W W^T) x`` — works for vectors and RHS blocks."""
+        return self.base.matvec(x) + self.sign * (self.W @ (self.W.T @ x))
+
+    def to_dense(self):
+        return self.base.to_dense() + self.sign * (self.W @ self.W.T)
+
+    def materialize(self):
+        """Explicit :class:`SymmetricCSC` of the whole chain.
+
+        The correction only touches the square block of ``W``'s nonzero
+        rows, so the merge is base's lower triangle plus one small dense
+        block in COO form.
+        """
+        base = self.base
+        if isinstance(base, UpdatedMatrix):
+            base = base.materialize()
+        touched = np.flatnonzero(np.any(self.W != 0.0, axis=1))
+        n = base.n
+        base_cols = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(base.indptr)
+        )
+        rows = [base.indices, ]
+        cols = [base_cols, ]
+        vals = [base.data, ]
+        if touched.size:
+            block = self.sign * (self.W[touched] @ self.W[touched].T)
+            bi, bj = np.meshgrid(touched, touched, indexing="ij")
+            lower = bi >= bj
+            rows.append(bi[lower])
+            cols.append(bj[lower])
+            vals.append(block[lower])
+        return SymmetricCSC.from_coo(
+            n,
+            np.concatenate(rows),
+            np.concatenate(cols),
+            np.concatenate(vals),
+            sum_duplicates=True,
+            symmetry="lower",
+        )
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        op = "-" if self.sign < 0 else "+"
+        return f"UpdatedMatrix(n={self.n}, {op} rank {self.rank})"

@@ -1,0 +1,64 @@
+"""Structured rank-k modification generators for tests, benches, the CLI.
+
+A valid update vector must keep its nonzeros inside ``struct(L[:, j0])``
+(the no-new-fill condition), and j0's depth in the elimination tree is
+what sets the path length — the knob the crossover benchmarks sweep.
+:func:`structured_update` builds such a ``W`` directly from the symbolic
+factor: pick a root column in the *permuted* ordering, draw values on a
+subset of its column structure, and scatter back through the permutation
+so the result applies to the original matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..numeric.updown import column_structure
+
+__all__ = ["structured_update"]
+
+
+def structured_update(symb, perm, roots, *, nent=4, seed=0, scale=0.1):
+    """Build a structurally valid ``(n, k)`` modification matrix.
+
+    Parameters
+    ----------
+    symb:
+        The :class:`~repro.symbolic.structure.SymbolicFactor`.
+    perm:
+        The plan's fill-reducing permutation (``B[k, l] = A[perm[k],
+        perm[l]]``); pass ``None`` or the identity for natural ordering.
+    roots:
+        Sequence of k entry columns, one per rank, in the *permuted*
+        ordering — deeper (smaller) roots mean longer paths.
+    nent:
+        Off-root nonzeros drawn per rank from the root's column structure.
+    seed, scale:
+        RNG seed and magnitude.  Small ``scale`` keeps downdates positive
+        definite.
+
+    Returns
+    -------
+    ``(n, k)`` float64 array in the *original* (unpermuted) ordering,
+    ready for :meth:`repro.api.Factor.update`.
+    """
+    rng = np.random.default_rng(seed)
+    n = symb.n
+    if perm is None:
+        perm = np.arange(n, dtype=np.int64)
+    perm = np.asarray(perm, dtype=np.int64)
+    roots = [int(r) for r in roots]
+    W_perm = np.zeros((n, len(roots)))
+    for r, j0 in enumerate(roots):
+        if not 0 <= j0 < n:
+            raise ValueError(f"root column {j0} out of range")
+        struct = column_structure(symb, j0)
+        take = min(nent, struct.size)
+        pick = rng.choice(struct, size=take, replace=False) if take else []
+        W_perm[j0, r] = scale * (1.0 + rng.random())
+        for i in pick:
+            W_perm[int(i), r] = scale * (rng.random() - 0.5)
+    # W_perm holds rows in factor ordering: W_perm[k] multiplies x[perm[k]]
+    W = np.zeros_like(W_perm)
+    W[perm] = W_perm
+    return W

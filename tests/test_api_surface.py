@@ -35,6 +35,7 @@ DOCUMENTED_TOP_LEVEL = [
     "factorize_rl_multigpu",
     "factorize_multifrontal",
     "rank1_update",
+    "rank_k_update",
     "memory_plan",
     "SimulatedGpu",
     "MachineModel",
@@ -115,7 +116,20 @@ DOCUMENTED_SUBPACKAGE = [
     ("repro.serving", "TenantBudgetExceeded"),
     ("repro.serving", "GatewayTimeout"),
     ("repro.serving", "UnknownPatternError"),
+    ("repro.serving", "NoBaseFactorError"),
     ("repro.serving", "plan_nbytes"),
+    ("repro.numeric", "rank_k_update"),
+    ("repro.numeric", "path_union"),
+    ("repro.numeric.updown", "rank1_update"),
+    ("repro.numeric.updown", "rank_k_update"),
+    ("repro.numeric.updown", "affected_columns"),
+    ("repro.numeric.updown", "column_structure"),
+    ("repro.numeric.updown", "path_union"),
+    ("repro.update", "UpdateCost"),
+    ("repro.update", "UpdateCostModel"),
+    ("repro.update", "update_cost"),
+    ("repro.update", "UpdatedMatrix"),
+    ("repro.update", "structured_update"),
 ]
 
 #: The complete intended ``repro.serving.__all__`` — pinned exactly, so an
@@ -130,6 +144,7 @@ SERVING_ALL = [
     "TenantBudgetExceeded",
     "GatewayTimeout",
     "UnknownPatternError",
+    "NoBaseFactorError",
     "plan_nbytes",
 ]
 

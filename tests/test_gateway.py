@@ -423,6 +423,82 @@ def test_prewarm_skips_fingerprint_mismatch(patterns, tmp_path):
     assert warmed == [repro.pattern_fingerprint(patterns[1])]
 
 
+def test_prewarm_missing_manifest_is_graceful_noop(patterns, tmp_path):
+    """A nonexistent manifest path must not poison the gateway: prewarm
+    returns [] and the gateway still serves cold traffic normally."""
+    b = np.ones(patterns[0].n)
+    v = sweep(patterns[0], 1, seed=50)[0]
+
+    async def go():
+        async with Gateway() as gw:
+            warmed = await gw.prewarm(tmp_path / "never-written.npz")
+            x = await gw.submit(with_values(patterns[0], v), b)
+            return warmed, x, gw.stats()
+
+    warmed, x, stats = run(go())
+    assert warmed == []
+    assert np.array_equal(x, direct_solution(patterns[0], v, b))
+    assert (stats.hits, stats.misses) == (0, 1)
+
+
+def test_prewarm_corrupt_manifest_is_graceful_noop(patterns, tmp_path):
+    """Truncated/garbage manifest bytes are skipped, not raised, and the
+    gateway serves fine afterwards."""
+    b = np.ones(patterns[0].n)
+    v = sweep(patterns[0], 1, seed=51)[0]
+    garbage = tmp_path / "garbage.npz"
+    garbage.write_bytes(b"\x00not an npz archive\xff" * 7)
+    missing_keys = tmp_path / "missing-keys.npz"
+    np.savez(missing_keys, unrelated=np.arange(3))
+
+    async def go(path):
+        async with Gateway() as gw:
+            warmed = await gw.prewarm(path)
+            x = await gw.submit(with_values(patterns[0], v), b)
+            return warmed, x
+
+    for path in (garbage, missing_keys):
+        warmed, x = run(go(path))
+        assert warmed == []
+        assert np.array_equal(x, direct_solution(patterns[0], v, b))
+
+
+def test_save_manifest_roundtrip_after_evictions(patterns, tmp_path):
+    """A capacity-bound gateway saves only the survivors; prewarming the
+    manifest restores exactly those patterns, in LRU order."""
+    path = tmp_path / "manifest.npz"
+    b = np.ones(patterns[0].n)
+    values = {m: sweep(P, 1, seed=60 + m)[0]
+              for m, P in enumerate(patterns)}
+    fps = [repro.pattern_fingerprint(P) for P in patterns]
+
+    async def first_life():
+        async with Gateway(capacity=2) as gw:
+            for m, P in enumerate(patterns):  # third submit evicts fp 0
+                await gw.submit(with_values(P, values[m]), b)
+            saved = gw.save_manifest(path)
+            return saved, gw.stats()
+
+    saved, stats = run(first_life())
+    assert saved == 2
+    assert stats.evictions == 1
+
+    async def second_life():
+        async with Gateway(capacity=2) as gw:
+            warmed = await gw.prewarm(path)
+            # survivors admit values-only traffic; the evicted one doesn't
+            xs = [await gw.submit_values(fp, values[m], b)
+                  for m, fp in zip((1, 2), fps[1:])]
+            with pytest.raises(UnknownPatternError):
+                await gw.submit_values(fps[0], values[0], b)
+            return warmed, xs
+
+    warmed, xs = run(second_life())
+    assert warmed == fps[1:]  # eviction order survived the round trip
+    for m, x in zip((1, 2), xs):
+        assert np.array_equal(x, direct_solution(patterns[m], values[m], b))
+
+
 # ---------------------------------------------------------------------------
 # submit_values / register fast paths
 # ---------------------------------------------------------------------------

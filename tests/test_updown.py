@@ -1,4 +1,4 @@
-"""Tests for rank-1 update/downdate of the supernodal factor."""
+"""Tests for rank-1 / rank-k update/downdate of the supernodal factor."""
 
 from __future__ import annotations
 
@@ -14,7 +14,9 @@ from repro.numeric import (
     column_structure,
     factorize_rl_cpu,
     factorize_rlb_cpu,
+    path_union,
     rank1_update,
+    rank_k_update,
 )
 from repro.sparse import grid_laplacian, random_spd
 from repro.symbolic import analyze
@@ -38,9 +40,18 @@ def make_w(system, j0, nent, seed, scale=0.4):
     return w
 
 
+def make_W(system, roots, nent, seed, scale=0.3):
+    """A structurally valid (n, k) block with one column per root."""
+    cols = [make_w(system, j0, nent, seed=seed + i, scale=scale)
+            for i, j0 in enumerate(roots)]
+    return np.stack(cols, axis=1)
+
+
 def dense_ref(system, w, sign=+1.0):
+    if w.ndim == 1:
+        w = w[:, None]
     return np.tril(sla.cholesky(
-        system.matrix.to_dense() + sign * np.outer(w, w), lower=True))
+        system.matrix.to_dense() + sign * (w @ w.T), lower=True))
 
 
 class TestUpdate:
@@ -143,6 +154,158 @@ class TestSolveAfterUpdate:
         b = rng.standard_normal(system.symb.n)
         x = solve_factored(storage, b)
         np.testing.assert_allclose(A1 @ x, b, atol=1e-8)
+
+
+class TestRankK:
+    @pytest.mark.parametrize("roots", [[7], [3, 11, 20, 9]])
+    def test_matches_dense_recomputation(self, factored, roots):
+        system, storage = factored
+        W = make_W(system, roots, 4, seed=10)
+        rank_k_update(storage, W)
+        np.testing.assert_allclose(storage.to_dense_lower(),
+                                   dense_ref(system, W), atol=1e-10)
+
+    def test_bitwise_equals_sequential_rank1(self, factored):
+        system, _ = factored
+        roots = [2, 9, 14]
+        W = make_W(system, roots, 5, seed=11)
+        seq = factorize_rl_cpu(system.symb, system.matrix).storage
+        for r in range(W.shape[1]):
+            rank1_update(seq, W[:, r])
+        blk = factorize_rl_cpu(system.symb, system.matrix).storage
+        rank_k_update(blk, W)
+        for s in range(system.symb.nsup):
+            np.testing.assert_array_equal(blk.panel(s), seq.panel(s))
+
+    def test_returns_sorted_path_union(self, factored):
+        system, storage = factored
+        roots = [5, 16]
+        W = make_W(system, roots, 3, seed=12)
+        path = rank_k_update(storage, W)
+        assert sorted(path) == path
+        expect = sorted(set(affected_columns(system.symb, [roots[0]]))
+                        | set(affected_columns(system.symb, [roots[1]])))
+        assert path == expect
+
+    def test_downdate_roundtrip(self, factored):
+        system, storage = factored
+        ref = storage.to_dense_lower().copy()
+        W = make_W(system, [4, 13], 4, seed=13, scale=0.2)
+        rank_k_update(storage, W)
+        rank_k_update(storage, W, downdate=True)
+        np.testing.assert_allclose(storage.to_dense_lower(), ref, atol=1e-9)
+
+    def test_one_dim_vector_is_rank_one(self, factored):
+        system, _ = factored
+        w = make_w(system, 7, 5, seed=14)
+        a = factorize_rl_cpu(system.symb, system.matrix).storage
+        b = factorize_rl_cpu(system.symb, system.matrix).storage
+        assert rank_k_update(a, w) == rank1_update(b, w)
+        for s in range(system.symb.nsup):
+            np.testing.assert_array_equal(a.panel(s), b.panel(s))
+
+    def test_zero_block_noop(self, factored):
+        system, storage = factored
+        before = storage.to_dense_lower()
+        assert rank_k_update(storage, np.zeros((system.symb.n, 3))) == []
+        np.testing.assert_array_equal(storage.to_dense_lower(), before)
+
+    def test_structure_violation_names_rank(self, factored):
+        system, storage = factored
+        W = np.zeros((system.symb.n, 2))
+        W[:, 0] = make_w(system, 6, 3, seed=15)
+        W[0, 1] = 1.0
+        outside = np.setdiff1d(np.arange(1, system.symb.n),
+                               column_structure(system.symb, 0))
+        if outside.size == 0:
+            pytest.skip("column 0 structure is full")
+        W[outside[0], 1] = 1.0
+        before = storage.to_dense_lower()
+        with pytest.raises(ValueError, match="new fill"):
+            rank_k_update(storage, W)
+        # the check runs before any panel is touched
+        np.testing.assert_array_equal(storage.to_dense_lower(), before)
+
+    def test_shape_validation(self, factored):
+        system, storage = factored
+        with pytest.raises(ValueError):
+            rank_k_update(storage, np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            rank_k_update(storage, np.ones((system.symb.n, 2, 2)))
+
+
+class TestAtomicity:
+    """A failed downdate must leave the factor exactly as it found it."""
+
+    @staticmethod
+    def _poison(system, j0=8):
+        w = np.zeros(system.symb.n)
+        w[j0] = 100.0  # far larger than any pivot: guaranteed indefinite
+        return w
+
+    def test_rank1_failed_downdate_restores(self, factored):
+        system, storage = factored
+        before = storage.to_dense_lower().copy()
+        with pytest.raises(NotPositiveDefiniteError):
+            rank1_update(storage, self._poison(system), downdate=True)
+        np.testing.assert_array_equal(storage.to_dense_lower(), before)
+
+    def test_rank_k_failed_downdate_restores(self, factored):
+        system, storage = factored
+        # rank 0 succeeds at its columns, rank 1 then fails mid-path: the
+        # snapshot must roll back rank 0's completed work too
+        W = np.stack([make_w(system, 2, 4, seed=16),
+                      self._poison(system)], axis=1)
+        before = storage.to_dense_lower().copy()
+        with pytest.raises(NotPositiveDefiniteError):
+            rank_k_update(storage, W, downdate=True)
+        np.testing.assert_array_equal(storage.to_dense_lower(), before)
+
+    @staticmethod
+    def _mid_path_poison(system, j0=2):
+        # tiny entry at the root (rotates fine), huge carry deeper in the
+        # structure: the sweep succeeds at early columns then fails
+        w = np.zeros(system.symb.n)
+        w[j0] = 0.05
+        rows = column_structure(system.symb, j0)
+        w[rows[-1]] = 100.0
+        return w
+
+    def test_mid_path_failure_restores(self, factored):
+        system, storage = factored
+        before = storage.to_dense_lower().copy()
+        with pytest.raises(NotPositiveDefiniteError):
+            rank1_update(storage, self._mid_path_poison(system),
+                         downdate=True)
+        np.testing.assert_array_equal(storage.to_dense_lower(), before)
+
+    def test_snapshot_false_leaves_partial_state(self, factored):
+        system, storage = factored
+        before = storage.to_dense_lower().copy()
+        with pytest.raises(NotPositiveDefiniteError):
+            rank1_update(storage, self._mid_path_poison(system),
+                         downdate=True, snapshot=False)
+        assert not np.array_equal(storage.to_dense_lower(), before)
+
+
+class TestPathUnion:
+    def test_matches_per_column_union(self, factored):
+        system, _ = factored
+        roots = [1, 6, 17]
+        got = path_union(system.symb, roots)
+        expect = sorted(set().union(
+            *(affected_columns(system.symb, [j]) for j in roots)))
+        assert got.tolist() == expect
+
+    def test_empty_roots(self, factored):
+        system, _ = factored
+        assert path_union(system.symb, []).size == 0
+
+    def test_single_root_is_affected_columns(self, factored):
+        system, _ = factored
+        for j0 in (0, 9, system.symb.n - 1):
+            assert (path_union(system.symb, [j0]).tolist()
+                    == affected_columns(system.symb, [j0]))
 
 
 class TestPropertyBased:
