@@ -1,0 +1,295 @@
+"""Wall-clock benchmark of the mixed-precision lane (fp32 + refinement).
+
+Measures fp32-vs-fp64 factorization speedup on the *measured* backends —
+the threaded task-DAG executor and the shared-memory worker-process pool
+— on a 3-D grid Laplacian large enough for the BLAS to dominate the task
+bodies (default ``40,40,16``; below that, scheduling overhead hides the
+single-precision flop rate).  Every fp32 run is verified bit-identical
+to the serial fp32 engine of the same granularity (the determinism
+contract is precision-independent), and the accuracy side of the bargain
+is checked on every invocation: ``solve_refined`` on an fp32 factor must
+recover fp64-level residuals on a well-conditioned system, and must take
+the fp64-refactorize fallback (bitwise equal to the fp64 oracle) on a
+graded ill-conditioned one.
+
+Exits non-zero when the best fp32 speedup at ``workers >= 2`` falls below
+``--min-speedup`` (env default ``BENCH_MIXED_MIN_SPEEDUP``, else 1.3 —
+the PR's acceptance threshold), or when any bit-identity / accuracy check
+fails.  The snapshot lands in ``BENCH_MIXED.json``.
+
+``--determinism-only`` skips the timing sweep: fp32 bit-reproducibility
+across worker counts and both backends, plus the refinement-recovery and
+stall-fallback checks — the mode CI's determinism job runs on every PR.
+
+Run:  PYTHONPATH=src python benchmarks/bench_mixed_precision.py
+      PYTHONPATH=src python benchmarks/bench_mixed_precision.py \\
+          --shape 20,20,6 --determinism-only        # CI determinism gate
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+# The lane's win is the single-precision BLAS rate at task-level
+# parallelism: pin the BLAS pool to one thread per call before
+# NumPy/SciPy load the libraries.
+from _blas import pin_blas_threads
+
+pin_blas_threads()
+
+import argparse
+from functools import partial
+
+import numpy as np
+
+from harness import best_of, save_snapshot
+from repro.api import plan as make_plan
+from repro.numeric import factorize_rl_cpu, factorize_rlb_cpu
+from repro.numeric.executor import factorize_executor
+from repro.numeric.procpool import default_process_pool, factorize_process
+from repro.sparse import SymmetricCSC, grid_laplacian
+from repro.symbolic import analyze
+
+SERIAL = {"coarse": factorize_rl_cpu, "fine": factorize_rlb_cpu}
+
+
+def _identical(res, ref):
+    if len(res.storage.panels) != len(ref.storage.panels):
+        return False
+    pairs = zip(res.storage.panels, ref.storage.panels)
+    return all(np.array_equal(p, q) for p, q in pairs)
+
+
+def graded_matrix(spread=5.0):
+    """SPD with a graded diagonal scaling spanning ``10**spread``: fp32
+    factorizes it, but refinement on the fp32 factor stalls well above
+    fp64 accuracy — the fallback's reproducible trigger."""
+    A = grid_laplacian((8, 8, 4))
+    d = np.logspace(0, -spread, A.n)
+    data = A.data.copy()
+    for j in range(A.n):
+        lo, hi = A.indptr[j], A.indptr[j + 1]
+        data[lo:hi] = A.data[lo:hi] * d[A.indices[lo:hi]] * d[j]
+    return SymmetricCSC(A.n, A.indptr, A.indices, data)
+
+
+def check_determinism(symb, M, workers=4):
+    """fp32 bit-reproducibility: ``workers=N`` twice, ``workers=1``, and
+    the process pool, all against the serial fp32 engine."""
+    failures = []
+    for granularity in ("coarse", "fine"):
+        ref = SERIAL[granularity](symb, M, dtype=np.float32)
+        runs = {
+            f"threads workers={workers} run 1": factorize_executor(
+                symb, M, workers=workers, granularity=granularity,
+                dtype=np.float32),
+            f"threads workers={workers} run 2": factorize_executor(
+                symb, M, workers=workers, granularity=granularity,
+                dtype=np.float32),
+            "threads workers=1": factorize_executor(
+                symb, M, workers=1, granularity=granularity,
+                dtype=np.float32),
+            "process workers=2": factorize_process(
+                symb, M, workers=2, granularity=granularity,
+                dtype=np.float32),
+        }
+        for label, res in runs.items():
+            ok = _identical(res, ref) and res.storage.dtype == np.float32
+            mark = "ok" if ok else "MISMATCH"
+            print(f"  {granularity:>6} {label:<26} vs serial fp32: {mark}")
+            if not ok:
+                failures.append((granularity, label))
+    return failures
+
+
+def check_accuracy():
+    """The other half of the contract: fp32 + refinement must deliver
+    fp64 answers — directly when conditioning allows, via the fp64
+    refactorize fallback when it does not."""
+    failures = []
+
+    A = grid_laplacian((10, 10, 6))
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(A.n)
+    plan = make_plan(A)
+    f32 = plan.factorize(dtype=np.float32)
+    direct = f32.residual_norm(f32.solve(b), b)
+    out = f32.solve_refined(b, return_info=True)
+    refined = f32.residual_norm(out.x, b)
+    ok = out.converged and refined <= 1e-12
+    print(f"  refinement recovery: {direct:.1e} -> {refined:.1e} "
+          f"in {out.iterations} steps: {'ok' if ok else 'FAIL'}")
+    if not ok:
+        failures.append("refinement recovery")
+    if "refine_fallback" in f32.result.extra:
+        print("  unexpected fallback on a well-conditioned system: FAIL")
+        failures.append("spurious fallback")
+
+    G = graded_matrix(5.0)
+    bg = np.random.default_rng(42).standard_normal(G.n)
+    gplan = make_plan(G)
+    g32 = gplan.factorize(dtype=np.float32)
+    gout = g32.solve_refined(bg, return_info=True)
+    fb = g32.result.extra.get("refine_fallback")
+    oracle = gplan.factorize().solve_refined(bg, return_info=True)
+    ok = (fb is not None and fb["reason"] == "stalled"
+          and np.array_equal(gout.x, oracle.x))
+    print(f"  stall fallback (graded matrix): "
+          f"{'ok — bitwise fp64 oracle' if ok else 'FAIL'} "
+          f"(reason: {fb['reason'] if fb else 'no fallback taken'})")
+    if not ok:
+        failures.append("stall fallback")
+    return failures
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--shape",
+        default="40,40,16",
+        help="grid Laplacian shape, comma separated",
+    )
+    ap.add_argument(
+        "--workers",
+        default="1,4",
+        help="comma-separated worker counts to sweep",
+    )
+    ap.add_argument(
+        "--granularity",
+        default="coarse",
+        help="comma-separated granularities to sweep (coarse is the "
+        "BLAS-bound one where the lane pays)",
+    )
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="timing repeats (best-of)")
+    ap.add_argument(
+        "--backends",
+        default="threads,process",
+        help="comma-separated measured backends to sweep",
+    )
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail when the best fp32-vs-fp64 speedup at workers >= 2 is "
+        "below this (env default: BENCH_MIXED_MIN_SPEEDUP, else 1.3)",
+    )
+    ap.add_argument(
+        "--determinism-only",
+        action="store_true",
+        help="skip timings; only verify fp32 bit-reproducibility and the "
+        "refinement accuracy/fallback contract",
+    )
+    args = ap.parse_args(argv)
+    if args.min_speedup is None:
+        args.min_speedup = float(
+            os.environ.get("BENCH_MIXED_MIN_SPEEDUP", "1.3"))
+
+    shape = tuple(int(t) for t in args.shape.split(","))
+    A = grid_laplacian(shape)
+    system = analyze(A)
+    symb, M = system.symb, system.matrix
+    print(
+        f"grid_laplacian{shape}: n = {A.n}, nnz_lower = {A.nnz_lower}, "
+        f"{symb.nsup} supernodes, cores = {os.cpu_count()}\n"
+    )
+
+    if args.determinism_only:
+        print("fp32 determinism contract (bit-identical factors):")
+        failures = check_determinism(symb, M)
+        print("\naccuracy contract (fp64 recovery):")
+        failures += check_accuracy()
+        if failures:
+            print(f"\nFAIL: {len(failures)} broken check(s)")
+            return 1
+        print("\nOK: fp32 factors bit-identical, fp64 accuracy recovered")
+        return 0
+
+    backends = [b.strip() for b in args.backends.split(",")]
+    workers_list = [int(t) for t in args.workers.split(",")]
+    granularities = [g.strip() for g in args.granularity.split(",")]
+    best_speedup = 0.0
+    ok = True
+    rows = []
+    for backend in backends:
+        process = backend == "process"
+        fn = factorize_process if process else factorize_executor
+        for granularity in granularities:
+            ref32 = SERIAL[granularity](symb, M, dtype=np.float32)
+            print(f"{backend} backend, {granularity} granularity:")
+            for workers in workers_list:
+                kwargs = dict(workers=workers, granularity=granularity)
+                if process:
+                    # pool startup + warm-up are one-time costs; keep the
+                    # pool hot outside the timed repeats
+                    default_process_pool(workers, None)
+                    fn(symb, M, **kwargs)
+                    fn(symb, M, dtype=np.float32, **kwargs)
+                t64, _ = best_of(partial(fn, symb, M, **kwargs),
+                                 args.repeats)
+                t32, res32 = best_of(
+                    partial(fn, symb, M, dtype=np.float32, **kwargs),
+                    args.repeats)
+                bitwise = _identical(res32, ref32)
+                ok = ok and bitwise
+                speedup = t64 / t32
+                if workers > 1:
+                    best_speedup = max(best_speedup, speedup)
+                print(
+                    f"  workers={workers:<3d} fp64 {t64 * 1e3:8.2f} ms  "
+                    f"fp32 {t32 * 1e3:8.2f} ms  ({speedup:5.2f}x, "
+                    f"bit-identical: {'yes' if bitwise else 'NO'})"
+                )
+                rows.append({
+                    "backend": backend,
+                    "granularity": granularity,
+                    "workers": workers,
+                    "fp64_seconds": t64,
+                    "fp32_seconds": t32,
+                    "speedup": speedup,
+                    "bit_identical": bitwise,
+                })
+            print()
+
+    print("accuracy contract (fp64 recovery):")
+    acc_failures = check_accuracy()
+    print()
+
+    path = save_snapshot(
+        "mixed",
+        {
+            "shape": list(shape),
+            "repeats": args.repeats,
+            "backends": backends,
+            "min_speedup": args.min_speedup,
+            "best_speedup": best_speedup,
+            "accuracy_failures": acc_failures,
+            "rows": rows,
+        },
+    )
+    if path:
+        print(f"wrote snapshot {path}")
+    if not ok:
+        print("FAIL: fp32 factors are not bit-identical to serial fp32")
+        return 1
+    if acc_failures:
+        print(f"FAIL: accuracy contract broken: {', '.join(acc_failures)}")
+        return 1
+    if best_speedup < args.min_speedup:
+        print(f"FAIL: best fp32 speedup (workers >= 2) "
+              f"{best_speedup:.2f}x < {args.min_speedup}x")
+        return 1
+    print(
+        f"OK: best fp32 speedup {best_speedup:.2f}x >= "
+        f"{args.min_speedup}x, all factors bit-identical, fp64 accuracy "
+        "recovered"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,7 +64,7 @@ from concurrent.futures import Future
 
 import numpy as np
 
-from .dense.kernels import NotPositiveDefiniteError
+from .dense.kernels import NotPositiveDefiniteError, check_dtype
 from .gpu.costmodel import CPU_THREAD_CHOICES, MachineModel
 from .numeric.executor import (
     StreamPool,
@@ -91,6 +91,7 @@ from .sparse.permute import permutation_gather
 from .symbolic.analyze import analyze
 from .symbolic.levels import solve_schedule
 from .symbolic.structure import pattern_digest
+from .numeric.threshold import DEFAULT_STALL_RATIO
 from .update.crossover import update_cost as _modeled_update_cost
 from .update.matrix import UpdatedMatrix
 
@@ -142,6 +143,26 @@ def _with_devices(spec, engine, devices, engine_kwargs):
             f"backend='gpu'/'hybrid'), not {engine!r}"
         )
     return dict(engine_kwargs, devices=devices)
+
+
+def _with_dtype(spec, engine, dtype, engine_kwargs):
+    """Validate ``dtype=`` against the engine and merge it into the engine
+    kwargs — the precision-lane twin of :func:`_with_devices`, shared by
+    :meth:`SymbolicPlan.factorize`, :meth:`SymbolicPlan.factorize_batch`
+    and the streaming :class:`ServingSession`.  Unsupported numpy dtypes
+    (complex, float16, ints) raise
+    :class:`~repro.dense.kernels.UnsupportedDtypeError`; engines outside
+    the RL/RLB precision lane raise ``ValueError``."""
+    if dtype is None:
+        return engine_kwargs
+    dt = check_dtype(dtype, context="storage")
+    if not spec.supports_dtype:
+        raise ValueError(
+            f"dtype= applies to the RL/RLB engine families only "
+            f"(see repro.numeric.registry: EngineSpec.supports_dtype), "
+            f"not {engine!r}"
+        )
+    return dict(engine_kwargs, dtype=dt)
 
 
 def plan(A, *, ordering="nd", **analyze_kwargs):
@@ -301,7 +322,7 @@ class SymbolicPlan:
     # numeric stage
     # ------------------------------------------------------------------
     def factorize(self, values=None, *, engine="rl", workers=None,
-                  backend=None, devices=None, **engine_kwargs):
+                  backend=None, devices=None, dtype=None, **engine_kwargs):
         """Numeric factorization of same-pattern ``values``; returns an
         immutable :class:`Factor`.
 
@@ -336,6 +357,14 @@ class SymbolicPlan:
         devices:
             Simulated-GPU count for the stream and hybrid engines
             (``backend="gpu"`` / ``"hybrid"``); rejected elsewhere.
+        dtype:
+            Factor storage/compute precision for the RL/RLB engine
+            families: ``numpy.float64`` (default) or ``numpy.float32``
+            (single-precision panels and BLAS, ~half the memory traffic —
+            pair with :meth:`Factor.solve_refined` to recover fp64
+            accuracy; see ``docs/precision.md``).  Unsupported dtypes
+            raise :class:`~repro.dense.kernels.UnsupportedDtypeError`;
+            engines outside the precision lane raise ``ValueError``.
         engine_kwargs:
             Forwarded to the engine (``machine=``, ``device=``,
             ``threshold=``, ``tracer=``, ...).
@@ -352,13 +381,15 @@ class SymbolicPlan:
                 )
             engine_kwargs = dict(engine_kwargs, workers=workers)
         engine_kwargs = _with_devices(spec, engine, devices, engine_kwargs)
+        engine_kwargs = _with_dtype(spec, engine, dtype, engine_kwargs)
         data = self._values_of(values)
         M = self._permuted_matrix(data)
         result = spec.fn(self._system.symb, M, **spec.fixed, **engine_kwargs)
         return Factor(self, result, self._original_matrix(data))
 
     def factorize_batch(self, values_list, *, engine="rlb_par", workers=None,
-                        backend=None, devices=None, **engine_kwargs):
+                        backend=None, devices=None, dtype=None,
+                        **engine_kwargs):
         """Factorize a batch of same-pattern matrices; returns a
         :class:`FactorBatch`.
 
@@ -382,6 +413,7 @@ class SymbolicPlan:
             engine = backend_engine(engine, backend)
         spec = get_engine(engine)
         engine_kwargs = _with_devices(spec, engine, devices, engine_kwargs)
+        engine_kwargs = _with_dtype(spec, engine, dtype, engine_kwargs)
         datas = [self._values_of(v) for v in values_list]
         if not spec.is_threaded:
             if workers is not None:
@@ -430,8 +462,8 @@ class SymbolicPlan:
         return SolvePlan(self, solve_schedule(self._system.symb))
 
     def serve(self, *, engine="rlb_par", workers=None, machine=None,
-              backend=None, devices=None, threshold=None, pool=None,
-              tracer=None, trace_origin=None):
+              backend=None, devices=None, threshold=None, dtype=None,
+              pool=None, tracer=None, trace_origin=None):
         """Open a streaming :class:`ServingSession` on this pattern.
 
         Where :meth:`factorize_batch` needs the whole batch up front, a
@@ -461,6 +493,12 @@ class SymbolicPlan:
         bit-identical to its serial counterpart regardless of substrate
         (same ordered-commit contract as the batch path).
 
+        ``dtype=`` sets the session's default factor precision
+        (``numpy.float32`` for the mixed-precision serving lane; see
+        ``docs/precision.md``); :meth:`ServingSession.submit` /
+        :meth:`~ServingSession.submit_solve` take a per-submission
+        override.
+
         ``pool=`` binds the session to an externally owned
         :class:`~repro.numeric.executor.StreamPool` instead of creating
         (and later closing) its own — the sharing seam the multi-tenant
@@ -473,7 +511,7 @@ class SymbolicPlan:
         return ServingSession(self, engine=engine, workers=workers,
                               machine=machine, backend=backend,
                               devices=devices, threshold=threshold,
-                              pool=pool, tracer=tracer,
+                              dtype=dtype, pool=pool, tracer=tracer,
                               trace_origin=trace_origin)
 
 
@@ -659,6 +697,13 @@ class Factor:
         return self._result.method
 
     @property
+    def dtype(self):
+        """Precision of the factor panels (``numpy.dtype``):
+        ``float64``, or ``float32`` for the mixed-precision lane
+        (``plan.factorize(..., dtype=numpy.float32)``)."""
+        return self.storage.dtype
+
+    @property
     def n(self):
         return self._plan.n
 
@@ -741,7 +786,7 @@ class Factor:
                               "repro-manysolve")
 
     def solve_refined(self, b, *, tol=1e-14, max_iter=5, workers=None,
-                      return_info=False):
+                      return_info=False, stall_ratio=None, fallback=True):
         """Solve ``A x = b`` with iterative refinement.
 
         Runs classical fixed-precision refinement
@@ -754,9 +799,54 @@ class Factor:
         with ``return_info=True`` returns the full
         :class:`~repro.solve.refine.RefinementResult` (residual history,
         iteration count, convergence flag).
+
+        **Mixed-precision recovery** (see ``docs/precision.md``): on a
+        reduced-precision factor the residuals are always evaluated in
+        fp64 and each refinement step contracts the error by roughly
+        ``cond(A) · eps32``, so a well-conditioned system reaches fp64
+        accuracy in a few cheap steps.  When the chain *stalls* — one
+        step fails to shrink the residual to below ``stall_ratio ×`` the
+        previous one (default
+        :data:`~repro.numeric.threshold.DEFAULT_STALL_RATIO`; the
+        split rule of :func:`repro.numeric.threshold
+        .refinement_stalled`) — or exhausts ``max_iter`` short of
+        ``tol``, the factor's precision is the binding constraint and
+        ``fallback=True`` (default) **refactorizes in fp64** (this
+        factor's serial-twin engine) and re-refines on the full-precision
+        factor.  The recovery is recorded in
+        ``factor.result.extra["refine_fallback"]`` (reason, the
+        reduced-precision residual history, and the fp64 engine used);
+        ``fallback=False`` returns the stalled result as-is.  On fp64
+        factors stall detection and fallback are inert unless
+        ``stall_ratio`` is passed explicitly.
         """
+        is_reduced = self.dtype != np.float64
+        ratio = stall_ratio
+        if ratio is None and is_reduced:
+            ratio = DEFAULT_STALL_RATIO
         out = refine(self._matrix, self.storage, self._plan.perm, b,
-                     tol=tol, max_iter=max_iter, workers=workers)
+                     tol=tol, max_iter=max_iter, workers=workers,
+                     stall_ratio=ratio)
+        if is_reduced and fallback and not out.converged:
+            # precision-limited chain: refactorize at full precision and
+            # refine on the fp64 factor (serial twin of this engine)
+            eng = serial_twin(self.engine)
+            try:
+                get_engine(eng)
+            except (KeyError, ValueError):
+                eng = "rl"
+            matrix = self._matrix
+            if hasattr(matrix, "materialize"):  # UpdatedMatrix
+                matrix = matrix.materialize()
+            full = self._plan.factorize(matrix, engine=eng)
+            self._result.extra["refine_fallback"] = {
+                "reason": "stalled" if out.stalled else "max_iter",
+                "from_dtype": self.dtype.name,
+                "engine": eng,
+                "residual_norms": list(out.residual_norms),
+            }
+            out = refine(matrix, full.storage, self._plan.perm, b,
+                         tol=tol, max_iter=max_iter, workers=workers)
         return out if return_info else out.x
 
     def residual_norm(self, x, b):
@@ -1050,8 +1140,8 @@ class ServingSession:
 
     def __init__(self, plan, *, engine="rlb_par", workers=None,
                  machine=None, thread_choices=CPU_THREAD_CHOICES,
-                 backend=None, devices=None, threshold=None, pool=None,
-                 tracer=None, trace_origin=None):
+                 backend=None, devices=None, threshold=None, dtype=None,
+                 pool=None, tracer=None, trace_origin=None):
         if backend is not None:
             engine = backend_engine(engine, backend)
         spec = get_engine(engine)
@@ -1083,6 +1173,8 @@ class ServingSession:
                     f"{engine!r}"
                 )
             engine_kwargs = dict(engine_kwargs, threshold=threshold)
+        self._dtype = (None if dtype is None
+                       else _with_dtype(spec, engine, dtype, {})["dtype"])
         self._plan = plan
         self._engine = engine
         self._spec = spec
@@ -1167,15 +1259,18 @@ class ServingSession:
             self._pool.close()
 
     # ------------------------------------------------------------------
-    def _factor_job(self, values, future, on_factor):
+    def _factor_job(self, values, future, on_factor, dtype=None):
         """Build one submission's factorize graph (on the caller thread —
         values validation, permutation gather, panel scatter) and enqueue
         it; ``on_factor(factor, storage)`` runs on a worker thread once the
-        DAG drains."""
+        DAG drains.  ``dtype`` overrides the session's default factor
+        precision for this submission only."""
         if self._closed:
             raise RuntimeError("serving session is closed")
         plan = self._plan
         index = self._submitted
+        dt = self._dtype if dtype is None else _with_dtype(
+            self._spec, self._engine, dtype, {})["dtype"]
         data = plan._values_of(values)
         matrix = plan._original_matrix(data)  # copies: the Factor owns it
         M = plan._permuted_matrix(data)
@@ -1186,6 +1281,7 @@ class ServingSession:
                 extra={"workers": self.workers,
                        "granularity": self._granularity,
                        "stream_index": index},
+                dtype=dt,
             )
             label_of = _task_label_fn(plan.symb, self._granularity)
         else:
@@ -1194,6 +1290,8 @@ class ServingSession:
             # internally); the pool still provides the streaming futures,
             # failure isolation and drain semantics
             spec, kwargs = self._spec, self._engine_kwargs
+            if dt is not None:
+                kwargs = dict(kwargs, dtype=dt)
             holder = {}
 
             def run_task(tid):
@@ -1228,7 +1326,7 @@ class ServingSession:
                                 on_error=err)
         self._submitted += 1
 
-    def submit(self, values=None):
+    def submit(self, values=None, *, dtype=None):
         """Enqueue one same-pattern factorization; returns a future
         resolving to its immutable :class:`Factor`.
 
@@ -1236,15 +1334,18 @@ class ServingSession:
         (``None``, a flat data array, or a same-pattern ``SymmetricCSC``);
         pattern mismatches raise ``ValueError`` immediately, numeric
         failures (non-SPD) resolve the future with the annotated
-        exception.
+        exception.  ``dtype`` overrides the session's default factor
+        precision for this submission (``numpy.float32`` /
+        ``numpy.float64``).
         """
         future = Future()
         self._factor_job(values, future,
-                         lambda factor, storage: future.set_result(factor))
+                         lambda factor, storage: future.set_result(factor),
+                         dtype=dtype)
         return future
 
     def submit_solve(self, values, b, *, refine=False, tol=1e-14,
-                     max_iter=5):
+                     max_iter=5, dtype=None):
         """Enqueue factorize + level-scheduled solve; returns a future
         resolving to the solution ``x`` of ``A(values) x = b``.
 
@@ -1260,6 +1361,16 @@ class ServingSession:
         corrections were taken.  The resolved ``x`` is bit-identical to
         ``factor.solve_refined(b, tol=tol, max_iter=max_iter)`` — mixed
         factorize/solve/refine streams share one worker pool end to end.
+
+        ``dtype`` overrides the session's default factor precision for
+        this submission.  Pair ``dtype=numpy.float32`` with
+        ``refine=True`` for the mixed-precision serving lane: single
+        precision factorization, fp64 residual refinement on the same
+        pool.  The streaming chain caps at ``max_iter`` without the
+        fp64-refactorize stall fallback of :meth:`Factor.solve_refined`
+        (stall recovery needs a second factorization — do that through
+        :meth:`submit` + :meth:`Factor.solve_refined` when the system is
+        ill-conditioned enough to need it).
         """
         plan = self._plan
         b = check_rhs(plan.n, b, "b", copy=refine)
@@ -1295,7 +1406,7 @@ class ServingSession:
 
                 _submit_solve_graph(self._pool, storage, y, future, advance)
 
-        self._factor_job(values, future, on_factor)
+        self._factor_job(values, future, on_factor, dtype=dtype)
         return future
 
     def submit_update(self, factor, W, *, b=None, downdate=False,

@@ -9,6 +9,15 @@ numeric factorization variant is a different schedule of these four.
 They always compute with real BLAS through SciPy (so the numerics match a
 Fortran implementation); callers that need *modeled* device timing wrap them
 via :mod:`repro.gpu`.
+
+Precision
+---------
+Every kernel dispatches on its input array's dtype: float64 panels run the
+``d``-prefixed LAPACK/BLAS routines, float32 panels the ``s``-prefixed ones
+(same flags, same reduction order — fp32 factors are therefore bit-identical
+across schedules exactly like fp64 ones).  Anything else is rejected with
+:class:`UnsupportedDtypeError` rather than silently upcast; complex and half
+precision have no kernel lane here.
 """
 
 from __future__ import annotations
@@ -19,12 +28,66 @@ from scipy.linalg import lapack as _lapack
 
 __all__ = [
     "NotPositiveDefiniteError",
+    "UnsupportedDtypeError",
+    "SUPPORTED_DTYPES",
+    "check_dtype",
     "potrf",
     "trsm_right",
     "syrk_lower",
     "gemm_nt",
     "factorize_panel",
 ]
+
+#: The dtypes the numeric lane supports, in preference order.
+SUPPORTED_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+
+class UnsupportedDtypeError(TypeError):
+    """Raised when a values array (or requested storage dtype) is outside
+    the supported precision lane (:data:`SUPPORTED_DTYPES`).
+
+    Subclasses :class:`TypeError` so generic dtype-mismatch handling keeps
+    working; raised instead of silently upcasting so callers choose their
+    precision explicitly.
+    """
+
+    def __init__(self, dtype, *, context="values"):
+        names = ", ".join(d.name for d in SUPPORTED_DTYPES)
+        super().__init__(
+            f"unsupported {context} dtype {np.dtype(dtype).name!r}; "
+            f"supported dtypes are: {names}"
+        )
+        self.dtype = np.dtype(dtype)
+
+
+def check_dtype(dtype, *, context="values"):
+    """Validate ``dtype`` against :data:`SUPPORTED_DTYPES` and return it as
+    a :class:`numpy.dtype`.  Raises :class:`UnsupportedDtypeError` on
+    complex, float16, integer, and every other unsupported kind."""
+    dt = np.dtype(dtype)
+    if dt not in SUPPORTED_DTYPES:
+        raise UnsupportedDtypeError(dt, context=context)
+    return dt
+
+
+# Per-dtype LAPACK/BLAS routine tables.  Same call flags either way; only
+# the letter changes, so the reduction order (and hence bit-identity
+# arguments) carry over to fp32 unchanged.
+_POTRF = {SUPPORTED_DTYPES[0]: _lapack.dpotrf,
+          SUPPORTED_DTYPES[1]: _lapack.spotrf}
+_TRSM = {SUPPORTED_DTYPES[0]: _blas.dtrsm,
+         SUPPORTED_DTYPES[1]: _blas.strsm}
+_SYRK = {SUPPORTED_DTYPES[0]: _blas.dsyrk,
+         SUPPORTED_DTYPES[1]: _blas.ssyrk}
+_GEMM = {SUPPORTED_DTYPES[0]: _blas.dgemm,
+         SUPPORTED_DTYPES[1]: _blas.sgemm}
+
+
+def _routine(table, array, name):
+    fn = table.get(array.dtype)
+    if fn is None:
+        raise UnsupportedDtypeError(array.dtype, context=name + " operand")
+    return fn
 
 
 class NotPositiveDefiniteError(np.linalg.LinAlgError):
@@ -64,14 +127,16 @@ class NotPositiveDefiniteError(np.linalg.LinAlgError):
 def potrf(block):
     """In-place lower Cholesky of the leading square of ``block``.
 
-    ``block`` must be a square, Fortran-contiguous float64 array; only its
-    lower triangle is referenced or written.
+    ``block`` must be a square, Fortran-contiguous float64/float32 array;
+    only its lower triangle is referenced or written.
     """
-    c, info = _lapack.dpotrf(block, lower=1, overwrite_a=1, clean=0)
+    c, info = _routine(_POTRF, block, "potrf")(
+        block, lower=1, overwrite_a=1, clean=0
+    )
     if info > 0:
         raise NotPositiveDefiniteError(info - 1)
     if info < 0:
-        raise ValueError(f"dpotrf: illegal argument {-info}")
+        raise ValueError(f"potrf: illegal argument {-info}")
     if c is not block:  # overwrite was not possible (non-contiguous input)
         block[:] = c
     return block
@@ -85,8 +150,9 @@ def trsm_right(rect, tri):
     """
     if rect.shape[0] == 0 or rect.shape[1] == 0:
         return rect
-    out = _blas.dtrsm(1.0, tri, rect, side=1, lower=1, trans_a=1, diag=0,
-                      overwrite_b=1)
+    out = _routine(_TRSM, rect, "trsm")(
+        1.0, tri, rect, side=1, lower=1, trans_a=1, diag=0, overwrite_b=1
+    )
     if out is not rect:
         rect[:] = out
     return rect
@@ -99,7 +165,7 @@ def syrk_lower(rect, out=None):
     product is written into it (its upper triangle is left untouched).
     """
     n = rect.shape[0]
-    u = _blas.dsyrk(1.0, rect, lower=1, trans=0)
+    u = _routine(_SYRK, rect, "syrk")(1.0, rect, lower=1, trans=0)
     if out is None:
         return u
     out[:n, :n] = u
@@ -108,7 +174,7 @@ def syrk_lower(rect, out=None):
 
 def gemm_nt(a, b, out=None):
     """General product ``C = a @ b^T`` (the DGEMM of RLB block pairs)."""
-    c = _blas.dgemm(1.0, a, b, trans_b=1)
+    c = _routine(_GEMM, a, "gemm")(1.0, a, b, trans_b=1)
     if out is None:
         return c
     out[:c.shape[0], :c.shape[1]] = c

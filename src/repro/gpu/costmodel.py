@@ -39,6 +39,18 @@ Constant provenance
   endpoints — the largest surrogate kernels/panels map to σ = 10.
 * ``GpuModel.launch_s = 2e-5``: CUDA kernel launch plus MAGMA dispatch /
   synchronization per call (~10–30 µs in practice).
+* ``CpuModel.fp32_speedup = 2.0``: SGEMM moves half the bytes and the EPYC
+  core retires twice the FP32 flops/cycle (32 vs 16) — the classic ~2×
+  single-precision BLAS throughput win.
+* ``GpuModel.fp32_speedup = 2.0``: A100 non-tensor FP32 peak is 19.5 TF/s
+  vs 9.7 TF/s FP64 CUDA-core; MAGMA's Cholesky kernels ride the CUDA cores.
+  (Tensor-core mixed-precision GEMM can reach far higher — up to ~12.7× on
+  V100-class hardware — but that path changes the numerics; the modeled
+  lane stays at the conservative non-tensor 2×.)
+
+Every byte-accounting helper takes an ``itemsize`` (default 8): the graded
+dilation ramps are *entry*-count ramps, so fp32 objects of E entries dilate
+like fp64 objects of E entries while moving half the bytes.
 """
 
 from __future__ import annotations
@@ -93,11 +105,13 @@ class CpuModel:
     assembly_thread_gbs: float = 6.0
     assembly_max_gbs: float = 120.0
     assembly_overhead_s: float = 1.0e-5
+    fp32_speedup: float = 2.0
 
-    def kernel_time(self, flops, threads):
-        """Modeled seconds for one BLAS call of ``flops`` on ``threads``."""
+    def kernel_time(self, flops, threads, speedup=1.0):
+        """Modeled seconds for one BLAS call of ``flops`` on ``threads``
+        (``speedup`` > 1 for the single-precision lane)."""
         t_eff = min(max(flops / self.parallel_grain_flops, 1.0), threads)
-        rate = self.per_core_gflops * 1e9 * t_eff
+        rate = self.per_core_gflops * 1e9 * t_eff * speedup
         return self.call_overhead_s + flops / rate
 
     def assembly_time(self, nbytes, threads):
@@ -129,11 +143,13 @@ class GpuModel:
     peak_gflops: float = 16000.0
     half_flops: float = 5.0e8
     launch_s: float = 2.0e-5
+    fp32_speedup: float = 2.0
 
-    def kernel_time(self, flops):
-        """Modeled seconds for one device kernel of ``flops``."""
+    def kernel_time(self, flops, speedup=1.0):
+        """Modeled seconds for one device kernel of ``flops`` (``speedup``
+        > 1 for the single-precision lane)."""
         return self.launch_s + (flops + self.half_flops) / (
-            self.peak_gflops * 1e9
+            self.peak_gflops * 1e9 * speedup
         )
 
 
@@ -213,29 +229,48 @@ class MachineModel:
         f = kernel_flops(kind, m, n, k)
         return f * self.sigma_flops(f) ** 3
 
-    def scaled_bytes(self, nbytes):
-        """Bytes at (graded) dilated panel sizes."""
-        return nbytes * self.sigma_entries(nbytes / 8.0) ** 2
+    def scaled_bytes(self, nbytes, itemsize=8):
+        """Bytes at (graded) dilated panel sizes.  ``itemsize`` converts
+        bytes to the entry count driving the dilation ramp — an fp32 object
+        dilates like an fp64 object of the same *entries* while moving half
+        the bytes."""
+        return nbytes * self.sigma_entries(nbytes / float(itemsize)) ** 2
 
     def scaled_panel_entries(self, entries):
         """Panel entries at dilated scale — what the supernode-size
         threshold compares against."""
         return entries * self.sigma_entries(entries) ** 2
 
-    def cpu_kernel_seconds(self, kind, m=0, n=0, k=0, *, threads):
+    def cpu_fp_speedup(self, itemsize):
+        """Host BLAS throughput multiplier for an element size (1.0 for
+        fp64, :attr:`CpuModel.fp32_speedup` for fp32)."""
+        return self.cpu.fp32_speedup if itemsize == 4 else 1.0
+
+    def gpu_fp_speedup(self, itemsize):
+        """Device throughput multiplier for an element size."""
+        return self.gpu.fp32_speedup if itemsize == 4 else 1.0
+
+    def cpu_kernel_seconds(self, kind, m=0, n=0, k=0, *, threads,
+                           itemsize=8):
         """Host BLAS call time at dilated dimensions."""
         return self.cpu.kernel_time(
-            self.scaled_kernel_flops(kind, m, n, k), threads
+            self.scaled_kernel_flops(kind, m, n, k), threads,
+            self.cpu_fp_speedup(itemsize),
         )
 
-    def assembly_seconds(self, nbytes, *, threads):
+    def assembly_seconds(self, nbytes, *, threads, itemsize=8):
         """Host scatter-add time at dilated sizes."""
-        return self.cpu.assembly_time(self.scaled_bytes(nbytes), threads)
+        return self.cpu.assembly_time(
+            self.scaled_bytes(nbytes, itemsize), threads
+        )
 
-    def gpu_kernel_seconds(self, kind, m=0, n=0, k=0):
+    def gpu_kernel_seconds(self, kind, m=0, n=0, k=0, *, itemsize=8):
         """Device kernel time at dilated dimensions."""
-        return self.gpu.kernel_time(self.scaled_kernel_flops(kind, m, n, k))
+        return self.gpu.kernel_time(
+            self.scaled_kernel_flops(kind, m, n, k),
+            self.gpu_fp_speedup(itemsize),
+        )
 
-    def transfer_seconds(self, nbytes):
+    def transfer_seconds(self, nbytes, itemsize=8):
         """One-way transfer time at dilated sizes."""
-        return self.transfer.time(self.scaled_bytes(nbytes))
+        return self.transfer.time(self.scaled_bytes(nbytes, itemsize))

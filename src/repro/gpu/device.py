@@ -286,22 +286,23 @@ class SimulatedGpu:
         buffer's ``ready`` marks copy completion).  ``ready`` optionally
         delays the copy's start — e.g. a task-DAG ready time; in the
         host-driven issue model the host clock already dominates it."""
-        nbytes = self.machine.scaled_bytes(array.nbytes)
+        itemsize = array.itemsize
+        nbytes = self.machine.scaled_bytes(array.nbytes, itemsize)
         self._alloc(nbytes)
         self._launch()
         done = self.timeline.enqueue_copy(
-            self.machine.transfer_seconds(array.nbytes), ready=ready,
-            direction="h2d", label="h2d", nbytes=nbytes,
+            self.machine.transfer_seconds(array.nbytes, itemsize),
+            ready=ready, direction="h2d", label="h2d", nbytes=nbytes,
         )
         self.stats.h2d_bytes += nbytes
         self.stats.transfers += 1
         return DeviceBuffer(array, nbytes, done)
 
-    def alloc_like(self, shape):
+    def alloc_like(self, shape, dtype=np.float64):
         """Allocate an uninitialised device buffer (e.g. an update matrix)
         backed by a fresh host mirror array."""
-        array = np.zeros(shape, order="F")
-        nbytes = self.machine.scaled_bytes(array.nbytes)
+        array = np.zeros(shape, dtype=dtype, order="F")
+        nbytes = self.machine.scaled_bytes(array.nbytes, array.itemsize)
         self._alloc(nbytes)
         self._launch()
         ready = self.timeline.cpu if self.timeline.coupled else 0.0
@@ -313,11 +314,12 @@ class SimulatedGpu:
         buf._check()
         self._launch()
         raw = raw_nbytes if raw_nbytes is not None else buf.array.nbytes
+        itemsize = buf.array.itemsize
         done = self.timeline.enqueue_copy(
-            self.machine.transfer_seconds(raw), ready=buf.ready,
-            label="d2h", nbytes=self.machine.scaled_bytes(raw),
+            self.machine.transfer_seconds(raw, itemsize), ready=buf.ready,
+            label="d2h", nbytes=self.machine.scaled_bytes(raw, itemsize),
         )
-        self.stats.d2h_bytes += self.machine.scaled_bytes(raw)
+        self.stats.d2h_bytes += self.machine.scaled_bytes(raw, itemsize)
         self.stats.transfers += 1
         return TransferHandle(buf, done)
 
@@ -349,7 +351,9 @@ class SimulatedGpu:
         for b in bufs:
             b._check()
         self._launch()
-        dt = self.machine.gpu_kernel_seconds(kind, m, n, k)
+        dt = self.machine.gpu_kernel_seconds(
+            kind, m, n, k, itemsize=bufs[0].array.itemsize
+        )
         ready = max(b.ready for b in bufs)
         done = self.timeline.enqueue_gpu(dt, ready=ready, label=kind)
         for b in bufs:

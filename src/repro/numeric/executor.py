@@ -1030,7 +1030,9 @@ def warm_executor_plan(symb, granularity):
         _fine_plan(symb)
 
 
-def stream_factorize_job(symb, M, granularity, machine, thread_choices, extra):
+def stream_factorize_job(
+    symb, M, granularity, machine, thread_choices, extra, dtype=None
+):
     """One streaming factorize job: ``(storage, ntasks, roots, run_task,
     finish)`` for a single same-pattern matrix ``M``.
 
@@ -1041,7 +1043,7 @@ def stream_factorize_job(symb, M, granularity, machine, thread_choices, extra):
     :class:`~repro.numeric.result.FactorizeResult` (same report as
     :func:`factorize_executor`).
     """
-    storage = FactorStorage.from_matrix(symb, M)
+    storage = FactorStorage.from_matrix(symb, M, dtype=dtype)
     ntasks, roots, logs, run_task = _matrix_tasks(symb, storage, granularity)
     method = "rl_par" if granularity == "coarse" else "rlb_par"
 
@@ -1061,7 +1063,12 @@ def stream_factorize_job(symb, M, granularity, machine, thread_choices, extra):
 def _replayed_result(method, storage, logs, machine, thread_choices, extra):
     """Replay per-task kernel logs into one deterministic accumulator and
     wrap the modeled-cost report in a :class:`FactorizeResult`."""
-    acc = CpuCostAccumulator(machine, thread_choices, assembly_threads=None)
+    acc = CpuCostAccumulator(
+        machine,
+        thread_choices,
+        assembly_threads=None,
+        itemsize=storage.itemsize,
+    )
     for log in logs:
         log.replay(acc)
     threads, seconds = acc.best()
@@ -1089,6 +1096,7 @@ def factorize_executor(
     thread_choices=CPU_THREAD_CHOICES,
     tracer=None,
     backend=None,
+    dtype=None,
 ):
     """Factorize with the task-DAG runtime (threaded by default).
 
@@ -1117,6 +1125,10 @@ def factorize_executor(
         in-process closures (e.g.
         :class:`~repro.numeric.procpool.ProcessBackend`) instead exposes
         ``factorize_dag`` and the whole job is delegated to it.
+    dtype:
+        Factor precision (``None`` keeps the values' dtype; float32 is the
+        mixed-precision lane).  Bit-identity across worker counts holds in
+        every precision — the committer order is dtype-independent.
     """
     if granularity not in GRANULARITIES:
         raise ValueError(
@@ -1134,9 +1146,10 @@ def factorize_executor(
             machine=machine,
             thread_choices=thread_choices,
             tracer=tracer,
+            dtype=dtype,
         )
     machine = machine or MachineModel()
-    storage = FactorStorage.from_matrix(symb, A)
+    storage = FactorStorage.from_matrix(symb, A, dtype=dtype)
     t0 = time.perf_counter()
     ntasks, roots, logs, run_task = _matrix_tasks(symb, storage, granularity)
     if tracer is not None:
@@ -1168,6 +1181,7 @@ def factorize_executor_batch(
     machine=None,
     thread_choices=CPU_THREAD_CHOICES,
     tracer=None,
+    dtype=None,
 ):
     """Factorize a batch of same-pattern matrices on ONE worker pool.
 
@@ -1209,7 +1223,7 @@ def factorize_executor_batch(
     nbatch = len(matrices)
     if nbatch == 0:
         return []
-    storages = [FactorStorage.from_matrix(symb, A) for A in matrices]
+    storages = [FactorStorage.from_matrix(symb, A, dtype=dtype) for A in matrices]
     t0 = time.perf_counter()
     instances = [_matrix_tasks(symb, st, granularity) for st in storages]
     ntasks = instances[0][0]

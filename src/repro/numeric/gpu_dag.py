@@ -120,6 +120,7 @@ def _coarse_scatter(symb, storage, backend, committer, ready, acc):
     machine = backend.machine
     host = backend.host
     cpu_t = machine.gpu_run_cpu_threads
+    itemsize = storage.itemsize
 
     def scatter(s, U):
         # deterministic per-source order means every run lands exactly as
@@ -134,8 +135,10 @@ def _coarse_scatter(symb, storage, backend, committer, ready, acc):
             fn = _assembly_closure(storage.panel(p), relrows, colpos, U,
                                    k0, k1)
             newly.extend(committer.submit(p, s, fn))
-        host.advance_cpu(machine.assembly_seconds(moved, threads=cpu_t),
-                         label="assembly")
+        host.advance_cpu(
+            machine.assembly_seconds(moved * itemsize / 8.0,
+                                     threads=cpu_t, itemsize=itemsize),
+            label="assembly")
         acc.assembly(moved)
         t = host.cpu
         for p in targets:
@@ -170,7 +173,8 @@ def _coarse_graph(symb, storage, backend, offload, acc, async_panel_d2h):
     expected, roots = _coarse_plan(symb)
     committer = _build_committer(expected)
     bmax = int(np.sqrt(update_workspace_entries(symb))) if symb.nsup else 0
-    W = np.zeros((bmax, bmax), order="F") if bmax else None
+    W = (np.zeros((bmax, bmax), dtype=storage.dtype, order="F")
+         if bmax else None)
     ready = {}  # supernode -> modeled time its inbound updates assembled
     counters = {"on_gpu": 0}
     scatter = _coarse_scatter(symb, storage, backend, committer, ready, acc)
@@ -328,7 +332,8 @@ def _fine_graph(symb, storage, backend, offload, acc, inflight):
 def factorize_gpu_dag(symb, A, *, granularity="coarse", devices=1,
                       machine=None, threshold=None,
                       device_memory=DEFAULT_DEVICE_MEMORY, backend=None,
-                      tracer=None, async_panel_d2h=True, inflight=2):
+                      tracer=None, async_panel_d2h=True, inflight=2,
+                      dtype=None):
     """Factorize on the GPU stream backend, scheduled by the task DAG.
 
     Parameters
@@ -372,9 +377,9 @@ def factorize_gpu_dag(symb, A, *, granularity="coarse", devices=1,
         threshold = (DEFAULT_RL_THRESHOLD if granularity == "coarse"
                      else DEFAULT_RLB_THRESHOLD)
     machine = backend.machine
-    storage = FactorStorage.from_matrix(symb, A)
+    storage = FactorStorage.from_matrix(symb, A, dtype=dtype)
     offload = gpu_snode_mask(symb, threshold, machine=machine)
-    acc = GpuCostAccumulator(machine)
+    acc = GpuCostAccumulator(machine, itemsize=storage.itemsize)
     if granularity == "coarse":
         ntasks, roots, run_task, priority, counters = _coarse_graph(
             symb, storage, backend, offload, acc, async_panel_d2h)
@@ -491,7 +496,7 @@ def factorize_hybrid(symb, A, *, granularity="coarse", workers=None,
                      devices=1, machine=None, threshold=None,
                      device_memory=DEFAULT_DEVICE_MEMORY, backend=None,
                      tracer=None, async_panel_d2h=True, inflight=2,
-                     thread_choices=CPU_THREAD_CHOICES):
+                     thread_choices=CPU_THREAD_CHOICES, dtype=None):
     """Factorize heterogeneously: one task DAG across CPU workers and GPU
     streams (engine names ``rl_hybrid`` / ``rlb_hybrid``).
 
@@ -538,9 +543,9 @@ def factorize_hybrid(symb, A, *, granularity="coarse", workers=None,
                      else DEFAULT_RLB_THRESHOLD)
     machine = backend.machine
     tracer = backend.tracer
-    storage = FactorStorage.from_matrix(symb, A)
+    storage = FactorStorage.from_matrix(symb, A, dtype=dtype)
     offload = gpu_snode_mask(symb, threshold, machine=machine)
-    acc = GpuCostAccumulator(machine)
+    acc = GpuCostAccumulator(machine, itemsize=storage.itemsize)
     if granularity == "coarse":
         ntasks, roots, run_task, priority, placement, counters, logs = \
             _coarse_hybrid_graph(symb, storage, backend, offload, acc,
@@ -577,7 +582,8 @@ def factorize_hybrid(symb, A, *, granularity="coarse", workers=None,
                       placement=placement)
     wall = time.perf_counter() - t0
 
-    cacc = CpuCostAccumulator(machine, thread_choices)
+    cacc = CpuCostAccumulator(machine, thread_choices,
+                              itemsize=storage.itemsize)
     for log in logs:
         log.replay(cacc)
     best_threads, modeled_cpu = cacc.best()

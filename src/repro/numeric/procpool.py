@@ -71,7 +71,7 @@ from multiprocessing.connection import wait as _connection_wait
 
 import numpy as np
 
-from ..dense.kernels import NotPositiveDefiniteError
+from ..dense.kernels import NotPositiveDefiniteError, check_dtype
 from ..gpu.costmodel import CPU_THREAD_CHOICES, MachineModel
 from ..symbolic.relind import assembly_plan
 from .blas_limits import pinned_blas_env, process_worker_main
@@ -97,7 +97,6 @@ __all__ = [
     "close_default_pools",
 ]
 
-_ITEMSIZE = 8  # float64
 _WATCHDOG_S = 120.0  # give up on a silent worker after this long
 _PREFETCH = 2  # tasks in flight per worker (hides pipe round trips)
 _SHM_COUNTER = itertools.count()
@@ -119,11 +118,13 @@ def _resolve_start_method(start_method):
 # Shared layouts & deferred-commit plans (memoised on the symbolic factor;
 # computed identically — and independently — by the parent and every worker)
 # ---------------------------------------------------------------------------
-def _panel_layout(symb):
-    """Byte offset of each supernode's F-order ``(m, w)`` float64 panel in
-    the panels arena, plus the arena's total size."""
+def _panel_layout(symb, itemsize=8):
+    """Byte offset of each supernode's F-order ``(m, w)`` panel in the
+    panels arena at ``itemsize`` bytes/entry, plus the arena's total
+    size."""
     cache = symb.cache()
-    got = cache.get("procpool_panel_layout")
+    key = f"procpool_panel_layout_{itemsize}"
+    got = cache.get(key)
     if got is not None:
         return got
     offsets = []
@@ -131,21 +132,22 @@ def _panel_layout(symb):
     for s in range(symb.nsup):
         m, w = symb.panel_shape(s)
         offsets.append(total)
-        total += m * w * _ITEMSIZE
+        total += m * w * itemsize
     got = (tuple(offsets), total)
-    cache["procpool_panel_layout"] = got
+    cache[key] = got
     return got
 
 
-def _scratch_layout(symb, granularity):
-    """Per-slot ``(offset, shape)`` of the deferred-update scratch arena.
+def _scratch_layout(symb, granularity, itemsize=8):
+    """Per-slot ``(offset, shape)`` of the deferred-update scratch arena
+    at ``itemsize`` bytes/entry.
 
     Coarse: one ``(b_s, b_s)`` slot per supernode (its RL update matrix).
     Fine: one slot per block pair — ``(len(B_i), len(B_i))`` for a
     diagonal pair, ``(len(B_j), len(B_i))`` otherwise.
     """
     cache = symb.cache()
-    key = "procpool_scratch_" + granularity
+    key = f"procpool_scratch_{granularity}_{itemsize}"
     got = cache.get(key)
     if got is not None:
         return got
@@ -158,7 +160,7 @@ def _scratch_layout(symb, granularity):
             b = m - w
             offsets.append(total)
             shapes.append((b, b))
-            total += b * b * _ITEMSIZE
+            total += b * b * itemsize
     else:
         pairs, _, _, _ = _fine_plan(symb)
         for _, bi, bj in pairs:
@@ -166,7 +168,7 @@ def _scratch_layout(symb, granularity):
                      else (bj.length, bi.length))
             offsets.append(total)
             shapes.append(shape)
-            total += shape[0] * shape[1] * _ITEMSIZE
+            total += shape[0] * shape[1] * itemsize
     got = (tuple(offsets), tuple(shapes), total)
     cache[key] = got
     return got
@@ -231,27 +233,29 @@ def _deferred_fine(symb):
     return got
 
 
-def _panel_views(symb, buf):
+def _panel_views(symb, buf, dtype=np.float64):
     """Per-supernode panel views over a panels-arena buffer."""
-    offsets, _ = _panel_layout(symb)
+    dt = np.dtype(dtype)
+    offsets, _ = _panel_layout(symb, dt.itemsize)
     views = []
     for s in range(symb.nsup):
         m, w = symb.panel_shape(s)
-        views.append(np.ndarray((m, w), dtype=np.float64, buffer=buf,
+        views.append(np.ndarray((m, w), dtype=dt, buffer=buf,
                                 offset=offsets[s], order="F"))
     return views
 
 
-def _scratch_views(symb, granularity, buf):
+def _scratch_views(symb, granularity, buf, dtype=np.float64):
     """Per-slot update-matrix views over a scratch-arena buffer (``None``
     for empty slots — supernodes with no below-diagonal rows)."""
-    offsets, shapes, _ = _scratch_layout(symb, granularity)
+    dt = np.dtype(dtype)
+    offsets, shapes, _ = _scratch_layout(symb, granularity, dt.itemsize)
     views = []
     for off, shape in zip(offsets, shapes):
         if shape[0] == 0 or shape[1] == 0:
             views.append(None)
             continue
-        views.append(np.ndarray(shape, dtype=np.float64, buffer=buf,
+        views.append(np.ndarray(shape, dtype=dt, buffer=buf,
                                 offset=off, order="F"))
     return views
 
@@ -287,14 +291,18 @@ class _WorkerState:
     """One warmed pattern inside a worker process: shared-memory views plus
     the locally rebuilt deferred-commit plan."""
 
-    def __init__(self, symb, granularity, panels_name, scratch_name):
+    def __init__(self, symb, granularity, panels_name, scratch_name,
+                 dtype=np.float64):
         self.symb = symb
         self.granularity = granularity
         self.nsup = symb.nsup
         self.panels_shm = _attach_shm(panels_name)
         self.scratch_shm = _attach_shm(scratch_name)
-        self.storage = FactorStorage(symb, _panel_views(symb, self.panels_shm.buf))
-        self.scratch = _scratch_views(symb, granularity, self.scratch_shm.buf)
+        self.storage = FactorStorage(
+            symb, _panel_views(symb, self.panels_shm.buf, dtype)
+        )
+        self.scratch = _scratch_views(symb, granularity,
+                                      self.scratch_shm.buf, dtype)
         if granularity == "coarse":
             self.incoming, self.out_nbytes, _, _ = _deferred_coarse(symb)
             self.pairs = None
@@ -383,10 +391,12 @@ def _worker_loop(conn, worker_index):
                 events = None
                 spans = None
             elif cmd == "warm":
-                _, key, blob, granularity, panels_name, scratch_name = msg
+                (_, key, blob, granularity, panels_name, scratch_name,
+                 dtype_name) = msg
                 symb = pickle.loads(blob)
                 states[key] = _WorkerState(symb, granularity, panels_name,
-                                           scratch_name)
+                                           scratch_name,
+                                           np.dtype(dtype_name))
                 conn.send(("warmed", key))
             elif cmd == "close":
                 break
@@ -409,16 +419,18 @@ class _WarmEntry:
     """Parent-side record of one warmed pattern: the arenas it owns plus
     the scheduler's DAG edges."""
 
-    __slots__ = ("key", "wkey", "symb", "granularity", "panels_shm",
+    __slots__ = ("key", "wkey", "symb", "granularity", "dtype", "panels_shm",
                  "scratch_shm", "children", "indeg", "ntasks")
 
-    def __init__(self, key, symb, granularity):
+    def __init__(self, key, symb, granularity, dtype=np.float64):
         self.key = key
-        self.wkey = f"{id(symb):x}:{granularity}"
+        self.dtype = np.dtype(dtype)
+        self.wkey = f"{id(symb):x}:{granularity}:{self.dtype.name}"
         self.symb = symb
         self.granularity = granularity
-        _, panel_total = _panel_layout(symb)
-        _, _, scratch_total = _scratch_layout(symb, granularity)
+        itemsize = self.dtype.itemsize
+        _, panel_total = _panel_layout(symb, itemsize)
+        _, _, scratch_total = _scratch_layout(symb, granularity, itemsize)
         self.panels_shm = _create_shm(panel_total)
         self.scratch_shm = _create_shm(scratch_total)
         if granularity == "coarse":
@@ -542,17 +554,20 @@ class ProcessPool:
                     "timed out waiting for a process backend worker"
                 )
 
-    def _warm_entry(self, symb, granularity):
-        key = (id(symb), granularity)  # entry keeps symb alive, id is stable
+    def _warm_entry(self, symb, granularity, dtype=np.float64):
+        dtype = np.dtype(dtype)
+        # entry keeps symb alive, id is stable
+        key = (id(symb), granularity, dtype)
         entry = self._warm.get(key)
         if entry is not None:
             return entry
-        entry = _WarmEntry(key, symb, granularity)
+        entry = _WarmEntry(key, symb, granularity, dtype)
         blob = pickle.dumps(dataclasses.replace(symb, _cache=None))
         try:
             for conn in self._conns:
                 conn.send(("warm", entry.wkey, blob, granularity,
-                           entry.panels_shm.name, entry.scratch_shm.name))
+                           entry.panels_shm.name, entry.scratch_shm.name,
+                           dtype.name))
             for conn in self._conns:
                 msg = self._recv(conn)
                 if msg[0] != "warmed" or msg[1] != entry.wkey:
@@ -567,24 +582,30 @@ class ProcessPool:
 
     def _scatter(self, entry, A):
         """Scatter ``A``'s values into the shared panels arena (the
-        :class:`FactorStorage.from_matrix` hot path, writing into shm)."""
+        :class:`FactorStorage.from_matrix` hot path, writing into shm).
+        Assigning fp64 values into fp32 views rounds exactly like the
+        explicit ``astype`` downcast, so fp32 arenas start bit-identical
+        to an fp32 :meth:`FactorStorage.from_matrix`."""
         plan = ScatterPlan.get(entry.symb, A)
         data, seg, dst = A.data, plan.seg, plan.dst
-        for s, view in enumerate(_panel_views(entry.symb, entry.panels_shm.buf)):
+        views = _panel_views(entry.symb, entry.panels_shm.buf, entry.dtype)
+        for s, view in enumerate(views):
             flat = view.reshape(-1, order="F")
             flat[:] = 0.0
             flat[dst[seg[s]:seg[s + 1]]] = data[seg[s]:seg[s + 1]]
 
     # ------------------------------------------------------------------
-    def run_job(self, symb, A, granularity, *, tracer=None):
+    def run_job(self, symb, A, granularity, *, tracer=None, dtype=None):
         """Factorize one matrix on the pool.  Returns ``(storage, logs,
         wall_seconds, ntasks)`` with ``storage`` a fresh (non-shared)
         :class:`FactorStorage` and ``logs`` the per-task kernel logs in
         task-id order (for :func:`executor._replayed_result`)."""
+        dt = check_dtype(A.data.dtype if dtype is None else dtype,
+                         context="storage")
         with self._lock:
             if self._closed:
                 raise RuntimeError("process pool is closed")
-            entry = self._warm_entry(symb, granularity)
+            entry = self._warm_entry(symb, granularity, dt)
             self._scatter(entry, A)
             return self._drain(entry, tracer)
 
@@ -665,7 +686,8 @@ class ProcessPool:
             log.events = all_events.get(tid, [])
             logs.append(log)
         panels = [np.array(view, order="F")
-                  for view in _panel_views(entry.symb, entry.panels_shm.buf)]
+                  for view in _panel_views(entry.symb, entry.panels_shm.buf,
+                                           entry.dtype)]
         storage = FactorStorage(entry.symb, panels)
         if tracer is not None:
             label_of = _task_label_fn(entry.symb, entry.granularity)
@@ -753,7 +775,7 @@ atexit.register(close_default_pools)
 def factorize_process(symb, A, *, granularity="coarse", workers=None,
                       start_method=None, machine=None,
                       thread_choices=CPU_THREAD_CHOICES, tracer=None,
-                      pool=None):
+                      pool=None, dtype=None):
     """Factorize with the task-DAG runtime on a worker-*process* pool
     (engines ``rl_proc`` / ``rlb_proc``).
 
@@ -781,7 +803,7 @@ def factorize_process(symb, A, *, granularity="coarse", workers=None,
         pool = default_process_pool(workers, start_method)
     machine = machine or MachineModel()
     storage, logs, wall, ntasks = pool.run_job(symb, A, granularity,
-                                               tracer=tracer)
+                                               tracer=tracer, dtype=dtype)
     return _replayed_result(
         "rl_proc" if granularity == "coarse" else "rlb_proc",
         storage,
@@ -836,10 +858,12 @@ class ProcessBackend(Backend):
         )
 
     def factorize_dag(self, symb, A, *, granularity, machine=None,
-                      thread_choices=CPU_THREAD_CHOICES, tracer=None):
+                      thread_choices=CPU_THREAD_CHOICES, tracer=None,
+                      dtype=None):
         """Run one factorization DAG on the pool (the delegation hook
         :func:`factorize_executor` uses for pickle-free backends)."""
         return factorize_process(
             symb, A, granularity=granularity, machine=machine,
             thread_choices=thread_choices, tracer=tracer, pool=self.pool,
+            dtype=dtype,
         )

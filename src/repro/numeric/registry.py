@@ -84,7 +84,11 @@ class EngineSpec:
     ``fn(symb, A, **fixed, **user_kwargs)`` runs the engine; ``kind`` is
     ``"cpu"`` | ``"threaded"`` | ``"gpu"`` (see module docstring);
     ``granularity`` is set for threaded engines only and names the task-DAG
-    granularity the executor uses for it.
+    granularity the executor uses for it.  ``supports_dtype`` marks the
+    engines whose callable accepts a ``dtype=`` keyword (the RL/RLB
+    families' mixed-precision lane; see :doc:`docs/precision`) — the staged
+    API rejects ``dtype=np.float32`` for engines without it rather than
+    passing an unknown keyword through.
     """
 
     name: str
@@ -93,6 +97,7 @@ class EngineSpec:
     fixed: dict = field(default_factory=dict)
     granularity: str | None = None
     description: str = ""
+    supports_dtype: bool = False
 
     @property
     def is_gpu(self) -> bool:
@@ -115,53 +120,65 @@ class EngineSpec:
         return self.kind == "process"
 
 
-def _spec(name, fn, kind, fixed=None, granularity=None, description=""):
+def _spec(name, fn, kind, fixed=None, granularity=None, description="",
+          supports_dtype=False):
     return EngineSpec(name=name, fn=fn, kind=kind, fixed=dict(fixed or {}),
-                      granularity=granularity, description=description)
+                      granularity=granularity, description=description,
+                      supports_dtype=supports_dtype)
 
 
 #: Engine name -> :class:`EngineSpec`; the single source of truth.
 ENGINES = {
     spec.name: spec
     for spec in (
-        _spec("rl", factorize_rl_cpu, "cpu",
+        _spec("rl", factorize_rl_cpu, "cpu", supports_dtype=True,
               description="right-looking, full update matrix (serial)"),
-        _spec("rlb", factorize_rlb_cpu, "cpu",
+        _spec("rlb", factorize_rlb_cpu, "cpu", supports_dtype=True,
               description="right-looking blocked, in-place updates (serial)"),
         _spec("rl_par", factorize_executor, "threaded",
               fixed={"granularity": "coarse"}, granularity="coarse",
+              supports_dtype=True,
               description="threaded task-DAG, one task per supernode"),
         _spec("rlb_par", factorize_executor, "threaded",
               fixed={"granularity": "fine"}, granularity="fine",
+              supports_dtype=True,
               description="threaded task-DAG, one task per block pair"),
-        _spec("rl_gpu", factorize_rl_gpu, "gpu",
+        _spec("rl_gpu", factorize_rl_gpu, "gpu", supports_dtype=True,
               description="RL with large-supernode GPU offload"),
         _spec("rlb_gpu_v1", factorize_rlb_gpu, "gpu", fixed={"version": 1},
+              supports_dtype=True,
               description="blocked GPU offload, per-pair transfers"),
         _spec("rlb_gpu_v2", factorize_rlb_gpu, "gpu", fixed={"version": 2},
+              supports_dtype=True,
               description="blocked GPU offload, batched transfers"),
         _spec("rl_gpu_dag", factorize_gpu_dag, "stream",
               fixed={"granularity": "coarse"}, granularity="coarse",
+              supports_dtype=True,
               description="RL offload pipeline scheduled by the task DAG "
                           "on simulated-GPU streams (devices=N)"),
         _spec("rlb_gpu_dag", factorize_gpu_dag, "stream",
               fixed={"granularity": "fine"}, granularity="fine",
+              supports_dtype=True,
               description="RLB v2 per-pair pipeline scheduled by the task "
                           "DAG on simulated-GPU streams (devices=N)"),
         _spec("rl_proc", factorize_process, "process",
               fixed={"granularity": "coarse"}, granularity="coarse",
+              supports_dtype=True,
               description="multiprocess coarse DAG over shared-memory "
                           "panels (escapes the GIL; workers=N processes)"),
         _spec("rlb_proc", factorize_process, "process",
               fixed={"granularity": "fine"}, granularity="fine",
+              supports_dtype=True,
               description="multiprocess fine DAG over shared-memory "
                           "panels (escapes the GIL; workers=N processes)"),
         _spec("rl_hybrid", factorize_hybrid, "hybrid",
               fixed={"granularity": "coarse"}, granularity="coarse",
+              supports_dtype=True,
               description="heterogeneous coarse DAG: small supernodes on "
                           "CPU worker threads, large ones on GPU streams"),
         _spec("rlb_hybrid", factorize_hybrid, "hybrid",
               fixed={"granularity": "fine"}, granularity="fine",
+              supports_dtype=True,
               description="heterogeneous fine DAG: small supernodes' block "
                           "pairs on CPU workers, large ones on GPU streams"),
         _spec("left_looking", factorize_left_looking, "cpu",

@@ -24,13 +24,21 @@ class CpuCostAccumulator:
     ``None`` (default) charges it OpenMP-parallel at each configuration's
     thread count (the paper parallelizes assembly loops with OpenMP); an
     integer pins a fixed thread count.
+
+    ``itemsize`` is the factor's element size (8 for fp64, 4 for fp32):
+    kernels are charged at the single-precision BLAS rate and assembly
+    traffic at half the bytes when the factor is fp32.  Callers report
+    assembly in *fp64-normalized* bytes (the symbolic plans' 8-bytes/entry
+    convention); the accumulator rescales to actual bytes.
     """
 
     def __init__(self, machine: MachineModel,
-                 thread_choices=CPU_THREAD_CHOICES, *, assembly_threads=None):
+                 thread_choices=CPU_THREAD_CHOICES, *, assembly_threads=None,
+                 itemsize=8):
         self.machine = machine
         self.times = {t: 0.0 for t in thread_choices}
         self.assembly_threads = assembly_threads
+        self.itemsize = int(itemsize)
         self.kernel_count = 0
         self.flops = 0.0
         self.assembly_bytes = 0
@@ -42,12 +50,15 @@ class CpuCostAccumulator:
         self.flops += f
         self.kernel_count += 1
         cpu = self.machine.cpu
+        speedup = self.machine.cpu_fp_speedup(self.itemsize)
         for t in self.times:
-            self.times[t] += cpu.kernel_time(f, t)
+            self.times[t] += cpu.kernel_time(f, t, speedup)
 
     def assembly(self, nbytes):
-        """Charge a scatter-add moving ``nbytes`` (raw; dilated inside)."""
-        scaled = self.machine.scaled_bytes(nbytes)
+        """Charge a scatter-add moving ``nbytes`` (fp64-normalized raw
+        bytes; rescaled to the factor's itemsize and dilated inside)."""
+        actual = nbytes * self.itemsize / 8.0
+        scaled = self.machine.scaled_bytes(actual, self.itemsize)
         self.assembly_bytes += scaled
         cpu = self.machine.cpu
         for t in self.times:
@@ -75,10 +86,12 @@ class GpuCostAccumulator:
     per-supernode task bodies accept either.
     """
 
-    __slots__ = ("machine", "flops", "kernel_count", "assembly_bytes")
+    __slots__ = ("machine", "flops", "kernel_count", "assembly_bytes",
+                 "itemsize")
 
-    def __init__(self, machine: MachineModel):
+    def __init__(self, machine: MachineModel, *, itemsize=8):
         self.machine = machine
+        self.itemsize = int(itemsize)
         self.flops = 0.0
         self.kernel_count = 0
         self.assembly_bytes = 0.0
@@ -89,8 +102,11 @@ class GpuCostAccumulator:
         self.kernel_count += 1
 
     def assembly(self, nbytes):
-        """Count a scatter-add of ``nbytes`` (raw; dilated inside)."""
-        self.assembly_bytes += self.machine.scaled_bytes(nbytes)
+        """Count a scatter-add of ``nbytes`` (fp64-normalized raw bytes;
+        rescaled to the factor's itemsize and dilated inside)."""
+        actual = nbytes * self.itemsize / 8.0
+        self.assembly_bytes += self.machine.scaled_bytes(actual,
+                                                         self.itemsize)
 
 
 @dataclass

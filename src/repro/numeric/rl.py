@@ -84,7 +84,8 @@ def snode_update(symb, storage, s, W=None, acc=None):
     b = m - w
     if not b:
         return None
-    U = W[:b, :b] if W is not None else np.zeros((b, b), order="F")
+    U = (W[:b, :b] if W is not None
+         else np.zeros((b, b), dtype=panel.dtype, order="F"))
     dk.syrk_lower(panel[w:, :w], out=U)
     if acc is not None:
         acc.kernel("syrk", n=b, k=w)
@@ -112,18 +113,21 @@ def assemble_update(symb, storage, s, U):
 
 
 def factorize_rl_cpu(symb, A, *, machine=None,
-                     thread_choices=CPU_THREAD_CHOICES):
+                     thread_choices=CPU_THREAD_CHOICES, dtype=None):
     """CPU-only RL factorization.
 
     Numerics run once; modeled time is accumulated for every MKL thread
     count in ``thread_choices`` and the best is reported (the paper's CPU
     baseline protocol; assembly loops are OpenMP-parallel, §III).
+    ``dtype`` selects the factor precision (``None`` keeps the values').
     """
     machine = machine or MachineModel()
-    storage = FactorStorage.from_matrix(symb, A)
-    acc = CpuCostAccumulator(machine, thread_choices, assembly_threads=None)
+    storage = FactorStorage.from_matrix(symb, A, dtype=dtype)
+    acc = CpuCostAccumulator(machine, thread_choices, assembly_threads=None,
+                             itemsize=storage.itemsize)
     bmax = int(np.sqrt(update_workspace_entries(symb))) if symb.nsup else 0
-    W = np.zeros((bmax, bmax), order="F") if bmax else None
+    W = (np.zeros((bmax, bmax), dtype=storage.dtype, order="F")
+         if bmax else None)
     for s in range(symb.nsup):
         _, _, b = factor_snode(symb, storage, s, acc=acc)
         if b:

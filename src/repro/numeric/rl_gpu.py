@@ -56,22 +56,26 @@ def rl_cpu_snode(symb, storage, s, machine, timeline, cpu_t, W, scatter,
     panel = storage.panel(s)
     m, w = symb.panel_shape(s)
     b = m - w
+    isz = panel.itemsize
     dk.potrf(panel[:w, :w])
     timeline.advance_cpu(
-        machine.cpu_kernel_seconds("potrf", n=w, threads=cpu_t),
+        machine.cpu_kernel_seconds("potrf", n=w, threads=cpu_t,
+                                   itemsize=isz),
         label="cpu_blas")
     acc.kernel("potrf", n=w)
     if not b:
         return ()
     dk.trsm_right(panel[w:, :w], panel[:w, :w])
     timeline.advance_cpu(
-        machine.cpu_kernel_seconds("trsm", m=b, n=w, threads=cpu_t),
+        machine.cpu_kernel_seconds("trsm", m=b, n=w, threads=cpu_t,
+                                   itemsize=isz),
         label="cpu_blas")
     acc.kernel("trsm", m=b, n=w)
     U = W[:b, :b]
     dk.syrk_lower(panel[w:, :w], out=U)
     timeline.advance_cpu(
-        machine.cpu_kernel_seconds("syrk", n=b, k=w, threads=cpu_t),
+        machine.cpu_kernel_seconds("syrk", n=b, k=w, threads=cpu_t,
+                                   itemsize=isz),
         label="cpu_blas")
     acc.kernel("syrk", n=b, k=w)
     return scatter(s, U)
@@ -107,7 +111,8 @@ def rl_gpu_snode(symb, storage, s, gpu, scatter, acc, *,
         gpu.wait(panel_back, keep_on_device=True)
     newly = ()
     if b:
-        ubuf = gpu.alloc_like((b, b))  # may raise DeviceOutOfMemory
+        # may raise DeviceOutOfMemory
+        ubuf = gpu.alloc_like((b, b), dtype=panel.dtype)
         gpu.syrk(dbuf, ubuf, panel[w:, :w], ubuf.array)
         acc.kernel("syrk", n=b, k=w)
         gpu.d2h(ubuf)  # blocking: assembly needs the update matrix
@@ -121,7 +126,7 @@ def rl_gpu_snode(symb, storage, s, gpu, scatter, acc, *,
 def factorize_rl_gpu(symb, A, *, machine=None,
                      threshold=DEFAULT_RL_THRESHOLD,
                      device_memory=DEFAULT_DEVICE_MEMORY,
-                     device=None, async_panel_d2h=True):
+                     device=None, async_panel_d2h=True, dtype=None):
     """RL with large supernodes offloaded to the (simulated) GPU.
 
     Raises :class:`~repro.gpu.device.DeviceOutOfMemory` when a panel or
@@ -140,17 +145,21 @@ def factorize_rl_gpu(symb, A, *, machine=None,
                                  timeline=Timeline())
     timeline = gpu.timeline
     cpu_t = machine.gpu_run_cpu_threads
-    storage = FactorStorage.from_matrix(symb, A)
+    storage = FactorStorage.from_matrix(symb, A, dtype=dtype)
+    itemsize = storage.itemsize
     bmax = int(np.sqrt(update_workspace_entries(symb))) if symb.nsup else 0
-    W = np.zeros((bmax, bmax), order="F") if bmax else None
+    W = (np.zeros((bmax, bmax), dtype=storage.dtype, order="F")
+         if bmax else None)
     offload = gpu_snode_mask(symb, threshold, machine=machine)
-    acc = GpuCostAccumulator(machine)
+    acc = GpuCostAccumulator(machine, itemsize=itemsize)
 
     def scatter(s, U):
         # serial assembly: one scatter pass over every ancestor run
+        # (``moved`` is fp64-normalized; rescale to actual bytes)
         moved = assemble_update(symb, storage, s, U)
         timeline.advance_cpu(
-            machine.assembly_seconds(moved, threads=cpu_t),
+            machine.assembly_seconds(moved * itemsize / 8.0,
+                                     threads=cpu_t, itemsize=itemsize),
             label="assembly")
         acc.assembly(moved)
         return ()

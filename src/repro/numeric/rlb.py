@@ -109,16 +109,18 @@ def apply_block_pair(symb, storage, panel, w, bi, bj):
 
 
 def factorize_rlb_cpu(symb, A, *, machine=None,
-                      thread_choices=CPU_THREAD_CHOICES):
+                      thread_choices=CPU_THREAD_CHOICES, dtype=None):
     """CPU-only RLB factorization (direct in-place updates, no assembly).
 
     As with RL, numerics run once and modeled time is tracked for all MKL
     thread counts; RLB's cost profile differs from RL's by many smaller
     BLAS calls and the absence of the assembly pass.
+    ``dtype`` selects the factor precision (``None`` keeps the values').
     """
     machine = machine or MachineModel()
-    storage = FactorStorage.from_matrix(symb, A)
-    acc = CpuCostAccumulator(machine, thread_choices, assembly_threads=None)
+    storage = FactorStorage.from_matrix(symb, A, dtype=dtype)
+    acc = CpuCostAccumulator(machine, thread_choices, assembly_threads=None,
+                             itemsize=storage.itemsize)
     total_pairs = 0
     for s in range(symb.nsup):
         panel, w, b = factor_snode(symb, storage, s, acc=acc)

@@ -69,15 +69,18 @@ def rlb_cpu_factor(symb, storage, s, machine, timeline, cpu_t, acc):
     panel = storage.panel(s)
     m, w = symb.panel_shape(s)
     b = m - w
+    isz = panel.itemsize
     dk.potrf(panel[:w, :w])
     timeline.advance_cpu(
-        machine.cpu_kernel_seconds("potrf", n=w, threads=cpu_t),
+        machine.cpu_kernel_seconds("potrf", n=w, threads=cpu_t,
+                                   itemsize=isz),
         label="cpu_blas")
     acc.kernel("potrf", n=w)
     if b:
         dk.trsm_right(panel[w:, :w], panel[:w, :w])
         timeline.advance_cpu(
-            machine.cpu_kernel_seconds("trsm", m=b, n=w, threads=cpu_t),
+            machine.cpu_kernel_seconds("trsm", m=b, n=w, threads=cpu_t,
+                                       itemsize=isz),
             label="cpu_blas")
         acc.kernel("trsm", m=b, n=w)
     return panel, w, b
@@ -94,7 +97,8 @@ def rlb_cpu_pair(panel, w, bi, bj, machine, timeline, cpu_t, acc):
     else:
         kind, km, kn, kk = "gemm", bj.length, bi.length, w
     timeline.advance_cpu(
-        machine.cpu_kernel_seconds(kind, m=km, n=kn, k=kk, threads=cpu_t),
+        machine.cpu_kernel_seconds(kind, m=km, n=kn, k=kk, threads=cpu_t,
+                                   itemsize=panel.itemsize),
         label="cpu_blas")
     acc.kernel(kind, km, kn, kk)
     return u
@@ -123,7 +127,7 @@ def rlb_gpu_pair(gpu, dbuf, panel, w, bi, bj, acc):
     :class:`~repro.gpu.device.DeviceOutOfMemory`) and run its DSYRK/DGEMM
     on the compute stream.  Returns the device buffer; the caller starts
     its D2H."""
-    ubuf = gpu.alloc_like((bj.length, bi.length))
+    ubuf = gpu.alloc_like((bj.length, bi.length), dtype=panel.dtype)
     rows_i = panel[bi.panel_start:bi.panel_start + bi.length, :w]
     if bj is bi:
         gpu.syrk(dbuf, ubuf, rows_i, ubuf.array)
@@ -143,10 +147,12 @@ def rlb_drain_pair(gpu, machine, cpu_t, acc, item, commit):
     handle, ubuf, bi, bj = item
     gpu.wait(handle)
     newly = commit(bi, bj, ubuf.array)
-    moved = 2 * 8 * bi.length * bj.length
+    isz = ubuf.array.itemsize
+    moved = 2 * isz * bi.length * bj.length
     gpu.timeline.advance_cpu(
-        machine.assembly_seconds(moved, threads=cpu_t), label="assembly")
-    acc.assembly(moved)
+        machine.assembly_seconds(moved, threads=cpu_t, itemsize=isz),
+        label="assembly")
+    acc.assembly(2 * 8 * bi.length * bj.length)
     gpu.free(ubuf)
     return newly
 
@@ -154,7 +160,7 @@ def rlb_drain_pair(gpu, machine, cpu_t, acc, item, commit):
 def factorize_rlb_gpu(symb, A, *, version=2, machine=None,
                       threshold=DEFAULT_RLB_THRESHOLD,
                       device_memory=DEFAULT_DEVICE_MEMORY,
-                      device=None, inflight=2):
+                      device=None, inflight=2, dtype=None):
     """RLB with large supernodes offloaded to the (simulated) GPU.
 
     Parameters
@@ -175,9 +181,10 @@ def factorize_rlb_gpu(symb, A, *, version=2, machine=None,
                                  timeline=Timeline())
     timeline = gpu.timeline
     cpu_t = machine.gpu_run_cpu_threads
-    storage = FactorStorage.from_matrix(symb, A)
+    storage = FactorStorage.from_matrix(symb, A, dtype=dtype)
+    itemsize = storage.itemsize
     offload = gpu_snode_mask(symb, threshold, machine=machine)
-    acc = GpuCostAccumulator(machine)
+    acc = GpuCostAccumulator(machine, itemsize=itemsize)
 
     def commit_direct(bi, bj, u):
         _apply_pair_result(symb, storage, u, bi, bj)
@@ -214,17 +221,20 @@ def factorize_rlb_gpu(symb, A, *, version=2, machine=None,
                 raw_total = sum(u.array.nbytes for u in bufs)
                 timeline.advance_cpu(gpu.launch_overhead_s)
                 done = timeline.enqueue_copy(
-                    machine.transfer_seconds(raw_total),
+                    machine.transfer_seconds(raw_total, itemsize),
                     ready=max(u.ready for u in bufs),
                 )
-                gpu.stats.d2h_bytes += machine.scaled_bytes(raw_total)
+                gpu.stats.d2h_bytes += machine.scaled_bytes(raw_total,
+                                                            itemsize)
                 gpu.stats.transfers += 1
                 timeline.wait_cpu_until(done)
                 for ubuf, (bi, bj) in zip(bufs, pairs):
                     moved = _apply_pair_result(
                         symb, storage, ubuf.array, bi, bj)
                     timeline.advance_cpu(
-                        machine.assembly_seconds(moved, threads=cpu_t),
+                        machine.assembly_seconds(moved * itemsize / 8.0,
+                                                 threads=cpu_t,
+                                                 itemsize=itemsize),
                         label="assembly")
                     acc.assembly(moved)
                     gpu.free(ubuf)

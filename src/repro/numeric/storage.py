@@ -14,11 +14,23 @@ every stored entry of ``A`` to a flat position inside its supernode panel.
 The plan is memoised on the symbolic factor, so same-pattern refactorization
 (:meth:`repro.solve.driver.CholeskySolver.refactorize`) does no index work
 at all — only a bulk value scatter per panel.
+
+Precision
+---------
+Panels default to float64 but may be allocated and scattered in float32
+(``dtype=np.float32``) — the mixed-precision lane that the refinement graphs
+recover to fp64 accuracy.  The values dtype is *validated*, never silently
+converted: complex, float16 and friends raise
+:class:`~repro.dense.kernels.UnsupportedDtypeError`.  The only sanctioned
+conversion is the explicit fp64→fp32 downcast when a caller requests
+``dtype=np.float32`` for float64 values (and the symmetric upcast).
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..dense.kernels import check_dtype
 
 __all__ = ["FactorStorage", "ScatterPlan"]
 
@@ -38,6 +50,7 @@ class ScatterPlan:
     def __init__(self, symb, A):
         if A.n != symb.n:
             raise ValueError("matrix/symbolic dimension mismatch")
+        check_dtype(A.data.dtype)
         n = symb.n
         cols = np.repeat(np.arange(n, dtype=np.int64), np.diff(A.indptr))
         s_of = symb.col2sn[cols]
@@ -90,35 +103,54 @@ class FactorStorage:
         self.panels = panels
 
     @classmethod
-    def from_matrix(cls, symb, A, *, plan=None):
+    def from_matrix(cls, symb, A, *, plan=None, dtype=None):
         """Initialise panels from the permuted matrix ``A`` (which must be
         the matrix the symbolic factorization was computed for).
 
         The positional scatter is driven by a :class:`ScatterPlan` cached on
         ``symb`` (pass ``plan`` explicitly to bypass the cache), so repeated
         same-pattern calls perform only one bulk value assignment per panel.
+
+        ``dtype`` selects the panel precision; ``None`` keeps the values'
+        own (validated) dtype.  An explicit ``dtype`` different from the
+        values' is the one sanctioned conversion (e.g. fp64 values into
+        fp32 panels for the mixed-precision lane).
         """
         if A.n != symb.n:
             raise ValueError("matrix/symbolic dimension mismatch")
+        data_dtype = check_dtype(A.data.dtype)
+        dt = data_dtype if dtype is None else check_dtype(dtype,
+                                                         context="storage")
         if plan is None:
             plan = ScatterPlan.get(symb, A)
-        data = A.data
+        data = A.data if dt == data_dtype else A.data.astype(dt)
         seg = plan.seg
         dst = plan.dst
         panels = []
         for s in range(symb.nsup):
             m, w = symb.panel_shape(s)
-            flat = np.zeros(m * w)
+            flat = np.zeros(m * w, dtype=dt)
             flat[dst[seg[s]:seg[s + 1]]] = data[seg[s]:seg[s + 1]]
             panels.append(flat.reshape((m, w), order="F"))
         return cls(symb, panels)
 
     @classmethod
-    def zeros(cls, symb):
+    def zeros(cls, symb, dtype=np.float64):
         """All-zero storage with the symbolic layout (workspace/testing)."""
-        panels = [np.zeros(symb.panel_shape(s), order="F")
+        dt = check_dtype(dtype, context="storage")
+        panels = [np.zeros(symb.panel_shape(s), dtype=dt, order="F")
                   for s in range(symb.nsup)]
         return cls(symb, panels)
+
+    @property
+    def dtype(self):
+        """The panels' dtype (float64 unless the factor is fp32)."""
+        return self.panels[0].dtype if self.panels else np.dtype(np.float64)
+
+    @property
+    def itemsize(self):
+        """Bytes per stored entry (8 for fp64 panels, 4 for fp32)."""
+        return self.dtype.itemsize
 
     def panel(self, s):
         """The dense panel of supernode ``s``."""

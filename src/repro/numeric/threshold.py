@@ -24,7 +24,9 @@ __all__ = [
     "DEFAULT_RL_THRESHOLD",
     "DEFAULT_RLB_THRESHOLD",
     "DEFAULT_DEVICE_MEMORY",
+    "DEFAULT_STALL_RATIO",
     "gpu_snode_mask",
+    "refinement_stalled",
     "scaled_panel_entries_array",
 ]
 
@@ -49,6 +51,38 @@ DEFAULT_RLB_THRESHOLD = 600_000
 #: nlpkkt120 surrogate's RL panel+update working set, while RLB version 2
 #: still factorizes it.
 DEFAULT_DEVICE_MEMORY = 400 * 1024 * 1024
+
+#: Contraction-ratio cutoff for declaring iterative refinement *stalled*.
+#: Refinement on a backward-stable reduced-precision factor contracts the
+#: residual by roughly ``cond(A) · eps_low`` per step; a healthy fp32+fp64
+#: chain shrinks it by orders of magnitude each iteration.  When one step
+#: fails to shrink the residual to below ``ratio ×`` the previous one, the
+#: factor's precision — not the iteration count — is the binding
+#: constraint, and further steps cannot reach fp64 accuracy.  0.5 keeps a
+#: wide margin on both sides: converging chains contract far faster, and a
+#: genuinely precision-limited chain bounces around a fixed point (ratio
+#: near or above 1).
+DEFAULT_STALL_RATIO = 0.5
+
+
+def refinement_stalled(residual_norms, *, ratio=DEFAULT_STALL_RATIO):
+    """True when the last refinement step failed to contract the residual.
+
+    The split rule for mixed-precision recovery (the refinement-lane
+    analogue of the CPU/GPU supernode split above): a chain whose latest
+    residual is more than ``ratio ×`` its predecessor has hit the factor's
+    precision floor and should *refactorize at full precision* instead of
+    iterating further.  Fewer than two entries never stalls (no contraction
+    to measure yet); a zero residual never stalls (exact).
+    """
+    if ratio <= 0:
+        raise ValueError(f"ratio must be > 0, got {ratio}")
+    if len(residual_norms) < 2:
+        return False
+    prev, last = float(residual_norms[-2]), float(residual_norms[-1])
+    if last == 0.0:
+        return False
+    return last > ratio * prev
 
 
 def scaled_panel_entries_array(machine, entries):

@@ -107,21 +107,30 @@ class NoBaseFactorError(LookupError):
     full :meth:`Gateway.submit` (without ``b``) on the fingerprint first."""
 
 
-def plan_nbytes(plan):
+def plan_nbytes(plan, *, dtype=None):
     """Byte-budget heuristic for one warm :class:`~repro.api.SymbolicPlan`.
 
     Counts the pattern-describing arrays a cached plan keeps alive: the
-    symbolic factor's structure arrays plus the pattern host's CSC arrays.
-    The memoised engine caches (scatter plan, relative-index runs, DAG
+    symbolic factor's structure arrays plus the pattern host's CSC arrays
+    — each at its own ``.nbytes``, never an assumed element width.  The
+    memoised engine caches (scatter plan, relative-index runs, DAG
     plans) scale with the same quantities, so this tracks the real
     footprint to within a small constant factor — good enough to rank
     plans for byte-budget eviction.
+
+    ``dtype`` adds the panel bytes of ONE retained factor at that
+    precision (``factor_nnz_dense() × itemsize``): a gateway entry keeps
+    the pattern's latest served factor alive as the update base, and an
+    fp32 serving lane holds half the panel bytes of an fp64 one — the
+    eviction ranking should see that difference.
     """
     symb = plan.symb
     A = plan.matrix
     total = sum(int(a.nbytes) for a in (symb.snptr, symb.sn_parent,
                                         symb.rowptr, symb.rows, symb.col2sn))
     total += int(A.indptr.nbytes) + int(A.indices.nbytes) + int(A.data.nbytes)
+    if dtype is not None:
+        total += int(symb.factor_nnz_dense()) * np.dtype(dtype).itemsize
     return total
 
 
@@ -229,6 +238,11 @@ class Gateway:
     engine / backend / devices / threshold:
         Substrate of every per-pattern session, exactly as
         :meth:`repro.api.SymbolicPlan.serve` takes them.
+    dtype:
+        Default factor precision of every per-pattern session
+        (``numpy.float32`` for a mixed-precision gateway; see
+        ``docs/precision.md``).  :meth:`submit` / :meth:`submit_values`
+        take a per-request override.
     ordering / analyze_kwargs:
         Forwarded to :func:`repro.plan` on every cache miss.
     analysis_workers:
@@ -245,8 +259,9 @@ class Gateway:
     def __init__(self, *, capacity=8, plan_bytes_budget=None,
                  max_in_flight=64, tenant_budget=None, workers=None,
                  engine="rlb_par", backend=None, devices=None,
-                 threshold=None, ordering="nd", analysis_workers=1,
-                 tracer=None, trace_origin=None, **analyze_kwargs):
+                 threshold=None, dtype=None, ordering="nd",
+                 analysis_workers=1, tracer=None, trace_origin=None,
+                 **analyze_kwargs):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         if max_in_flight < 1:
@@ -262,6 +277,7 @@ class Gateway:
         self._backend = backend
         self._devices = devices
         self._threshold = threshold
+        self._dtype = dtype
         self._ordering = ordering
         self._analyze_kwargs = analyze_kwargs
         self._tracer = tracer
@@ -450,9 +466,11 @@ class Gateway:
         the new entry cannot be evicted before its caller pins it."""
         session = plan.serve(engine=self._engine, backend=self._backend,
                              devices=self._devices,
-                             threshold=self._threshold, pool=self._pool,
+                             threshold=self._threshold, dtype=self._dtype,
+                             pool=self._pool,
                              tracer=self._tracer, trace_origin=self._origin)
-        entry = _CacheEntry(fp, plan, session, plan_nbytes(plan))
+        entry = _CacheEntry(fp, plan, session,
+                            plan_nbytes(plan, dtype=self._dtype))
         self._cache[fp] = entry
         self._cached_bytes += entry.nbytes
         self._evict(keep=fp)
@@ -481,7 +499,8 @@ class Gateway:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    async def submit(self, A, b=None, *, tenant="default", timeout=None):
+    async def submit(self, A, b=None, *, tenant="default", timeout=None,
+                     dtype=None):
         """Serve one system: factorize ``A`` (and solve for ``b``).
 
         ``A`` is a same-as-anything :class:`~repro.sparse.csc.SymmetricCSC`
@@ -498,25 +517,28 @@ class Gateway:
         is deliberately not under the timeout — it is shared by every
         concurrent same-pattern request, so cancelling it for one caller
         would fail the others.
+
+        ``dtype`` overrides the gateway's default factor precision for
+        this request only (``numpy.float32`` / ``numpy.float64``).
         """
         self._bind_loop()
         fp = pattern_fingerprint(A)
-        return await self._serve(fp, A, A, b, tenant, timeout)
+        return await self._serve(fp, A, A, b, tenant, timeout, dtype)
 
     async def submit_values(self, fingerprint, values, b=None, *,
-                            tenant="default", timeout=None):
+                            tenant="default", timeout=None, dtype=None):
         """Serve one system by pattern fingerprint + values only.
 
         The fast path for clients on a known-warm pattern: no structure
         arrays are shipped or hashed.  ``values`` is a flat array aligned
         with the pattern host's lower-triangle CSC data (or a full
         same-pattern matrix); raises :class:`UnknownPatternError` if
-        ``fingerprint`` has no warm or pending plan.  ``timeout`` behaves
-        exactly as in :meth:`submit`.
+        ``fingerprint`` has no warm or pending plan.  ``timeout`` and
+        ``dtype`` behave exactly as in :meth:`submit`.
         """
         self._bind_loop()
         return await self._serve(fingerprint, None, values, b, tenant,
-                                 timeout)
+                                 timeout, dtype)
 
     async def register(self, A):
         """Warm the plan cache for ``A``'s pattern without factorizing;
@@ -611,7 +633,8 @@ class Gateway:
                 f"request on pattern {fp[:8]} timed out after {timeout}s"
             ) from None
 
-    async def _serve(self, fp, matrix, values, b, tenant, timeout=None):
+    async def _serve(self, fp, matrix, values, b, tenant, timeout=None,
+                     dtype=None):
         self._admit(tenant)
         t0 = time.perf_counter()
         try:
@@ -620,9 +643,9 @@ class Gateway:
             entry.requests += 1
             try:
                 if b is None:
-                    cf = entry.session.submit(values)
+                    cf = entry.session.submit(values, dtype=dtype)
                 else:
-                    cf = entry.session.submit_solve(values, b)
+                    cf = entry.session.submit_solve(values, b, dtype=dtype)
                 result = await self._await_numeric(cf, fp, timeout)
                 if b is None:
                     # back on the loop thread: the freshest factor of this

@@ -41,16 +41,24 @@ def relative_residual(A, x, b):
 
 @dataclass
 class RefinementResult:
-    """Refined solution plus convergence history."""
+    """Refined solution plus convergence history.
+
+    ``stalled`` is True when the chain was cut short because a step failed
+    to contract the residual (see :func:`repro.numeric.threshold
+    .refinement_stalled`) — the factor's precision, not the iteration
+    budget, was the binding constraint.  A stalled result is never
+    ``converged``.
+    """
 
     x: np.ndarray
     residual_norms: list
     iterations: int
     converged: bool
+    stalled: bool = False
 
 
 def refine(A, storage, perm, b, *, x0=None, tol=1e-14, max_iter=5,
-           workers=None):
+           workers=None, stall_ratio=None):
     """Iteratively refine a solve of ``A x = b``.
 
     Parameters
@@ -77,7 +85,15 @@ def refine(A, storage, perm, b, *, x0=None, tol=1e-14, max_iter=5,
         ``workers`` threads (:func:`repro.solve.triangular.solve_factored`)
         — bit-identical to the serial sweeps, so the refinement trajectory
         is unchanged; only the wall-clock of the inner solves drops.
+    stall_ratio:
+        When given, stop early (``stalled=True``) as soon as one step fails
+        to shrink the residual to below ``stall_ratio ×`` the previous
+        residual — the signature of a reduced-precision factor that cannot
+        reach ``tol`` however long it iterates.  ``None`` (default)
+        disables stall detection and keeps the historical behaviour.
     """
+    from ..numeric.threshold import refinement_stalled
+
     b = np.asarray(b, dtype=np.float64)
 
     def direct_solve(rhs):
@@ -91,6 +107,7 @@ def refine(A, storage, perm, b, *, x0=None, tol=1e-14, max_iter=5,
     x = direct_solve(b) if x0 is None else np.array(x0, dtype=np.float64)
     history = []
     converged = False
+    stalled = False
     it = 0
     for it in range(1, max_iter + 1):
         r = b - A.matvec(x)
@@ -99,6 +116,11 @@ def refine(A, storage, perm, b, *, x0=None, tol=1e-14, max_iter=5,
         if rnorm <= tol:
             converged = True
             break
+        if stall_ratio is not None and refinement_stalled(
+                history, ratio=stall_ratio):
+            stalled = True
+            break
         x = x + direct_solve(r)
     return RefinementResult(x=x, residual_norms=history,
-                            iterations=it, converged=converged)
+                            iterations=it, converged=converged,
+                            stalled=stalled)

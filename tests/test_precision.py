@@ -1,0 +1,365 @@
+"""Mixed-precision lane tests.
+
+Covers the ``dtype=`` precision lane end to end: fp32 factors
+bit-identical across serial engines, the threaded/process task-DAG
+backends and every worker count; typed rejection of unsupported dtypes
+(:class:`~repro.dense.kernels.UnsupportedDtypeError`) and of engines
+outside the RL/RLB lane; fp64-accuracy recovery of
+:meth:`~repro.api.Factor.solve_refined` on fp32 factors; the
+stall-detected fp64-refactorize fallback (bitwise equal to the fp64
+oracle); itemsize-aware cost-model and ``plan_nbytes`` accounting; and
+the CLI/serving precision knobs.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import main as cli_main
+from repro.dense.kernels import UnsupportedDtypeError, check_dtype
+from repro.gpu.costmodel import CpuModel, GpuModel, MachineModel
+from repro.numeric import (
+    FactorStorage,
+    factorize_executor,
+    factorize_process,
+    factorize_rl_cpu,
+    factorize_rlb_cpu,
+)
+from repro.numeric.registry import serial_twin
+from repro.numeric.threshold import DEFAULT_STALL_RATIO, refinement_stalled
+from repro.serving import Gateway, plan_nbytes
+from repro.sparse import SymmetricCSC, grid_laplacian
+from repro.symbolic import analyze
+
+
+@pytest.fixture(scope="module")
+def system():
+    return analyze(grid_laplacian((7, 6, 3)))
+
+
+@pytest.fixture(scope="module")
+def base_matrix():
+    return grid_laplacian((6, 5, 3))
+
+
+@pytest.fixture(scope="module")
+def fp32_plan(base_matrix):
+    return repro.plan(base_matrix)
+
+
+def graded_matrix(spread=5.0):
+    """An SPD matrix with a wide, graded diagonal scaling: fp32 can
+    factorize it, but the factor is too rough for refinement to reach
+    fp64 accuracy — the recipe behind the stall-fallback tests."""
+    A = grid_laplacian((8, 8, 4))
+    n = A.n
+    d = np.logspace(0, -spread, n)
+    data = A.data.copy()
+    for j in range(n):
+        lo, hi = A.indptr[j], A.indptr[j + 1]
+        data[lo:hi] = A.data[lo:hi] * d[A.indices[lo:hi]] * d[j]
+    return SymmetricCSC(n, A.indptr, A.indices, data)
+
+
+class TestStallDetector:
+    def test_needs_two_residuals(self):
+        assert not refinement_stalled([])
+        assert not refinement_stalled([1e-3])
+
+    def test_contracting_sequence_never_stalls(self):
+        assert not refinement_stalled([1e-3, 1e-7, 1e-11])
+
+    def test_flat_sequence_stalls(self):
+        assert refinement_stalled([1e-9, 9e-10])
+
+    def test_zero_residual_never_stalls(self):
+        assert not refinement_stalled([1e-9, 0.0])
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError, match="ratio"):
+            refinement_stalled([1.0, 1.0], ratio=0.0)
+        with pytest.raises(ValueError, match="ratio"):
+            refinement_stalled([1.0, 1.0], ratio=-1.0)
+
+    def test_ratio_is_the_contraction_bar(self):
+        # one step shrank the residual 4x: a stall at ratio 0.5 it is not,
+        # but a demanding ratio 0.1 calls it one
+        assert not refinement_stalled([1e-6, 2.5e-7], ratio=0.5)
+        assert refinement_stalled([1e-6, 2.5e-7], ratio=0.1)
+        assert DEFAULT_STALL_RATIO == 0.5
+
+
+class TestDtypeValidation:
+    def test_check_dtype_accepts_lane(self):
+        assert check_dtype(np.float64) == np.dtype(np.float64)
+        assert check_dtype("float32") == np.dtype(np.float32)
+
+    @pytest.mark.parametrize("bad", [np.float16, np.complex128, np.int32])
+    def test_check_dtype_rejects(self, bad):
+        with pytest.raises(UnsupportedDtypeError):
+            check_dtype(bad)
+
+    def test_unsupported_is_a_type_error(self):
+        assert issubclass(UnsupportedDtypeError, TypeError)
+
+    def test_storage_from_matrix_rejects_fp16(self, system):
+        with pytest.raises(UnsupportedDtypeError, match="float16"):
+            FactorStorage.from_matrix(system.symb, system.matrix,
+                                      dtype=np.float16)
+
+    def test_scatter_rejects_mismatched_values(self, system):
+        # SymmetricCSC itself coerces to fp64, so exercise the guard with
+        # a raw matrix-like carrying fp16 values
+        A = system.matrix
+
+        class Raw:
+            n = A.n
+            indptr = A.indptr
+            indices = A.indices
+            data = A.data.astype(np.float16)
+
+        with pytest.raises(UnsupportedDtypeError):
+            FactorStorage.from_matrix(system.symb, Raw())
+
+    def test_api_factorize_rejects_complex(self, base_matrix):
+        with pytest.raises(UnsupportedDtypeError):
+            repro.plan(base_matrix).factorize(dtype=np.complex128)
+
+    def test_api_rejects_non_lane_engine(self, base_matrix):
+        with pytest.raises(ValueError, match="RL/RLB"):
+            repro.plan(base_matrix).factorize(engine="left_looking",
+                                              dtype=np.float32)
+
+    def test_serve_rejects_unsupported_dtype(self, base_matrix):
+        # serve() only admits task-DAG engines (all in the precision
+        # lane), so its dtype guard is the UnsupportedDtypeError path
+        with pytest.raises(UnsupportedDtypeError):
+            repro.plan(base_matrix).serve(engine="rlb_par",
+                                          dtype=np.float16)
+
+
+class TestStorageDtype:
+    def test_default_is_fp64(self, system):
+        st = FactorStorage.from_matrix(system.symb, system.matrix)
+        assert st.dtype == np.float64 and st.itemsize == 8
+
+    def test_fp32_panels_half_the_bytes(self, system):
+        st64 = FactorStorage.from_matrix(system.symb, system.matrix)
+        st32 = FactorStorage.from_matrix(system.symb, system.matrix,
+                                         dtype=np.float32)
+        assert st32.dtype == np.float32 and st32.itemsize == 4
+        assert all(p.dtype == np.float32 for p in st32.panels)
+        b64 = sum(p.nbytes for p in st64.panels)
+        b32 = sum(p.nbytes for p in st32.panels)
+        assert b32 * 2 == b64
+
+    def test_fp32_scatter_matches_downcast(self, system):
+        st32 = FactorStorage.from_matrix(system.symb, system.matrix,
+                                         dtype=np.float32)
+        st64 = FactorStorage.from_matrix(system.symb, system.matrix)
+        for p32, p64 in zip(st32.panels, st64.panels):
+            assert np.array_equal(p32, p64.astype(np.float32))
+
+
+def _panels(res):
+    return res.storage.panels
+
+
+class TestFp32BitIdentity:
+    """The determinism contract extends to the fp32 lane: same kernels,
+    same reduction order, single-precision BLAS — every backend and
+    worker count reproduces the serial fp32 factor bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def serial32(self, system):
+        return {
+            "coarse": factorize_rl_cpu(system.symb, system.matrix,
+                                       dtype=np.float32),
+            "fine": factorize_rlb_cpu(system.symb, system.matrix,
+                                      dtype=np.float32),
+        }
+
+    def test_serial_engines_store_fp32(self, serial32):
+        for res in serial32.values():
+            assert all(p.dtype == np.float32 for p in _panels(res))
+
+    @pytest.mark.parametrize("granularity", ["coarse", "fine"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_executor_matches_serial(self, system, serial32, granularity,
+                                     workers):
+        res = factorize_executor(system.symb, system.matrix, workers=workers,
+                                 granularity=granularity, dtype=np.float32)
+        for p, q in zip(_panels(res), _panels(serial32[granularity])):
+            assert np.array_equal(p, q)
+
+    @pytest.mark.parametrize("granularity", ["coarse", "fine"])
+    def test_process_backend_matches_serial(self, system, serial32,
+                                            granularity):
+        res = factorize_process(system.symb, system.matrix, workers=2,
+                                granularity=granularity, dtype=np.float32)
+        for p, q in zip(_panels(res), _panels(serial32[granularity])):
+            assert np.array_equal(p, q)
+
+    @pytest.mark.parametrize("engine", ["rl_par", "rlb_par", "rl_gpu",
+                                        "rlb_gpu_v2", "rl_gpu_dag",
+                                        "rlb_gpu_dag", "rl_hybrid",
+                                        "rlb_hybrid"])
+    def test_api_engines_match_serial_twin(self, fp32_plan, engine):
+        twin = serial_twin(engine)
+        ref = fp32_plan.factorize(engine=twin, dtype=np.float32)
+        res = fp32_plan.factorize(engine=engine, dtype=np.float32)
+        assert res.dtype == np.float32
+        for p, q in zip(_panels(res.result), _panels(ref.result)):
+            assert np.array_equal(p, q)
+
+    def test_fp32_differs_from_fp64(self, fp32_plan):
+        f64 = fp32_plan.factorize(engine="rl")
+        f32 = fp32_plan.factorize(engine="rl", dtype=np.float32)
+        assert f64.dtype == np.float64
+        assert not np.array_equal(_panels(f64.result)[0],
+                                  _panels(f32.result)[0])
+
+
+class TestRefinementRecovery:
+    def test_fp32_direct_solve_is_fp32_rough(self, base_matrix, fp32_plan):
+        f32 = fp32_plan.factorize(dtype=np.float32)
+        b = np.cos(np.arange(base_matrix.n))
+        assert 1e-8 < f32.residual_norm(f32.solve(b), b) < 1e-3
+
+    def test_refined_recovers_fp64_accuracy(self, base_matrix, fp32_plan):
+        f32 = fp32_plan.factorize(dtype=np.float32)
+        b = np.cos(np.arange(base_matrix.n))
+        out = f32.solve_refined(b, return_info=True)
+        assert out.converged and not out.stalled
+        assert f32.residual_norm(out.x, b) <= 1e-12
+        assert "refine_fallback" not in f32.result.extra
+
+    def test_refined_matches_fp64_quality(self, base_matrix, fp32_plan):
+        b = np.sin(np.arange(base_matrix.n))
+        f64 = fp32_plan.factorize()
+        f32 = fp32_plan.factorize(dtype=np.float32)
+        r64 = f64.residual_norm(f64.solve_refined(b), b)
+        r32 = f32.residual_norm(f32.solve_refined(b), b)
+        assert r32 <= max(10 * r64, 1e-13)
+
+
+class TestStallFallback:
+    @pytest.fixture(scope="class")
+    def graded(self):
+        return graded_matrix(5.0)
+
+    @pytest.fixture(scope="class")
+    def rhs(self, graded):
+        return np.random.default_rng(42).standard_normal(graded.n)
+
+    def test_stall_triggers_fp64_refactorize(self, graded, rhs):
+        plan = repro.plan(graded)
+        f32 = plan.factorize(dtype=np.float32)
+        out = f32.solve_refined(rhs, return_info=True)
+        fb = f32.result.extra["refine_fallback"]
+        assert fb["reason"] == "stalled"
+        assert fb["from_dtype"] == "float32"
+        assert len(fb["residual_norms"]) >= 2
+        # the recovered answer is bitwise the fp64 oracle's
+        oracle = plan.factorize().solve_refined(rhs, return_info=True)
+        assert np.array_equal(out.x, oracle.x)
+        assert f32.residual_norm(out.x, rhs) <= 1e-10
+
+    def test_fallback_off_returns_stalled_result(self, graded, rhs):
+        f32 = repro.plan(graded).factorize(dtype=np.float32)
+        out = f32.solve_refined(rhs, return_info=True, fallback=False)
+        assert out.stalled and not out.converged
+        assert "refine_fallback" not in f32.result.extra
+
+    def test_fallback_records_threaded_twin(self, graded, rhs):
+        f32 = repro.plan(graded).factorize(engine="rlb_par", workers=2,
+                                           dtype=np.float32)
+        f32.solve_refined(rhs)
+        assert f32.result.extra["refine_fallback"]["engine"] == "rlb"
+
+    def test_fp64_factor_unaffected_by_default(self, graded, rhs):
+        f64 = repro.plan(graded).factorize()
+        out = f64.solve_refined(rhs, return_info=True)
+        assert not out.stalled
+        assert "refine_fallback" not in f64.result.extra
+
+
+class TestAccounting:
+    def test_scaled_bytes_itemsize(self):
+        m = MachineModel()
+        # same entry count → same dilation ramp; fp32 still moves half
+        # the bytes of the fp64 object
+        assert (m.scaled_bytes(800, itemsize=8)
+                == 2 * m.scaled_bytes(400, itemsize=4))
+
+    def test_fp_speedup_gates_on_itemsize(self):
+        m = MachineModel()
+        assert CpuModel().fp32_speedup == 2.0
+        assert GpuModel().fp32_speedup == 2.0
+        assert m.cpu_fp_speedup(4) == 2.0 and m.cpu_fp_speedup(8) == 1.0
+        assert m.gpu_fp_speedup(4) == 2.0 and m.gpu_fp_speedup(8) == 1.0
+
+    def test_modeled_seconds_drop_in_fp32(self, system):
+        f64 = factorize_rl_cpu(system.symb, system.matrix)
+        f32 = factorize_rl_cpu(system.symb, system.matrix, dtype=np.float32)
+        assert f32.modeled_seconds < f64.modeled_seconds
+        assert f32.kernel_count == f64.kernel_count
+
+    def test_plan_nbytes_dtype_lane(self, base_matrix):
+        plan = repro.plan(base_matrix)
+        base = plan_nbytes(plan)
+        nnz = int(plan.symb.factor_nnz_dense())
+        assert plan_nbytes(plan, dtype=np.float64) == base + 8 * nnz
+        assert plan_nbytes(plan, dtype=np.float32) == base + 4 * nnz
+
+
+class TestServingPrecision:
+    def test_session_dtype_and_override(self, base_matrix, fp32_plan):
+        ref32 = fp32_plan.factorize(engine="rlb", dtype=np.float32)
+        ref64 = fp32_plan.factorize(engine="rlb")
+        with fp32_plan.serve(engine="rlb_par", workers=2,
+                             dtype=np.float32) as session:
+            got32 = session.submit().result()
+            got64 = session.submit(dtype=np.float64).result()
+        assert got32.dtype == np.float32 and got64.dtype == np.float64
+        for p, q in zip(_panels(got32.result), _panels(ref32.result)):
+            assert np.array_equal(p, q)
+        for p, q in zip(_panels(got64.result), _panels(ref64.result)):
+            assert np.array_equal(p, q)
+
+    def test_gateway_dtype_bit_identical(self, base_matrix):
+        b = np.cos(np.arange(base_matrix.n))
+
+        async def go():
+            async with Gateway(engine="rlb_par", workers=2,
+                               dtype=np.float32) as gw:
+                return await gw.submit(base_matrix, b, tenant="t")
+
+        x = asyncio.run(go())
+        oracle = repro.plan(base_matrix).factorize(engine="rlb",
+                                                   dtype=np.float32)
+        assert np.array_equal(x, oracle.solve(b))
+
+
+class TestCliPrecision:
+    def test_factorize_reports_precision(self, capsys):
+        assert cli_main(["factorize", "Fault_639", "--method", "rlb_par",
+                         "--workers", "2", "--dtype", "fp32"]) == 0
+        assert "float32" in capsys.readouterr().out
+
+    def test_solve_reports_refined_residual(self, capsys):
+        assert cli_main(["solve", "Fault_639", "--method", "rl",
+                         "--dtype", "fp32"]) == 0
+        out = capsys.readouterr().out
+        assert "precision = float32" in out and "refined residual" in out
+
+    def test_non_lane_method_exits_2(self, capsys):
+        assert cli_main(["factorize", "Fault_639", "--method",
+                         "left_looking", "--dtype", "fp32"]) == 2
+
+    def test_parser_rejects_unknown_dtype(self):
+        with pytest.raises(SystemExit):
+            from repro.cli import build_parser
+            build_parser().parse_args(["factorize", "x", "--dtype", "fp8"])
